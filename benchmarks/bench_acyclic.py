@@ -1,0 +1,118 @@
+"""E-ACYC: Section 5's acyclicity results.
+
+Gamma-acyclic pairwise-consistent databases satisfy C4; the Yannakakis
+evaluation of a fully reduced acyclic database is monotone increasing.
+The bench regenerates both claims over seeded populations and measures
+the cost of the full reducer and of the acyclicity tests.
+"""
+
+import random
+
+from repro.conditions.checks import check_c4
+from repro.conditions.semantic import is_gamma_acyclic_pairwise_consistent
+from repro.report import Table
+from repro.schemegraph.acyclicity import is_alpha_acyclic, is_beta_acyclic, is_gamma_acyclic
+from repro.schemegraph.consistency import full_reduce, yannakakis
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    cycle_scheme,
+    generate_consistent_acyclic_database,
+    generate_database,
+    star_scheme,
+)
+
+SAMPLES = 12
+
+
+def test_gamma_acyclic_consistent_implies_c4(record, benchmark):
+    def sweep():
+        held = 0
+        for seed in range(SAMPLES):
+            rng = random.Random(seed)
+            shape = "chain" if seed % 2 == 0 else "star"
+            db = generate_consistent_acyclic_database(4, rng, shape=shape)
+            assert is_gamma_acyclic_pairwise_consistent(db)
+            if check_c4(db).holds:
+                held += 1
+        return held
+
+    held = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert held == SAMPLES  # Section 5: the implication admits no exception
+
+    table = Table(
+        ["gamma-acyclic consistent samples", "C4 holds"],
+        title="E-ACYC: gamma-acyclic + pairwise consistent implies C4",
+    )
+    table.add_row(SAMPLES, held)
+    record("E-ACYC_c4", table.render())
+
+
+def test_yannakakis_is_monotone_increasing(record, benchmark):
+    def sweep():
+        monotone = 0
+        total = 0
+        for seed in range(SAMPLES):
+            rng = random.Random(100 + seed)
+            db = generate_database(
+                chain_scheme(4), rng, WorkloadSpec(size=20, domain=4)
+            )
+            reduced = full_reduce(db)
+            if not reduced.is_nonnull():
+                continue
+            total += 1
+            trace = yannakakis(reduced)
+            assert trace.result == db.evaluate()
+            if trace.is_monotone_increasing():
+                monotone += 1
+        return total, monotone
+
+    total, monotone = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert monotone == total
+
+    table = Table(
+        ["reduced acyclic samples", "monotone increasing"],
+        title="E-ACYC: Yannakakis after full reduction never shrinks",
+    )
+    table.add_row(total, monotone)
+    record("E-ACYC_yannakakis", table.render())
+
+
+def test_full_reducer_cost(benchmark):
+    rng = random.Random(9)
+    db = generate_database(chain_scheme(5), rng, WorkloadSpec(size=40, domain=5))
+    reduced = benchmark(lambda: full_reduce(db))
+    assert reduced.evaluate() == db.evaluate()
+
+
+def test_acyclicity_classification_cost(record, benchmark):
+    shapes = {
+        "chain(5)": chain_scheme(5),
+        "star(5)": star_scheme(5),
+        "cycle(5)": cycle_scheme(5),
+        "beta-not-gamma": ["AB", "BC", "ABC"],
+    }
+
+    def classify():
+        return {
+            name: (
+                is_alpha_acyclic(schemes),
+                is_beta_acyclic(schemes),
+                is_gamma_acyclic(schemes),
+            )
+            for name, schemes in shapes.items()
+        }
+
+    verdicts = benchmark(classify)
+    assert verdicts["chain(5)"] == (True, True, True)
+    assert verdicts["star(5)"] == (True, True, True)
+    assert verdicts["cycle(5)"] == (False, False, False)
+    assert verdicts["beta-not-gamma"] == (True, True, False)
+
+    table = Table(
+        ["scheme", "alpha", "beta", "gamma"],
+        title="E-ACYC: Fagin's hierarchy on reference shapes",
+    )
+    for name, (a, b, g) in verdicts.items():
+        table.add_row(name, a, b, g)
+    record("E-ACYC_hierarchy", table.render())

@@ -1,0 +1,101 @@
+"""E-PREV: prevalence of the conditions on random data.
+
+The paper closes Section 4: "If the conditions for the three theorems
+seem restrictive, then it follows from their necessity ... that the
+assumptions underlying current query optimizers are correspondingly
+restrictive."  This bench quantifies that: on random databases, how often
+does each condition hold, and -- when it fails -- how often does the
+corresponding restricted search space actually miss the optimum?
+"""
+
+import random
+
+from repro.conditions.checks import check_c1, check_c1_strict, check_c2, check_c3
+from repro.optimizer.dp import optimize_dp
+from repro.optimizer.spaces import SearchSpace
+from repro.report import Table
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    generate_database,
+    star_scheme,
+)
+
+SAMPLES = 80
+
+
+def _samples():
+    for seed in range(SAMPLES):
+        rng = random.Random(3000 + seed)
+        shape = chain_scheme(4) if seed % 2 == 0 else star_scheme(4)
+        db = generate_database(shape, rng, WorkloadSpec(size=6, domain=3))
+        if db.is_nonnull():
+            yield db
+
+
+def test_condition_prevalence_and_miss_rates(record, benchmark):
+    def sweep():
+        tallies = {
+            "C1": 0,
+            "C1'": 0,
+            "C2": 0,
+            "C3": 0,
+            "checked": 0,
+            "nocp_miss_when_c1c2": 0,
+            "nocp_miss_otherwise": 0,
+            "linear_miss_when_c3": 0,
+            "linear_miss_otherwise": 0,
+        }
+        for db in _samples():
+            tallies["checked"] += 1
+            c1 = check_c1(db).holds
+            c1s = check_c1_strict(db).holds
+            c2 = check_c2(db).holds
+            c3 = check_c3(db).holds
+            tallies["C1"] += c1
+            tallies["C1'"] += c1s
+            tallies["C2"] += c2
+            tallies["C3"] += c3
+            best = optimize_dp(db, SearchSpace.ALL).cost
+            nocp = optimize_dp(db, SearchSpace.NOCP).cost
+            linear_nocp = optimize_dp(db, SearchSpace.LINEAR_NOCP).cost
+            if nocp > best:
+                key = "nocp_miss_when_c1c2" if (c1 and c2) else "nocp_miss_otherwise"
+                tallies[key] += 1
+            if linear_nocp > best:
+                key = "linear_miss_when_c3" if c3 else "linear_miss_otherwise"
+                tallies[key] += 1
+        return tallies
+
+    t = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Theorems 2 and 3: under their hypotheses the restricted spaces never
+    # miss.
+    assert t["nocp_miss_when_c1c2"] == 0
+    assert t["linear_miss_when_c3"] == 0
+
+    table = Table(
+        ["quantity", "count", "of samples"],
+        title="E-PREV: condition prevalence on random 4-relation databases",
+    )
+    for key in ("C1", "C1'", "C2", "C3"):
+        table.add_row(f"{key} holds", t[key], t["checked"])
+    table.add_row("no-CP space misses optimum (C1∧C2 holds)", t["nocp_miss_when_c1c2"], t["checked"])
+    table.add_row("no-CP space misses optimum (otherwise)", t["nocp_miss_otherwise"], t["checked"])
+    table.add_row("linear no-CP misses optimum (C3 holds)", t["linear_miss_when_c3"], t["checked"])
+    table.add_row("linear no-CP misses optimum (otherwise)", t["linear_miss_otherwise"], t["checked"])
+    record("E-PREV_prevalence", table.render())
+
+
+def test_condition_check_cost(benchmark):
+    """Time one full condition battery on a 4-relation database."""
+    rng = random.Random(77)
+    db = generate_database(chain_scheme(4), rng, WorkloadSpec(size=8, domain=3))
+
+    def battery():
+        return (
+            check_c1(db).holds,
+            check_c2(db).holds,
+            check_c3(db).holds,
+        )
+
+    benchmark(battery)

@@ -1,0 +1,86 @@
+"""E-DENSITY: how forgiving is the strategy space?
+
+A complement to the paper's worst-case examples: on *random* data, what
+fraction of the strategy space is within 2x of the optimum?  If the
+space were uniformly forgiving, restricted searches would rarely matter;
+the paper's examples show it is not.  This bench quantifies the
+landscape with the uniform strategy sampler: in our measured populations
+chains are the *least* forgiving shape (≈40% of random bushy trees
+within 2x, ≈27% of random linear orders), while star spaces are denser
+(≈70-75%) -- random order hurts most where intermediate sizes compound
+along a path.  The recorded table is the datum; the assertions only pin
+well-formedness, since density is data-dependent.
+"""
+
+import random
+
+from repro.optimizer.dp import optimize_dp
+from repro.report import Table
+from repro.strategy.cost import tau_cost
+from repro.strategy.sampling import sample_linear_strategy, sample_strategy
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    generate_database,
+    star_scheme,
+)
+
+SAMPLES = 300
+
+
+def _fraction_within(db, sampler, rng, factor: float) -> float:
+    optimum = optimize_dp(db).cost
+    if optimum == 0:
+        return 1.0
+    hits = 0
+    for _ in range(SAMPLES):
+        if tau_cost(sampler(db, rng)) <= factor * optimum:
+            hits += 1
+    return hits / SAMPLES
+
+
+def test_density_by_shape(record, benchmark):
+    def sweep():
+        rows = []
+        for label, shape, skew in (
+            ("chain", chain_scheme(6), 0.0),
+            ("star uniform", star_scheme(6), 0.0),
+            ("star skewed", star_scheme(6), 1.2),
+        ):
+            rng = random.Random(17)
+            db = generate_database(
+                shape, rng, WorkloadSpec(size=15, domain=4, skew=skew)
+            )
+            if not db.is_nonnull():
+                continue
+            bushy = _fraction_within(db, sample_strategy, random.Random(1), 2.0)
+            linear = _fraction_within(
+                db, sample_linear_strategy, random.Random(2), 2.0
+            )
+            rows.append((label, round(bushy, 3), round(linear, 3)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert rows
+    # Fractions are probabilities.
+    for _, bushy, linear in rows:
+        assert 0.0 <= bushy <= 1.0
+        assert 0.0 <= linear <= 1.0
+
+    table = Table(
+        ["workload", "random bushy within 2x", "random linear within 2x"],
+        title="E-DENSITY: fraction of sampled strategies within 2x of optimum",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record("E-DENSITY_shapes", table.render())
+
+
+def test_sampler_throughput(benchmark):
+    rng = random.Random(3)
+    db = generate_database(chain_scheme(8), rng, WorkloadSpec(size=10, domain=4))
+
+    def sample_and_cost():
+        return tau_cost(sample_strategy(db, rng))
+
+    assert benchmark(sample_and_cost) >= 0

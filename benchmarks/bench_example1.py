@@ -1,0 +1,68 @@
+"""E-EX1: Example 1 (paper, Section 3).
+
+Regenerates the example's published arithmetic: tau(R1 ⋈ R2) = 10, the
+three CP-avoiding strategies cost 570 / 570 / 549, the CP-using S4 costs
+546, C1 holds, and therefore no CP-avoiding strategy is tau-optimum.
+"""
+
+from repro.conditions.checks import check_c1, check_c2
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.spaces import SearchSpace
+from repro.report import Table
+from repro.strategy.cost import tau_cost
+from repro.strategy.enumerate import nocp_strategies
+from repro.strategy.tree import parse_strategy
+from repro.workloads.paper import example1
+
+PAPER_ROWS = [
+    ("(((R1 R2) R3) R4)", 570),
+    ("(((R1 R2) R4) R3)", 570),
+    ("((R1 R2) (R3 R4))", 549),
+    ("((R1 R3) (R2 R4))", 546),
+]
+
+
+def test_example1_published_costs(record, benchmark):
+    db = example1()
+
+    def costs():
+        return [tau_cost(parse_strategy(db, text)) for text, _ in PAPER_ROWS]
+
+    measured = benchmark(costs)
+    expected = [cost for _, cost in PAPER_ROWS]
+    assert measured == expected
+
+    table = Table(
+        ["strategy", "paper tau", "measured tau", "avoids CP"],
+        title="E-EX1: Example 1 strategy costs",
+    )
+    for (text, paper_cost), ours in zip(PAPER_ROWS, measured):
+        s = parse_strategy(db, text)
+        table.add_row(s.describe(), paper_cost, ours, s.avoids_cartesian_products())
+    record("E-EX1_example1", table.render())
+
+
+def test_example1_c1_holds_but_optimum_uses_cp(benchmark):
+    db = example1()
+
+    def verdicts():
+        return (
+            bool(check_c1(db)),
+            bool(check_c2(db)),
+            optimize_exhaustive(db).cost,
+            optimize_exhaustive(db, SearchSpace.NOCP).cost,
+        )
+
+    c1, c2, optimum, nocp_best = benchmark.pedantic(verdicts, rounds=1, iterations=1)
+    assert c1  # the paper: "One can verify that this database satisfies C1"
+    assert not c2  # Example 2, first half
+    assert optimum <= 546
+    assert nocp_best == 549
+    assert optimum < nocp_best  # the CP-avoiding subspace misses the optimum
+
+
+def test_example1_exactly_three_avoiding_strategies(benchmark):
+    db = example1()
+    strategies = benchmark(lambda: list(nocp_strategies(db)))
+    assert len(strategies) == 3
+    assert {tau_cost(s) for s in strategies} == {570, 549}

@@ -1,0 +1,59 @@
+"""E-EX2: Example 2 (paper, Section 3) -- C1 and C2 are independent.
+
+First half: Example 1's database satisfies C1 but not C2
+(tau(R1 ⋈ R2) = 10 exceeds both operand sizes, 4 and 4).
+Second half: the primed database satisfies C2 (7 < 8) but not C1
+(tau(R2' ⋈ R1') = 7 > 6 = tau(R2' ⋈ R3')).
+"""
+
+from repro.conditions.checks import check_c1, check_c2
+from repro.report import Table
+from repro.workloads.paper import example1, example2_c2_only
+
+
+def test_c1_without_c2(record, benchmark):
+    db = example1()
+
+    def verdicts():
+        return bool(check_c1(db)), bool(check_c2(db)), db.tau_of(["AB", "BC"])
+
+    c1, c2, join_size = benchmark(verdicts)
+    assert c1 and not c2
+    assert join_size == 10
+    assert db.state_for("AB").tau == 4
+    assert db.state_for("BC").tau == 4
+
+    table = Table(
+        ["database", "C1", "C2", "witness"],
+        title="E-EX2: independence of C1 and C2",
+    )
+    table.add_row("Example 1", c1, c2, "tau(R1⋈R2)=10 > tau(R1)=tau(R2)=4")
+    record("E-EX2_first_half", table.render())
+
+
+def test_c2_without_c1(record, benchmark):
+    db = example2_c2_only()
+
+    def verdicts():
+        return (
+            bool(check_c1(db)),
+            bool(check_c2(db)),
+            db.tau_of(["AB", "BC"]),
+            db.tau_of(["BC", "DE"]),
+        )
+
+    c1, c2, joined, cp = benchmark(verdicts)
+    assert c2 and not c1
+    # The paper's exact numbers.
+    assert db.relation_named("R1'").tau == 8
+    assert db.relation_named("R2'").tau == 3
+    assert db.relation_named("R3'").tau == 2
+    assert joined == 7  # tau(R1' ⋈ R2') = 7 < 8 gives C2
+    assert cp == 6  # tau(R2' ⋈ R3') = 6 < 7 breaks C1
+
+    table = Table(
+        ["database", "C1", "C2", "witness"],
+        title="E-EX2: independence of C1 and C2 (second half)",
+    )
+    table.add_row("Example 2'", c1, c2, "tau(R2'⋈R1')=7 > 6=tau(R2'⋈R3')")
+    record("E-EX2_second_half", table.render())

@@ -1,0 +1,77 @@
+"""E-EX3: Example 3 (paper, Section 4) -- Theorem 1's C1' is necessary.
+
+All three strategies for GS ⋈ SC ⋈ CL generate the same number (4) of
+intermediate tuples, so all are tau-optimum -- including the linear
+(GS ⋈ CL) ⋈ SC, which uses a Cartesian product.  The database satisfies
+C1 but violates C1', so Theorem 1 does not apply, and indeed its
+conclusion fails: C1' cannot be relaxed to C1.
+"""
+
+from repro.conditions.checks import check_c1, check_c1_strict
+from repro.report import Table
+from repro.strategy.cost import step_costs, tau_cost
+from repro.strategy.enumerate import all_strategies
+from repro.strategy.tree import parse_strategy
+from repro.theorems import check_theorem1
+from repro.workloads.paper import example3
+
+STRATEGIES = ["((GS SC) CL)", "(GS (SC CL))", "((GS CL) SC)"]
+
+
+def test_all_three_strategies_tie(record, benchmark):
+    db = example3()
+
+    def costs():
+        return [tau_cost(parse_strategy(db, text)) for text in STRATEGIES]
+
+    measured = benchmark(costs)
+    assert len(set(measured)) == 1  # all tau-optimum
+
+    table = Table(
+        ["strategy", "first step", "total tau", "uses CP", "linear"],
+        title="E-EX3: Example 3 -- every strategy is tau-optimum",
+    )
+    for text in STRATEGIES:
+        s = parse_strategy(db, text)
+        table.add_row(
+            s.describe(),
+            step_costs(s)[0][1],
+            tau_cost(s),
+            s.uses_cartesian_products(),
+            s.is_linear(),
+        )
+    record("E-EX3_example3", table.render())
+
+
+def test_intermediate_counts_are_4(benchmark):
+    db = example3()
+
+    def firsts():
+        return [step_costs(parse_strategy(db, text))[0][1] for text in STRATEGIES]
+
+    assert benchmark(firsts) == [4, 4, 4]
+
+
+def test_linear_optimum_uses_cartesian_product(benchmark):
+    db = example3()
+
+    def offender():
+        best = min(tau_cost(s) for s in all_strategies(db))
+        s = parse_strategy(db, "((GS CL) SC)")
+        return tau_cost(s) == best, s.is_linear(), s.uses_cartesian_products()
+
+    is_opt, is_lin, uses_cp = benchmark(offender)
+    assert is_opt and is_lin and uses_cp
+
+
+def test_c1_holds_c1_strict_fails_theorem1_inapplicable(benchmark):
+    db = example3()
+
+    def verdicts():
+        return bool(check_c1(db)), bool(check_c1_strict(db)), check_theorem1(db)
+
+    c1, c1s, report = benchmark.pedantic(verdicts, rounds=1, iterations=1)
+    assert c1 and not c1s
+    assert not report.applicable  # C1' fails
+    assert not report.conclusion  # and the conclusion indeed fails
+    assert not report.violated  # so the theorem is not contradicted

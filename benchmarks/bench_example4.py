@@ -1,0 +1,75 @@
+"""E-EX4: Example 4 (paper, Section 4) -- Theorem 2 needs C1.
+
+tau(S1) = 9 + 5 = 14, tau(S2) = 7 + 5 = 12, tau(S3) = 6 + 5 = 11; S3 is
+tau-optimum although it uses a Cartesian product.  C2 holds but C1 fails,
+so an optimizer that refuses Cartesian products misses the optimum.
+"""
+
+from repro.conditions.checks import check_c1, check_c2
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.spaces import SearchSpace
+from repro.report import Table
+from repro.strategy.cost import step_costs, tau_cost
+from repro.strategy.tree import parse_strategy
+from repro.theorems import check_theorem2
+from repro.workloads.paper import example4
+
+PAPER_ROWS = [
+    ("((GS SC) CL)", [9, 5], 14),
+    ("(GS (SC CL))", [7, 5], 12),
+    ("((GS CL) SC)", [6, 5], 11),
+]
+
+
+def test_published_costs(record, benchmark):
+    db = example4()
+
+    def costs():
+        return [
+            ([c for _, c in step_costs(parse_strategy(db, text))], tau_cost(parse_strategy(db, text)))
+            for text, _, _ in PAPER_ROWS
+        ]
+
+    measured = benchmark(costs)
+    for (text, paper_steps, paper_total), (steps, total) in zip(PAPER_ROWS, measured):
+        assert steps == paper_steps, text
+        assert total == paper_total, text
+
+    table = Table(
+        ["strategy", "paper", "measured", "uses CP"],
+        title="E-EX4: Example 4 strategy costs (paper: 14 / 12 / 11)",
+    )
+    for (text, steps, total), (_, ours) in zip(PAPER_ROWS, measured):
+        s = parse_strategy(db, text)
+        paper = " + ".join(map(str, steps)) + f" = {total}"
+        table.add_row(s.describe(), paper, ours, s.uses_cartesian_products())
+    record("E-EX4_example4", table.render())
+
+
+def test_optimum_uses_cp_and_restricted_search_misses_it(benchmark):
+    db = example4()
+
+    def optimize():
+        return (
+            optimize_exhaustive(db),
+            optimize_exhaustive(db, SearchSpace.NOCP),
+        )
+
+    unrestricted, restricted = benchmark(optimize)
+    assert unrestricted.cost == 11
+    assert unrestricted.strategy.uses_cartesian_products()
+    assert restricted.cost == 12  # best without Cartesian products
+    assert restricted.cost > unrestricted.cost
+
+
+def test_c2_without_c1_theorem2_inapplicable(benchmark):
+    db = example4()
+
+    def verdicts():
+        return bool(check_c1(db)), bool(check_c2(db)), check_theorem2(db)
+
+    c1, c2, report = benchmark.pedantic(verdicts, rounds=1, iterations=1)
+    assert c2 and not c1
+    assert not report.applicable
+    assert not report.conclusion
+    assert not report.violated

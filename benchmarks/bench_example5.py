@@ -1,0 +1,96 @@
+"""E-EX5: Example 5 (paper, Section 4) -- Theorem 3 needs C3.
+
+The database violates C3 (tau(CI ⋈ ID) = 4 > 3 = tau(ID)); its unique
+tau-optimum strategy is the bushy (MS ⋈ SC) ⋈ (CI ⋈ ID), which uses no
+Cartesian product but is not linear.  C1 and C2 hold, so C1 ∧ C2 do not
+imply C3 and C3 cannot be relaxed in Theorem 3.
+"""
+
+from repro.conditions.checks import check_c1, check_c2, check_c3
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.spaces import SearchSpace
+from repro.report import Table
+from repro.strategy.cost import tau_cost
+from repro.strategy.enumerate import all_strategies
+from repro.strategy.tree import parse_strategy
+from repro.theorems import check_theorem3
+from repro.workloads.paper import example5
+
+
+def test_unique_bushy_optimum(record, benchmark):
+    db = example5()
+
+    def optimum():
+        costs = sorted(
+            (tau_cost(s), s.describe(), s.is_linear()) for s in all_strategies(db)
+        )
+        return costs
+
+    spectrum = benchmark.pedantic(optimum, rounds=1, iterations=1)
+    best_cost, best_desc, best_linear = spectrum[0]
+    assert best_cost == 11
+    assert not best_linear
+    assert spectrum[1][0] > best_cost  # unique optimum
+
+    table = Table(
+        ["rank", "strategy", "tau", "linear"],
+        title="E-EX5: Example 5 cost spectrum (unique bushy optimum)",
+    )
+    for rank, (cost, desc, is_linear) in enumerate(spectrum[:6], start=1):
+        table.add_row(rank, desc, cost, is_linear)
+    record("E-EX5_example5", table.render())
+
+
+def test_c3_violation_witness(benchmark):
+    db = example5()
+
+    def witness():
+        ci_id = db.tau_of(["course instructor".split(), "instructor department".split()])
+        return ci_id, db.relation_named("ID").tau
+
+    joined, id_size = benchmark(witness)
+    assert joined == 4 and id_size == 3
+    assert joined > id_size  # tau(CI ⋈ ID) > tau(ID): C3 fails
+
+
+def test_linear_search_misses_the_optimum(benchmark):
+    db = example5()
+
+    def optimize():
+        return (
+            optimize_exhaustive(db).cost,
+            optimize_exhaustive(db, SearchSpace.LINEAR).cost,
+            optimize_exhaustive(db, SearchSpace.LINEAR_NOCP).cost,
+        )
+
+    best, linear, linear_nocp = benchmark(optimize)
+    assert best == 11
+    assert linear == 12
+    assert linear_nocp == 12
+    assert linear > best
+
+
+def test_c1_c2_hold_c3_fails_theorem3_inapplicable(benchmark):
+    db = example5()
+
+    def verdicts():
+        return (
+            bool(check_c1(db)),
+            bool(check_c2(db)),
+            bool(check_c3(db)),
+            check_theorem3(db),
+        )
+
+    c1, c2, c3, report = benchmark.pedantic(verdicts, rounds=1, iterations=1)
+    assert c1 and c2 and not c3
+    assert not report.applicable
+    assert not report.conclusion
+    assert not report.violated
+
+
+def test_target_strategy_is_the_paper_one(benchmark):
+    db = example5()
+    target = benchmark(lambda: parse_strategy(db, "((MS SC) (CI ID))"))
+    assert tau_cost(target) == 11
+    assert not target.uses_cartesian_products()
+    assert not target.is_linear()

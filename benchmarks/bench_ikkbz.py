@@ -1,0 +1,102 @@
+"""E-IK: the Ibaraki–Kameda baseline (paper reference [11]).
+
+The paper positions itself against algorithmic work like IK's optimal
+nesting orders: those algorithms find the best plan *of a subspace under
+a cost model*; the paper asks when the subspace itself is safe.  This
+bench runs the IK/KBZ rank algorithm (estimated costs, tree queries) and
+reports (a) that it matches brute force over connected linear orders on
+its own cost model -- IK's theorem -- and (b) how its plan's *true* tau
+compares with the true linear optimum, quantifying the cost-model gap.
+"""
+
+import random
+from itertools import permutations
+
+from repro.optimizer.dp import optimize_dp
+from repro.optimizer.estimate import CardinalityEstimator
+from repro.optimizer.ikkbz import estimated_linear_cost, ikkbz
+from repro.optimizer.spaces import SearchSpace
+from repro.report import Table
+from repro.strategy.cost import tau_cost
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    generate_database,
+    star_scheme,
+)
+
+SAMPLES = 8
+
+
+def _bruteforce_estimated(db) -> float:
+    est = CardinalityEstimator.from_database(db)
+    schemes = db.scheme.sorted_schemes()
+    best = None
+    for order in permutations(schemes):
+        if any(
+            not db.scheme.restrict(order[:k]).is_connected()
+            for k in range(2, len(order) + 1)
+        ):
+            continue
+        cost = estimated_linear_cost(db, list(order), est)
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+def test_ikkbz_is_optimal_on_its_cost_model(record, benchmark):
+    def sweep():
+        exact = 0
+        for seed in range(SAMPLES):
+            rng = random.Random(seed)
+            shape = chain_scheme(5) if seed % 2 == 0 else star_scheme(5)
+            db = generate_database(shape, rng, WorkloadSpec(size=12, domain=4))
+            result = ikkbz(db)
+            if abs(result.cost - _bruteforce_estimated(db)) < 1e-9:
+                exact += 1
+        return exact
+
+    exact = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert exact == SAMPLES  # IK's theorem: ranks find the optimum
+
+    table = Table(
+        ["tree-query samples", "IKKBZ = brute force (estimated cost)"],
+        title="E-IK: rank-based ordering is exact on the ASI cost model",
+    )
+    table.add_row(SAMPLES, exact)
+    record("E-IK_optimality", table.render())
+
+
+def test_cost_model_gap_to_true_tau(record, benchmark):
+    def sweep():
+        rows = []
+        for seed in range(SAMPLES):
+            rng = random.Random(100 + seed)
+            db = generate_database(
+                star_scheme(5), rng, WorkloadSpec(size=15, domain=4, skew=0.8)
+            )
+            if not db.is_nonnull():
+                continue
+            plan = ikkbz(db)
+            true_tau = tau_cost(plan.strategy)
+            linear_best = optimize_dp(db, SearchSpace.LINEAR).cost
+            rows.append((seed, true_tau, linear_best, round(true_tau / linear_best, 3)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(true >= best for _, true, best, _ in rows)
+
+    table = Table(
+        ["seed", "IKKBZ plan true tau", "true linear optimum", "ratio"],
+        title="E-IK: the price of optimizing estimates instead of tau",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record("E-IK_true_gap", table.render())
+
+
+def test_ikkbz_runtime(benchmark):
+    rng = random.Random(5)
+    db = generate_database(chain_scheme(7), rng, WorkloadSpec(size=15, domain=4))
+    result = benchmark(lambda: ikkbz(db))
+    assert result.strategy.is_linear()

@@ -1,0 +1,74 @@
+"""E-LOSSLESS: Osborn strategies and the paper's lossless-strategy question.
+
+Section 5: "if we define a lossless strategy to be one whose every step
+is a lossless join, then under what conditions would a lossless strategy
+be tau-optimal?  Condition C2 may provide a starting point ..."
+
+This bench builds Osborn strategies (every step joins on a superkey of
+one side) on key-chained databases and measures how their tau compares to
+the global optimum -- and verifies the paper's observation that each
+Osborn step satisfies the C2 comparison on states respecting the FDs.
+"""
+
+import random
+
+from repro.optimizer.dp import optimize_dp
+from repro.relational.dependencies import FDSet, fd
+from repro.relational.extension import osborn_strategy, strategy_is_lossless
+from repro.report import Table
+from repro.strategy.cost import tau_cost
+from repro.workloads.generators import generate_foreign_key_chain
+
+SAMPLES = 10
+
+#: FDs of the foreign-key chain A-B-C-D-E: each link attribute keys the
+#: deeper relation.
+CHAIN_FDS = FDSet([fd("B", "C"), fd("C", "D"), fd("D", "E")])
+
+
+def test_osborn_strategies_exist_and_are_lossless(record, benchmark):
+    def sweep():
+        rows = []
+        for seed in range(SAMPLES):
+            db = generate_foreign_key_chain(4, random.Random(seed), size=8)
+            strategy = osborn_strategy(db, CHAIN_FDS)
+            assert strategy is not None
+            assert strategy_is_lossless(strategy, CHAIN_FDS)
+            optimum = optimize_dp(db).cost
+            rows.append((seed, tau_cost(strategy), optimum))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Shape: the lossless strategy is never better than the optimum, and
+    # tracks it closely on keyed data (C2 territory).
+    assert all(lossless >= optimum for _, lossless, optimum in rows)
+
+    table = Table(
+        ["seed", "Osborn strategy tau", "global optimum tau"],
+        title="E-LOSSLESS: Osborn (superkey-step) strategies vs the optimum",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record("E-LOSSLESS_osborn", table.render())
+
+
+def test_osborn_steps_satisfy_c2_comparison(benchmark):
+    """Section 5's observation: in each Osborn step,
+    tau(join) <= tau of one operand."""
+
+    def sweep():
+        for seed in range(SAMPLES):
+            db = generate_foreign_key_chain(4, random.Random(seed), size=8)
+            strategy = osborn_strategy(db, CHAIN_FDS)
+            for step in strategy.steps():
+                out = step.tau
+                assert out <= step.left.tau or out <= step.right.tau
+        return True
+
+    assert benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+
+def test_no_keys_no_osborn_strategy(benchmark):
+    db = generate_foreign_key_chain(4, random.Random(0), size=8)
+    result = benchmark(lambda: osborn_strategy(db, FDSet()))
+    assert result is None

@@ -1,0 +1,108 @@
+"""E-OPT: optimizer engineering -- DP vs enumeration vs greedy.
+
+Not a claim of the paper per se, but the tractability motivation behind
+it: the restricted subspaces exist because the full space explodes.  The
+bench measures (a) that DP always matches exhaustive enumeration in every
+subspace, (b) the state-vs-strategy count gap, and (c) the quality loss
+of the polynomial greedy baselines.
+"""
+
+import random
+
+from repro.optimizer.dp import optimize_dp
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.greedy import greedy_bushy, greedy_linear
+from repro.optimizer.spaces import SearchSpace
+from repro.report import Table
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    generate_database,
+    star_scheme,
+)
+
+
+def _db(n: int, seed: int = 0, shape=chain_scheme):
+    rng = random.Random(seed)
+    return generate_database(shape(n), rng, WorkloadSpec(size=10, domain=4))
+
+
+def test_dp_equals_exhaustive_in_every_space(record, benchmark):
+    db = _db(5)
+
+    def sweep():
+        rows = []
+        for space in SearchSpace:
+            dp = optimize_dp(db, space)
+            brute = optimize_exhaustive(db, space)
+            assert dp.cost == brute.cost
+            rows.append((space.describe(), dp.cost, dp.considered, brute.considered))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["search space", "optimum tau", "DP states", "strategies enumerated"],
+        title="E-OPT: DP vs exhaustive on a 5-relation chain",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record("E-OPT_dp_vs_exhaustive", table.render())
+
+
+def test_dp_scaling(record, benchmark):
+    def sweep():
+        rows = []
+        for n in (4, 5, 6, 7, 8):
+            db = _db(n, seed=n)
+            result = optimize_dp(db)
+            rows.append((n, result.considered, result.cost))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # DP states are exactly 2^n - 1 for the unrestricted space.
+    for n, states, _ in rows:
+        assert states == 2**n - 1
+
+    table = Table(
+        ["relations", "DP states (2^n - 1)", "optimum tau"],
+        title="E-OPT: DP state count scaling (chain)",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record("E-OPT_dp_scaling", table.render())
+
+
+def test_greedy_quality(record, benchmark):
+    def sweep():
+        rows = []
+        for seed in range(6):
+            db = _db(5, seed=200 + seed, shape=star_scheme)
+            best = optimize_dp(db).cost
+            bushy = greedy_bushy(db).cost
+            linear = greedy_linear(db).cost
+            assert bushy >= best and linear >= best
+            rows.append(
+                (seed, best, bushy, linear, round(bushy / best, 3), round(linear / best, 3))
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["seed", "optimum", "greedy bushy", "greedy linear", "bushy ratio", "linear ratio"],
+        title="E-OPT: greedy baselines vs the optimum (5-relation stars)",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record("E-OPT_greedy", table.render())
+
+
+def test_dp_core_timing(benchmark):
+    db = _db(7, seed=7)
+    result = benchmark(lambda: optimize_dp(db))
+    assert result.considered == 2**7 - 1
+
+
+def test_greedy_core_timing(benchmark):
+    db = _db(7, seed=7)
+    result = benchmark(lambda: greedy_bushy(db))
+    assert result.strategy.scheme_set == db.scheme

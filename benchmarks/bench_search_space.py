@@ -1,0 +1,66 @@
+"""E-INTRO: the strategy-space census (paper, Section 1).
+
+The paper opens by counting the orderings of R1 ⋈ R2 ⋈ R3 ⋈ R4: 3 of the
+balanced form, 12 linear -- 15 in all.  This benchmark regenerates that
+census for n = 2..7 by actual enumeration, checks it against the closed
+forms ((2n-3)!! and n!/2), and times the enumeration itself (the cost an
+exhaustive optimizer pays).
+"""
+
+import random
+
+from repro.report import Table
+from repro.strategy.enumerate import (
+    all_strategies,
+    count_all_strategies,
+    count_linear_strategies,
+    linear_strategies,
+)
+from repro.workloads.generators import WorkloadSpec, chain_scheme, generate_database
+
+
+def _db(n: int):
+    rng = random.Random(42)
+    return generate_database(chain_scheme(n), rng, WorkloadSpec(size=4, domain=3))
+
+
+def test_paper_counts_for_four_relations(record, benchmark):
+    db = _db(4)
+
+    def census():
+        return (
+            sum(1 for _ in all_strategies(db)),
+            sum(1 for _ in linear_strategies(db)),
+        )
+
+    total, linear = benchmark(census)
+    assert total == 15
+    assert linear == 12
+    assert total - linear == 3  # the balanced (R1R2)(R3R4) forms
+
+    table = Table(
+        ["n", "all strategies", "linear", "bushy-only"],
+        title="E-INTRO: strategy-space census (paper Section 1: 15 = 12 + 3 at n=4)",
+    )
+    for n in range(2, 8):
+        all_n = count_all_strategies(n)
+        lin_n = count_linear_strategies(n)
+        table.add_row(n, all_n, lin_n, all_n - lin_n)
+    record("E-INTRO_search_space", table.render())
+
+
+def test_enumeration_matches_closed_forms(benchmark):
+    def check():
+        for n in range(2, 7):
+            db = _db(n)
+            assert sum(1 for _ in all_strategies(db)) == count_all_strategies(n)
+            assert sum(1 for _ in linear_strategies(db)) == count_linear_strategies(n)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_enumeration_cost_grows_doubly_factorially(benchmark):
+    db = _db(6)
+    total = benchmark(lambda: sum(1 for _ in all_strategies(db)))
+    assert total == 945

@@ -1,0 +1,75 @@
+"""E-SET: Section 5's set-theoretic corollaries.
+
+Intersections satisfy C3, so by Theorem 3 a *linear* evaluation order
+attains the tau-optimum -- "to minimize the number of elements generated
+in computing the intersection of sets X1..Xn, it suffices to consider an
+evaluation of the form ((X_θ(1) ∩ X_θ(2)) ∩ ...) ∩ X_θ(n)".  Unions
+satisfy C4.  The bench verifies both on random families and measures the
+linear-search cost.
+"""
+
+import random
+
+from repro.report import Table
+from repro.settheory.sets import (
+    SetFamily,
+    best_linear_intersection,
+    intersection_satisfies_c3,
+    optimal_intersection_cost,
+    union_satisfies_c4,
+)
+
+SAMPLES = 10
+
+
+def _family(seed: int, members: int = 4, op: str = "intersection") -> SetFamily:
+    rng = random.Random(seed)
+    sets = [rng.sample(range(30), rng.randint(8, 25)) for _ in range(members)]
+    return SetFamily(sets, op=op)
+
+
+def test_linear_intersection_attains_global_optimum(record, benchmark):
+    def sweep():
+        rows = []
+        for seed in range(SAMPLES):
+            family = _family(seed)
+            _, linear_cost = best_linear_intersection(family)
+            optimum = optimal_intersection_cost(family)
+            rows.append((seed, linear_cost, optimum))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(linear == optimum for _, linear, optimum in rows)
+
+    table = Table(
+        ["seed", "best linear tau", "global optimum tau"],
+        title="E-SET: optimal intersection is linear (Theorem 3 via C3)",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record("E-SET_intersection", table.render())
+
+
+def test_intersection_families_satisfy_c3(benchmark):
+    def sweep():
+        return all(
+            intersection_satisfies_c3(_family(seed)) for seed in range(SAMPLES)
+        )
+
+    assert benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+
+def test_union_families_satisfy_c4(benchmark):
+    def sweep():
+        return all(
+            union_satisfies_c4(_family(seed, op="union")) for seed in range(SAMPLES)
+        )
+
+    assert benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+
+def test_linear_search_cost(benchmark):
+    family = _family(99, members=5)
+    strategy, cost = benchmark(lambda: best_linear_intersection(family))
+    assert strategy.is_linear()
+    assert cost == optimal_intersection_cost(family)

@@ -1,0 +1,94 @@
+"""E-UNION: Section 5's open question about union strategies -- answered.
+
+"If we define ⋈ to be ∪, then C4 is satisfied.  What can one say about
+tau-optimal strategies for taking the union of relations?"
+
+This bench contributes an empirical answer: unlike the intersection case
+(where C3 + Theorem 3 make some linear order optimal), **linear union
+strategies are not always optimal** -- on random 4-set families a bushy
+tree strictly beats every linear order in a nontrivial fraction of
+instances.  So C4 alone cannot support a Theorem 3 analogue for unions,
+which is consistent with the paper proving Theorem 3 from C3, not C4.
+"""
+
+import random
+
+from repro.report import Table
+from repro.settheory.sets import (
+    SetFamily,
+    best_linear_union,
+    optimal_union_cost,
+    union_satisfies_c4,
+)
+
+SAMPLES = 60
+
+
+def _family(seed: int) -> SetFamily:
+    rng = random.Random(seed)
+    sets = [rng.sample(range(20), rng.randint(2, 12)) for _ in range(4)]
+    return SetFamily(sets, op="union")
+
+
+def test_linear_union_is_not_always_optimal(record, benchmark):
+    def sweep():
+        misses = 0
+        worst_gap = 0
+        for seed in range(SAMPLES):
+            family = _family(seed)
+            assert union_satisfies_c4(family)
+            _, linear_cost = best_linear_union(family)
+            optimum = optimal_union_cost(family)
+            assert linear_cost >= optimum
+            if linear_cost > optimum:
+                misses += 1
+                worst_gap = max(worst_gap, linear_cost - optimum)
+        return misses, worst_gap
+
+    misses, worst_gap = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # The empirical finding: counterexamples exist (the recorded table
+    # documents the rate); C4 does not yield a linear-optimality theorem.
+    assert misses > 0
+    assert worst_gap > 0
+
+    table = Table(
+        ["union families", "linear misses optimum", "worst gap (elements)"],
+        title="E-UNION: bushy union trees can strictly beat every linear order",
+    )
+    table.add_row(SAMPLES, misses, worst_gap)
+    record("E-UNION_linear_not_optimal", table.render())
+
+
+def test_concrete_counterexample(record, benchmark):
+    """Pin one counterexample explicitly so the finding is inspectable."""
+
+    def find():
+        for seed in range(SAMPLES):
+            family = _family(seed)
+            _, linear_cost = best_linear_union(family)
+            optimum = optimal_union_cost(family)
+            if linear_cost > optimum:
+                return seed, family, linear_cost, optimum
+        return None
+
+    found = benchmark.pedantic(find, rounds=1, iterations=1)
+    assert found is not None
+    seed, family, linear_cost, optimum = found
+
+    table = Table(
+        ["seed", "member sizes", "best linear tau", "optimum tau"],
+        title="E-UNION: a concrete linear-suboptimal union family",
+    )
+    table.add_row(
+        seed,
+        ", ".join(str(len(s)) for s in family.members),
+        linear_cost,
+        optimum,
+    )
+    record("E-UNION_counterexample", table.render())
+
+
+def test_union_search_cost(benchmark):
+    family = _family(99)
+    cost = benchmark(lambda: optimal_union_cost(family))
+    assert cost > 0

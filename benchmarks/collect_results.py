@@ -1,0 +1,50 @@
+"""Assemble benchmarks/results/*.txt into a single RESULTS.md.
+
+Run after ``pytest benchmarks/ --benchmark-only``::
+
+    python benchmarks/collect_results.py
+
+The output (``benchmarks/RESULTS.md``) is the machine-regenerated
+companion to EXPERIMENTS.md: every experiment's current table, grouped
+by experiment id, ready to diff against a previous run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OUTPUT = pathlib.Path(__file__).parent / "RESULTS.md"
+
+
+def collect() -> str:
+    """The assembled markdown document."""
+    if not RESULTS_DIR.is_dir():
+        raise SystemExit(
+            "no benchmarks/results directory; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    sections = []
+    for path in sorted(RESULTS_DIR.glob("*.txt")):
+        body = path.read_text().rstrip()
+        sections.append(f"## {path.stem}\n\n```\n{body}\n```\n")
+    if not sections:
+        raise SystemExit("benchmarks/results is empty; run the benchmarks first")
+    header = (
+        "# Regenerated experiment tables\n\n"
+        "Produced by `python benchmarks/collect_results.py` from the\n"
+        "tables the benchmark suite records.  See EXPERIMENTS.md for the\n"
+        "paper-vs-measured discussion of each experiment.\n\n"
+    )
+    return header + "\n".join(sections)
+
+
+def main() -> int:
+    OUTPUT.write_text(collect())
+    print(f"wrote {OUTPUT} ({len(list(RESULTS_DIR.glob('*.txt')))} experiments)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

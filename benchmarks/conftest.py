@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates the rows of its experiment (see DESIGN.md's
+per-experiment index) and records them under ``benchmarks/results/`` so
+EXPERIMENTS.md can be refreshed from a run.  The pytest-benchmark fixture
+times the computational core; the assertions pin the *shape* of each
+result (who wins, by roughly what factor) rather than absolute numbers.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write a named result table to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,103 @@
+"""Why the paper distrusts cardinality estimates -- a demonstration.
+
+The paper's introduction rejects the uniformity/independence assumptions
+underlying classical optimizers.  This example makes the pitfall
+concrete:
+
+1. build a chain whose columns are correlated within each relation;
+2. show the classical estimator's per-subset predictions against the
+   true sizes (they diverge exactly where correlation bites);
+3. run the DP once on true sizes and once on estimates, and compare the
+   chosen plans' true costs;
+4. contrast with a joins-on-superkeys database, where the paper's
+   condition C3 guarantees the restricted search is safe with *no*
+   statistics at all.
+
+Run:  python examples/estimation_pitfalls.py
+"""
+
+import random
+
+from repro.conditions.checks import check_c3
+from repro.optimizer.estimate import CardinalityEstimator, optimize_with_estimates
+from repro.optimizer.spaces import SearchSpace
+from repro.optimizer.dp import optimize_dp
+from repro.report import Table, render_kv
+from repro.workloads.generators import (
+    chain_scheme,
+    generate_correlated_chain,
+    generate_superkey_join_database,
+)
+
+
+def find_misestimated_database():
+    """A correlated chain where the estimator picks a suboptimal plan."""
+    for seed in range(60):
+        rng = random.Random(seed)
+        db = generate_correlated_chain(5, rng, size=25, domain=5, correlation=0.9)
+        if not db.is_nonnull():
+            continue
+        run = optimize_with_estimates(db)
+        if run.regret > 1.0:
+            return db, run, seed
+    # Fall back to any database (regret 1.0) -- the tables still teach.
+    rng = random.Random(0)
+    db = generate_correlated_chain(5, rng, size=25, domain=5, correlation=0.9)
+    return db, optimize_with_estimates(db), 0
+
+
+def estimate_vs_truth_table(db) -> None:
+    estimator = CardinalityEstimator.from_database(db)
+    schemes = db.scheme.sorted_schemes()
+    table = Table(
+        ["prefix", "estimated size", "true size", "ratio"],
+        title="Classical estimates vs true sizes (correlated chain)",
+    )
+    for k in range(2, len(schemes) + 1):
+        prefix = schemes[:k]
+        estimated = estimator.estimate(prefix)
+        true_size = db.tau_of(prefix)
+        ratio = estimated / true_size if true_size else float("inf")
+        table.add_row(
+            " ⋈ ".join(db.name_of(s) for s in prefix),
+            round(estimated, 1),
+            true_size,
+            round(ratio, 2),
+        )
+    table.print()
+
+
+def main() -> None:
+    db, run, seed = find_misestimated_database()
+    print(f"correlated 5-relation chain (seed {seed}, correlation 0.9)\n")
+    estimate_vs_truth_table(db)
+
+    print(render_kv([
+        ("plan chosen on estimates", run.chosen.describe()),
+        ("its believed (estimated) cost", round(run.estimated_cost, 1)),
+        ("its true tau", run.true_cost),
+        ("true optimum tau", run.optimal_cost),
+        ("regret", round(run.regret, 3)),
+    ]))
+    print()
+
+    # The paper's counterpoint: conditions need no statistics.
+    keyed = generate_superkey_join_database(chain_scheme(5), random.Random(1), size=12)
+    safe = check_c3(keyed).holds
+    restricted = optimize_dp(keyed, SearchSpace.LINEAR_NOCP).cost
+    best = optimize_dp(keyed, SearchSpace.ALL).cost
+    print(render_kv([
+        ("joins-on-superkeys database: C3 holds", safe),
+        ("linear no-CP optimum", restricted),
+        ("global optimum", best),
+        ("restriction lost anything?", restricted != best),
+    ]))
+    print(
+        "\nC3 is a statement about the actual counts -- it guarantees the\n"
+        "restricted search is lossless without estimating anything, which\n"
+        "is precisely the paper's break with the assumption-based line."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Optimizer shoot-out on synthetic workloads.
+
+Compares the exact optimizers (exhaustive enumeration, dynamic
+programming) and the greedy baselines across schema shapes and skews:
+solution quality (tau) and search effort (strategies enumerated vs DP
+states solved vs greedy joins considered).
+
+Run:  python examples/optimizer_comparison.py
+"""
+
+import random
+import time
+
+from repro import SearchSpace, optimize_dp, optimize_exhaustive
+from repro.optimizer.greedy import greedy_bushy, greedy_linear
+from repro.report import Table
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    clique_scheme,
+    cycle_scheme,
+    generate_database,
+    star_scheme,
+)
+
+SHAPES = {
+    "chain": chain_scheme,
+    "star": star_scheme,
+    "cycle": cycle_scheme,
+    "clique": clique_scheme,
+}
+
+
+def quality_table(n: int, skew: float, seed: int) -> None:
+    title = f"Solution quality, n={n} relations, zipf skew={skew}"
+    table = Table(
+        ["shape", "optimum", "greedy bushy", "greedy linear", "best linear"],
+        title=title,
+    )
+    for shape_name, make in SHAPES.items():
+        rng = random.Random(seed)
+        db = generate_database(make(n), rng, WorkloadSpec(size=25, domain=6, skew=skew))
+        optimum = optimize_dp(db, SearchSpace.ALL).cost
+        table.add_row(
+            shape_name,
+            optimum,
+            greedy_bushy(db).cost,
+            greedy_linear(db).cost,
+            optimize_dp(db, SearchSpace.LINEAR).cost,
+        )
+    table.print()
+
+
+def effort_table(seed: int) -> None:
+    table = Table(
+        ["n", "strategies enumerated", "DP states", "enum time (ms)", "DP time (ms)"],
+        title="Search effort: exhaustive enumeration vs dynamic programming (chain)",
+    )
+    for n in (4, 5, 6, 7):
+        rng = random.Random(seed)
+        db = generate_database(chain_scheme(n), rng, WorkloadSpec(size=10, domain=4))
+        start = time.perf_counter()
+        brute = optimize_exhaustive(db)
+        enum_ms = 1000 * (time.perf_counter() - start)
+        start = time.perf_counter()
+        dp = optimize_dp(db)
+        dp_ms = 1000 * (time.perf_counter() - start)
+        assert brute.cost == dp.cost
+        table.add_row(n, brute.considered, dp.considered, round(enum_ms, 1), round(dp_ms, 1))
+    table.print()
+
+
+def main() -> None:
+    quality_table(n=5, skew=0.0, seed=101)
+    quality_table(n=5, skew=1.2, seed=101)
+    effort_table(seed=7)
+    print(
+        "DP always matches the exhaustive optimum (asserted above) while\n"
+        "solving exponentially fewer states than there are strategies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""The paper as an optimizer safety advisor.
+
+A query optimizer that restricts its search space should know whether the
+restriction can cost it the optimum.  ``JoinQuery.subspace_is_safe``
+encodes the paper's answers: NOCP is safe under C1 ∧ C2 (Theorem 2),
+LINEAR and LINEAR_NOCP are safe under C3 (Theorem 3).  This example runs
+the advisor on four databases -- one per regime -- and checks its advice
+against the actual optima.
+
+Run:  python examples/safety_advisor.py
+"""
+
+import random
+
+from repro.optimizer.spaces import SearchSpace
+from repro.query import JoinQuery
+from repro.report import Table
+from repro.workloads.generators import (
+    chain_scheme,
+    generate_foreign_key_chain,
+    generate_superkey_join_database,
+)
+from repro.workloads.paper import example4, example5
+
+
+def advise(label: str, db, table: Table) -> None:
+    query = JoinQuery(db)
+    best = query.optimize().cost
+    for space in (SearchSpace.NOCP, SearchSpace.LINEAR_NOCP):
+        try:
+            restricted = query.optimize(space).cost
+        except Exception:  # pragma: no cover - unconnected schemes
+            restricted = None
+        safe = query.subspace_is_safe(space)
+        actually_ok = restricted == best if restricted is not None else False
+        table.add_row(
+            label,
+            space.describe(),
+            safe,
+            restricted if restricted is not None else "-",
+            best,
+            actually_ok,
+        )
+
+
+def main() -> None:
+    table = Table(
+        ["database", "subspace", "guaranteed safe", "subspace best", "optimum", "attained"],
+        title="The paper's safety guarantees vs reality",
+    )
+
+    advise(
+        "superkey chain (C3 holds)",
+        generate_superkey_join_database(chain_scheme(4), random.Random(0), size=8),
+        table,
+    )
+    advise(
+        "FK chain (C1∧C2 hold)",
+        generate_foreign_key_chain(4, random.Random(1), size=8),
+        table,
+    )
+    advise("Example 4 (C1 fails)", example4(), table)
+    advise("Example 5 (C3 fails)", example5(), table)
+
+    table.print()
+    print(
+        "Reading the table: whenever 'guaranteed safe' is yes, 'attained'\n"
+        "must be yes (Theorems 2/3).  A no in 'guaranteed safe' is only a\n"
+        "missing guarantee -- Example 5's NOCP row shows a subspace that\n"
+        "happens to contain the optimum, and Example 4's shows one that\n"
+        "provably does not."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""The paper's university scenario, small and at scale.
+
+Part 1 replays Examples 3-5 exactly as published: the tables, the
+strategy costs, and what each example proves about the theorems'
+hypotheses.
+
+Part 2 scales the same schema up with synthetic data and shows how the
+restricted search spaces (linear / no Cartesian products) fare against
+the global optimum as the data grows.
+
+Run:  python examples/university_registrar.py
+"""
+
+from repro import SearchSpace, optimize_dp, parse_strategy, tau_cost
+from repro.conditions.checks import check_c1, check_c1_strict, check_c2, check_c3
+from repro.report import Table, render_kv
+from repro.strategy.cost import step_costs
+from repro.workloads.paper import example3, example4, example5
+from repro.workloads.scenarios import university_database
+
+
+def replay_example(title: str, db, strategies, conditions) -> None:
+    print(title)
+    print("-" * len(title))
+    table = Table(["strategy", "steps (tau)", "total", "linear", "uses CP"])
+    for text in strategies:
+        s = parse_strategy(db, text)
+        steps = " + ".join(str(c) for _, c in step_costs(s))
+        table.add_row(
+            s.describe(),
+            steps,
+            tau_cost(s),
+            s.is_linear(),
+            s.uses_cartesian_products(),
+        )
+    table.print()
+    print(render_kv(conditions))
+    print()
+
+
+def part1() -> None:
+    db3 = example3()
+    replay_example(
+        "Example 3: do athletes avoid courses requiring laboratory work?",
+        db3,
+        ["((GS SC) CL)", "(GS (SC CL))", "((GS CL) SC)"],
+        [
+            ("C1 holds", bool(check_c1(db3))),
+            ("C1' holds", bool(check_c1_strict(db3))),
+            ("lesson", "ties let a CP sneak into a linear optimum: Theorem 1 needs C1'"),
+        ],
+    )
+
+    db4 = example4()
+    replay_example(
+        "Example 4: same schema, different state",
+        db4,
+        ["((GS SC) CL)", "(GS (SC CL))", "((GS CL) SC)"],
+        [
+            ("C1 holds", bool(check_c1(db4))),
+            ("C2 holds", bool(check_c2(db4))),
+            ("lesson", "without C1 the optimum uses a CP: Theorem 2 needs C1"),
+        ],
+    )
+
+    db5 = example5()
+    replay_example(
+        "Example 5: how is each department serving the needs of majors?",
+        db5,
+        [
+            "(((MS SC) CI) ID)",
+            "(((CI ID) SC) MS)",
+            "((MS SC) (CI ID))",
+        ],
+        [
+            ("C1 holds", bool(check_c1(db5))),
+            ("C2 holds", bool(check_c2(db5))),
+            ("C3 holds", bool(check_c3(db5))),
+            ("lesson", "without C3 the unique optimum is bushy: Theorem 3 needs C3"),
+        ],
+    )
+
+
+def part2() -> None:
+    print("Scaled-up scenario (MS ⋈ SC ⋈ CI ⋈ ID)")
+    print("=" * 42)
+    table = Table(
+        ["enrollments", "optimum", "linear", "no-CP", "linear penalty %"]
+    )
+    for enrollments in (40, 80, 160, 240):
+        db = university_database(enrollments=enrollments, seed=7)
+        best = optimize_dp(db, SearchSpace.ALL).cost
+        linear = optimize_dp(db, SearchSpace.LINEAR).cost
+        nocp = optimize_dp(db, SearchSpace.NOCP).cost
+        penalty = 100.0 * (linear - best) / best if best else 0.0
+        table.add_row(enrollments, best, linear, nocp, round(penalty, 1))
+    table.print()
+    print(
+        "On chain schemas the linear space usually contains the optimum;\n"
+        "Example 5 shows the states where it provably does not."
+    )
+
+
+def main() -> None:
+    part1()
+    part2()
+
+
+if __name__ == "__main__":
+    main()

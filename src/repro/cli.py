@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands, each a small window onto the reproduction:
+
+* ``examples`` -- replay the paper's Examples 1-5 with verdicts;
+* ``census [--max-n N]`` -- the strategy-space counts of Section 1;
+* ``optimize --shape chain --relations 5 [--seed S] [--space all]`` --
+  generate a synthetic database, plan it in a subspace, explain the plan,
+  and print the paper's safety analysis;
+* ``conditions --example N`` -- the C1/C1'/C2/C3 verdicts for a paper
+  example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.conditions.checks import check_condition
+from repro.optimizer.spaces import SearchSpace
+from repro.query import JoinQuery
+from repro.report import Table, render_kv
+from repro.strategy.enumerate import count_all_strategies, count_linear_strategies
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    clique_scheme,
+    cycle_scheme,
+    generate_database,
+    star_scheme,
+)
+from repro.workloads.paper import (
+    example1,
+    example2_c2_only,
+    example3,
+    example4,
+    example5,
+)
+
+__all__ = ["main", "build_parser"]
+
+_EXAMPLES = {
+    "1": example1,
+    "2": example2_c2_only,
+    "3": example3,
+    "4": example4,
+    "5": example5,
+}
+
+_SHAPES = {
+    "chain": chain_scheme,
+    "star": star_scheme,
+    "cycle": cycle_scheme,
+    "clique": clique_scheme,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Tay's 'On the Optimality of "
+        "Strategies for Multiple Joins'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("examples", help="replay the paper's Examples 1-5")
+
+    census = sub.add_parser("census", help="strategy-space counts (Section 1)")
+    census.add_argument("--max-n", type=int, default=8)
+
+    optimize = sub.add_parser("optimize", help="plan a synthetic database")
+    optimize.add_argument("--shape", choices=sorted(_SHAPES), default="chain")
+    optimize.add_argument("--relations", type=int, default=5)
+    optimize.add_argument("--seed", type=int, default=0)
+    optimize.add_argument("--size", type=int, default=20)
+    optimize.add_argument("--domain", type=int, default=6)
+    optimize.add_argument("--skew", type=float, default=0.0)
+    optimize.add_argument(
+        "--space",
+        choices=[s.value for s in SearchSpace],
+        default=SearchSpace.ALL.value,
+    )
+
+    conditions = sub.add_parser(
+        "conditions", help="condition verdicts for a paper example"
+    )
+    conditions.add_argument("--example", choices=sorted(_EXAMPLES), required=True)
+
+    sample = sub.add_parser(
+        "sample", help="cost distribution of uniformly sampled strategies"
+    )
+    sample.add_argument("--shape", choices=sorted(_SHAPES), default="chain")
+    sample.add_argument("--relations", type=int, default=6)
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("--samples", type=int, default=200)
+    sample.add_argument("--linear", action="store_true")
+
+    return parser
+
+
+def _cmd_examples() -> int:
+    table = Table(
+        ["example", "what it shows", "verdict"],
+        title="The paper's examples, replayed",
+    )
+    rows = [
+        ("1", "C1 holds, yet the optimum uses a Cartesian product", example1),
+        ("2", "C2 holds but C1 fails (independence of C1 and C2)", example2_c2_only),
+        ("3", "a linear optimum uses a CP: Theorem 1 needs C1'", example3),
+        ("4", "the optimum uses a CP: Theorem 2 needs C1", example4),
+        ("5", "the unique optimum is bushy: Theorem 3 needs C3", example5),
+    ]
+    for number, lesson, make in rows:
+        db = make()
+        query = JoinQuery(db)
+        best = query.optimize()
+        verdict = (
+            f"optimum tau={best.cost}, linear={best.is_linear}, "
+            f"CP={best.uses_cartesian_products}"
+        )
+        table.add_row(number, lesson, verdict)
+    table.print()
+    return 0
+
+
+def _cmd_census(max_n: int) -> int:
+    table = Table(
+        ["n", "all strategies (2n-3)!!", "linear n!/2"],
+        title="Strategy-space census",
+    )
+    for n in range(2, max_n + 1):
+        table.add_row(n, count_all_strategies(n), count_linear_strategies(n))
+    table.print()
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    schemes = _SHAPES[args.shape](args.relations)
+    db = generate_database(
+        schemes, rng, WorkloadSpec(size=args.size, domain=args.domain, skew=args.skew)
+    )
+    query = JoinQuery(db)
+    plan = query.optimize(SearchSpace(args.space))
+    print(plan.explain())
+    print()
+    print(render_kv(sorted(query.safety_report().items())))
+    return 0
+
+
+def _cmd_conditions(example: str) -> int:
+    db = _EXAMPLES[example]()
+    pairs = []
+    for name in ("C1", "C1'", "C2", "C3", "C4"):
+        pairs.append((name, bool(check_condition(db, name))))
+    print(render_kv(pairs))
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from repro.optimizer.dp import optimize_dp
+    from repro.strategy.sampling import (
+        cost_distribution,
+        sample_linear_strategy,
+        sample_strategy,
+    )
+
+    rng = random.Random(args.seed)
+    schemes = _SHAPES[args.shape](args.relations)
+    db = generate_database(schemes, rng, WorkloadSpec(size=15, domain=5))
+    sampler = sample_linear_strategy if args.linear else sample_strategy
+    summary = cost_distribution(
+        db, random.Random(args.seed + 1), samples=args.samples, sampler=sampler
+    )
+    summary["true optimum"] = optimize_dp(db).cost
+    print(render_kv(sorted(summary.items())))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "examples":
+        return _cmd_examples()
+    if args.command == "census":
+        return _cmd_census(args.max_n)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    if args.command == "conditions":
+        return _cmd_conditions(args.example)
+    if args.command == "sample":
+        return _cmd_sample(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Decision procedures for the paper's conditions C1, C1', C2, C3, C4.
+
+:mod:`checks` decides each condition on a concrete database by exhaustive
+quantification over the connected disjoint subsets named in the
+condition, returning structured reports with violation witnesses.
+:mod:`semantic` implements Section 4/5's sufficient *semantic* conditions
+(superkey joins, lossless joins via FDs, gamma-acyclicity plus pairwise
+consistency) that imply the numeric conditions.
+"""
+
+from repro.conditions.checks import (
+    ConditionReport,
+    Witness,
+    check_c1,
+    check_c1_strict,
+    check_c2,
+    check_c3,
+    check_c4,
+    check_condition,
+)
+from repro.conditions.semantic import (
+    all_joins_on_superkeys,
+    has_no_lossy_joins,
+    is_gamma_acyclic_pairwise_consistent,
+)
+
+__all__ = [
+    "ConditionReport",
+    "Witness",
+    "check_c1",
+    "check_c1_strict",
+    "check_c2",
+    "check_c3",
+    "check_c4",
+    "check_condition",
+    "all_joins_on_superkeys",
+    "has_no_lossy_joins",
+    "is_gamma_acyclic_pairwise_consistent",
+]

@@ -1,0 +1,222 @@
+"""Exhaustive decision procedures for conditions C1, C1', C2, C3, C4.
+
+Each condition quantifies over disjoint *connected* subsets of the
+database scheme; the checkers enumerate exactly those subsets and compare
+the tuple counts the condition compares.  Because the subsets quantified
+over are disjoint, every count the conditions mention is the size of a
+single subset join::
+
+    tau(R_E |><| R_E1)  ==  tau(R_{E ∪ E1})
+
+so all the arithmetic routes through the database's memoized subset-join
+cache and repeated checks are cheap.
+
+The checkers return a :class:`ConditionReport` carrying the verdict, the
+number of instances checked, and -- when the condition fails -- concrete
+:class:`Witness` objects reproducing the paper's style of counterexample
+("tau(R2' |><| R1') > 6 = tau(R2' |><| R3')", Example 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.database import Database
+from repro.errors import ReproError
+from repro.schemegraph.scheme import DatabaseScheme
+
+__all__ = [
+    "Witness",
+    "ConditionReport",
+    "check_c1",
+    "check_c1_strict",
+    "check_c2",
+    "check_c3",
+    "check_c4",
+    "check_condition",
+]
+
+
+class Witness:
+    """One quantifier instance, with the compared tuple counts.
+
+    For C1/C1' the roles are ``(E, E1, E2)`` with counts
+    ``lhs = tau(R_E ⋈ R_E1)`` and ``rhs = tau(R_E ⋈ R_E2)``.  For
+    C2/C3/C4 the roles are ``(E1, E2, None)`` with
+    ``lhs = tau(R_E1 ⋈ R_E2)`` and ``rhs = (tau(R_E1), tau(R_E2))``.
+    """
+
+    __slots__ = ("subsets", "lhs", "rhs")
+
+    def __init__(self, subsets: Tuple, lhs: int, rhs):
+        self.subsets = subsets
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def __repr__(self) -> str:
+        named = ", ".join(str(s) for s in self.subsets if s is not None)
+        return f"Witness({named}: lhs={self.lhs}, rhs={self.rhs})"
+
+
+class ConditionReport:
+    """The outcome of checking one condition on one database."""
+
+    __slots__ = ("condition", "holds", "instances_checked", "violations")
+
+    def __init__(
+        self,
+        condition: str,
+        holds: bool,
+        instances_checked: int,
+        violations: List[Witness],
+    ):
+        self.condition = condition
+        self.holds = holds
+        self.instances_checked = instances_checked
+        self.violations = violations
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __repr__(self) -> str:
+        verdict = "holds" if self.holds else f"fails ({len(self.violations)} witnesses)"
+        return (
+            f"<{self.condition} {verdict}; "
+            f"{self.instances_checked} instances checked>"
+        )
+
+
+def _connected_subsets(db: Database) -> List[DatabaseScheme]:
+    return list(db.scheme.connected_subsets())
+
+
+def _disjoint(*subsets: DatabaseScheme) -> bool:
+    seen: set = set()
+    for subset in subsets:
+        if seen & subset.schemes:
+            return False
+        seen |= subset.schemes
+    return True
+
+
+def _tau_join(db: Database, *subsets: DatabaseScheme) -> int:
+    combined = subsets[0]
+    for subset in subsets[1:]:
+        combined = combined.union(subset)
+    return db.tau_of(combined)
+
+
+def _check_c1_like(
+    db: Database,
+    condition: str,
+    ok: Callable[[int, int], bool],
+    stop_at_first: bool,
+) -> ConditionReport:
+    """Shared body of C1 and C1': quantify over disjoint connected
+    ``(E, E1, E2)`` with ``E`` linked to ``E1`` but not to ``E2``."""
+    connected = _connected_subsets(db)
+    checked = 0
+    violations: List[Witness] = []
+    for e in connected:
+        for e1 in connected:
+            if not _disjoint(e, e1) or not e.is_linked_to(e1):
+                continue
+            for e2 in connected:
+                if not _disjoint(e, e1, e2) or e.is_linked_to(e2):
+                    continue
+                checked += 1
+                lhs = _tau_join(db, e, e1)
+                rhs = _tau_join(db, e, e2)
+                if not ok(lhs, rhs):
+                    violations.append(Witness((e, e1, e2), lhs, rhs))
+                    if stop_at_first:
+                        return ConditionReport(condition, False, checked, violations)
+    return ConditionReport(condition, not violations, checked, violations)
+
+
+def check_c1(db: Database, all_witnesses: bool = False) -> ConditionReport:
+    """Condition C1: joining with a linked subset never produces more
+    tuples than the Cartesian product with an unlinked one
+    (``tau(R_E ⋈ R_E1) <= tau(R_E ⋈ R_E2)``)."""
+    return _check_c1_like(db, "C1", lambda lhs, rhs: lhs <= rhs, not all_witnesses)
+
+
+def check_c1_strict(db: Database, all_witnesses: bool = False) -> ConditionReport:
+    """Condition C1': the strict version required by Theorem 1
+    (``tau(R_E ⋈ R_E1) < tau(R_E ⋈ R_E2)``)."""
+    return _check_c1_like(db, "C1'", lambda lhs, rhs: lhs < rhs, not all_witnesses)
+
+
+def _check_pairwise(
+    db: Database,
+    condition: str,
+    ok: Callable[[int, int, int], bool],
+    stop_at_first: bool,
+) -> ConditionReport:
+    """Shared body of C2/C3/C4: quantify over disjoint connected linked
+    ``(E1, E2)`` and compare ``tau(R_E1 ⋈ R_E2)`` with the operand sizes.
+
+    The conditions are symmetric in ``E1, E2``, so unordered pairs are
+    checked once.
+    """
+    connected = _connected_subsets(db)
+    checked = 0
+    violations: List[Witness] = []
+    for i, e1 in enumerate(connected):
+        for e2 in connected[i + 1 :]:
+            if not _disjoint(e1, e2) or not e1.is_linked_to(e2):
+                continue
+            checked += 1
+            joined = _tau_join(db, e1, e2)
+            tau1 = db.tau_of(e1)
+            tau2 = db.tau_of(e2)
+            if not ok(joined, tau1, tau2):
+                violations.append(Witness((e1, e2, None), joined, (tau1, tau2)))
+                if stop_at_first:
+                    return ConditionReport(condition, False, checked, violations)
+    return ConditionReport(condition, not violations, checked, violations)
+
+
+def check_c2(db: Database, all_witnesses: bool = False) -> ConditionReport:
+    """Condition C2: a linked join shrinks at least one side
+    (``tau(R_E1 ⋈ R_E2) <= tau(R_E1)`` **or** ``<= tau(R_E2)``)."""
+    return _check_pairwise(
+        db, "C2", lambda j, t1, t2: j <= t1 or j <= t2, not all_witnesses
+    )
+
+
+def check_c3(db: Database, all_witnesses: bool = False) -> ConditionReport:
+    """Condition C3: a linked join shrinks *both* sides
+    (``tau(R_E1 ⋈ R_E2) <= tau(R_E1)`` **and** ``<= tau(R_E2)``)."""
+    return _check_pairwise(
+        db, "C3", lambda j, t1, t2: j <= t1 and j <= t2, not all_witnesses
+    )
+
+
+def check_c4(db: Database, all_witnesses: bool = False) -> ConditionReport:
+    """Condition C4 (Section 5): a linked join *grows* both sides
+    (``tau(R_E1 ⋈ R_E2) >= tau(R_E1)`` **and** ``>= tau(R_E2)``)."""
+    return _check_pairwise(
+        db, "C4", lambda j, t1, t2: j >= t1 and j >= t2, not all_witnesses
+    )
+
+
+_CHECKERS = {
+    "C1": check_c1,
+    "C1'": check_c1_strict,
+    "C2": check_c2,
+    "C3": check_c3,
+    "C4": check_c4,
+}
+
+
+def check_condition(db: Database, name: str, all_witnesses: bool = False) -> ConditionReport:
+    """Check a condition by name (``"C1"``, ``"C1'"``, ``"C2"``, ``"C3"``,
+    ``"C4"``)."""
+    try:
+        checker = _CHECKERS[name.upper().replace("′", "'")]
+    except KeyError:
+        raise ReproError(
+            f"unknown condition {name!r}; expected one of {sorted(_CHECKERS)}"
+        ) from None
+    return checker(db, all_witnesses=all_witnesses)

@@ -1,0 +1,133 @@
+"""The paper's lemmas as executable statements.
+
+The theorems are checked in :mod:`repro.theorems`; this module does the
+same for the supporting lemmas, so the reproduction can verify the whole
+proof chain, not just its endpoints:
+
+* **Lemma 1** -- if C1 holds and ``R_D ≠ ∅``, the C1 comparison extends
+  to *unconnected* ``E`` and ``E2`` (only ``E1`` must stay connected);
+* **Lemma 1'** -- the strict analogue under C1';
+* **Lemma 5** -- C3 (with ``R_D ≠ ∅``) implies C1;
+* the **sub-multiplicative law** the cost section states:
+  ``tau(R1 ⋈ R2) <= tau(R1) tau(R2)``, with equality on Cartesian
+  products.
+
+Each check quantifies exhaustively over the relevant subsets of a
+concrete database and returns a :class:`~repro.conditions.checks.ConditionReport`-style verdict with witnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.conditions.checks import (
+    ConditionReport,
+    Witness,
+    check_c1,
+    check_c1_strict,
+    check_c3,
+)
+from repro.database import Database
+from repro.schemegraph.scheme import DatabaseScheme
+
+__all__ = [
+    "check_lemma1",
+    "check_lemma1_strict",
+    "check_lemma5",
+    "check_submultiplicativity",
+]
+
+
+def _all_subsets(db: Database) -> List[DatabaseScheme]:
+    return list(db.scheme.subsets())
+
+
+def _connected_subsets(db: Database) -> List[DatabaseScheme]:
+    return list(db.scheme.connected_subsets())
+
+
+def _disjoint(*subsets: DatabaseScheme) -> bool:
+    seen: set = set()
+    for subset in subsets:
+        if seen & subset.schemes:
+            return False
+        seen |= subset.schemes
+    return True
+
+
+def _check_lemma1_like(
+    db: Database, name: str, ok: Callable[[int, int], bool], hypothesis: bool
+) -> ConditionReport:
+    """Shared body: quantify over all (E, E1, E2) with E, E2 arbitrary and
+    E1 connected, E linked to E1 but not to E2."""
+    if not hypothesis or not db.is_nonnull():
+        # Lemma not applicable; vacuously true with zero instances.
+        return ConditionReport(name, True, 0, [])
+    everything = _all_subsets(db)
+    connected = _connected_subsets(db)
+    checked = 0
+    violations: List[Witness] = []
+    for e in everything:
+        for e1 in connected:
+            if not _disjoint(e, e1) or not e.is_linked_to(e1):
+                continue
+            for e2 in everything:
+                if not _disjoint(e, e1, e2) or e.is_linked_to(e2):
+                    continue
+                checked += 1
+                lhs = db.tau_of(e.union(e1))
+                rhs = db.tau_of(e.union(e2))
+                if not ok(lhs, rhs):
+                    violations.append(Witness((e, e1, e2), lhs, rhs))
+    return ConditionReport(name, not violations, checked, violations)
+
+
+def check_lemma1(db: Database) -> ConditionReport:
+    """Lemma 1: under C1 and ``R_D ≠ ∅``, for all disjoint ``E, E1, E2``
+    with only ``E1`` required connected, ``E`` linked to ``E1`` and not to
+    ``E2``: ``tau(R_E ⋈ R_E1) <= tau(R_E ⋈ R_E2)``.
+
+    When the hypotheses fail, the report is vacuous (zero instances).
+    """
+    hypothesis = bool(check_c1(db))
+    return _check_lemma1_like(db, "Lemma 1", lambda l, r: l <= r, hypothesis)
+
+
+def check_lemma1_strict(db: Database) -> ConditionReport:
+    """Lemma 1': the strict version under C1'."""
+    hypothesis = bool(check_c1_strict(db))
+    return _check_lemma1_like(db, "Lemma 1'", lambda l, r: l < r, hypothesis)
+
+
+def check_lemma5(db: Database) -> ConditionReport:
+    """Lemma 5: C3 with ``R_D ≠ ∅`` implies C1.
+
+    Returns a report that is violated only if C3 holds, the database is
+    nonnull, and C1 fails -- which the paper proves impossible.
+    """
+    if not db.is_nonnull() or not check_c3(db).holds:
+        return ConditionReport("Lemma 5", True, 0, [])
+    c1 = check_c1(db, all_witnesses=True)
+    return ConditionReport("Lemma 5", c1.holds, c1.instances_checked, c1.violations)
+
+
+def check_submultiplicativity(db: Database) -> ConditionReport:
+    """The cost-section law: for disjoint subsets,
+    ``tau(R_E1 ⋈ R_E2) <= tau(R_E1) tau(R_E2)``, with equality when the
+    subsets are not linked (a Cartesian product)."""
+    everything = _all_subsets(db)
+    checked = 0
+    violations: List[Witness] = []
+    for i, e1 in enumerate(everything):
+        for e2 in everything[i + 1 :]:
+            if not _disjoint(e1, e2):
+                continue
+            checked += 1
+            joined = db.tau_of(e1.union(e2))
+            bound = db.tau_of(e1) * db.tau_of(e2)
+            linked = e1.is_linked_to(e2)
+            if joined > bound or (not linked and joined != bound):
+                violations.append(Witness((e1, e2, None), joined, bound))
+    return ConditionReport(
+        "submultiplicativity", not violations, checked, violations
+    )

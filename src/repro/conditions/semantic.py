@@ -1,0 +1,84 @@
+"""Semantic sufficient conditions (paper, Sections 4 and 5).
+
+Three schema/state-level properties that *imply* the numeric conditions:
+
+* **all joins on superkeys** -- if for every pair of relation schemes
+  ``R1, R2`` with ``R1 ∩ R2 ≠ ∅`` the intersection is a superkey of both,
+  then C3 holds (Section 4).  Superkeys may be established either by a
+  declared FD set or observed on the states.
+* **no nontrivial lossy joins** -- if the only constraints are FDs and
+  every connected subset of schemes is a lossless join, then C2 holds
+  (Section 4, via Rissanen's theorem).
+* **gamma-acyclic and pairwise consistent** -- implies C4 (Section 5).
+
+Each function decides its semantic property; the test suite then asserts
+the implications by checking the numeric conditions on databases
+satisfying the semantic ones.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+from repro.database import Database
+from repro.relational.dependencies import FDSet
+from repro.relational.chase import is_lossless_decomposition
+from repro.relational.keys import is_superkey_of_relation
+from repro.schemegraph.acyclicity import is_gamma_acyclic
+from repro.schemegraph.consistency import is_pairwise_consistent
+from repro.schemegraph.scheme import DatabaseScheme
+
+__all__ = [
+    "all_joins_on_superkeys",
+    "has_no_lossy_joins",
+    "is_gamma_acyclic_pairwise_consistent",
+]
+
+
+def all_joins_on_superkeys(db: Database, fds: Optional[FDSet] = None) -> bool:
+    """Section 4's hypothesis for C3: every pairwise join is on a superkey
+    of *both* sides.
+
+    With ``fds`` given, superkeys are those implied by the FD set (the
+    paper's schema-level reading).  Without FDs, superkeys are observed on
+    the relation states, which is the right reading for synthetic data:
+    the condition then guarantees C3 for the current state.
+    """
+    schemes = db.scheme.sorted_schemes()
+    for r1, r2 in combinations(schemes, 2):
+        shared = r1 & r2
+        if not shared:
+            continue
+        if fds is not None:
+            if not (fds.is_superkey(shared, r1) and fds.is_superkey(shared, r2)):
+                return False
+        else:
+            if not (
+                is_superkey_of_relation(db.state_for(r1), shared)
+                and is_superkey_of_relation(db.state_for(r2), shared)
+            ):
+                return False
+    return True
+
+
+def has_no_lossy_joins(scheme, fds: FDSet) -> bool:
+    """Section 4's hypothesis for C2: the database scheme has no
+    nontrivial lossy joins under ``fds``.
+
+    Checked as: every connected subset of at least two relation schemes is
+    a lossless decomposition of its attribute union (the Aho–Beeri–Ullman
+    chase decides each instance).
+    """
+    db_scheme = scheme if isinstance(scheme, DatabaseScheme) else DatabaseScheme(scheme)
+    for subset in db_scheme.connected_subsets(min_size=2):
+        universe = subset.attributes
+        if not is_lossless_decomposition(universe, subset.sorted_schemes(), fds):
+            return False
+    return True
+
+
+def is_gamma_acyclic_pairwise_consistent(db: Database) -> bool:
+    """Section 5's hypothesis for C4: the scheme is gamma-acyclic and the
+    state is pairwise consistent."""
+    return is_gamma_acyclic(db.scheme) and is_pairwise_consistent(db)

@@ -1,0 +1,228 @@
+"""Databases: a database scheme paired with relation states.
+
+This is the paper's ``𝒟 = (D, D)`` object.  A :class:`Database` holds one
+relation state per relation scheme and provides the derived quantities
+every other subsystem needs:
+
+* ``R_E`` -- the natural join of the states of a subset ``E ⊆ D``
+  (:meth:`Database.join_of`), memoized because the condition checkers and
+  exhaustive optimizers evaluate it for many overlapping subsets;
+* ``tau(R_E)`` (:meth:`Database.tau_of`);
+* sub-databases (:meth:`Database.restrict`).
+
+The paper's relation schemes within one database are distinct sets of
+attributes, and we enforce that; display names are carried by the
+relations for readable strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.attributes import AttributeSet, AttrsLike, attrs, format_attrs
+from repro.relational.relation import Relation
+from repro.schemegraph.scheme import DatabaseScheme
+
+__all__ = ["Database", "database"]
+
+
+class Database:
+    """An immutable database: one relation state per relation scheme."""
+
+    __slots__ = ("_relations", "_scheme", "_join_cache")
+
+    def __init__(self, relations: Iterable[Relation]):
+        relations = tuple(relations)
+        if not relations:
+            raise SchemaError("a database must contain at least one relation")
+        by_scheme: Dict[AttributeSet, Relation] = {}
+        for rel in relations:
+            if not isinstance(rel, Relation):
+                raise SchemaError(f"expected Relation instances, got {rel!r}")
+            if rel.scheme in by_scheme:
+                raise SchemaError(
+                    f"duplicate relation scheme {format_attrs(rel.scheme)}; the "
+                    "paper's database schemes are sets of distinct relation schemes"
+                )
+            by_scheme[rel.scheme] = rel
+        self._relations = by_scheme
+        self._scheme = DatabaseScheme(by_scheme)
+        # Memo: frozenset of relation schemes -> joined relation state.
+        self._join_cache: Dict[FrozenSet[AttributeSet], Relation] = {}
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, mapping: Dict[str, Relation]) -> "Database":
+        """Build from ``{name: relation}``, attaching the names."""
+        return cls(rel.with_name(name) for name, rel in mapping.items())
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def scheme(self) -> DatabaseScheme:
+        """The database scheme ``D``."""
+        return self._scheme
+
+    def relations(self) -> Tuple[Relation, ...]:
+        """The relation states in deterministic (scheme-sorted) order."""
+        return tuple(
+            self._relations[s] for s in self._scheme.sorted_schemes()
+        )
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def state_for(self, scheme: AttrsLike) -> Relation:
+        """The relation state over the given relation scheme."""
+        key = attrs(scheme)
+        try:
+            return self._relations[key]
+        except KeyError:
+            raise SchemaError(
+                f"no relation over {format_attrs(key)} in this database"
+            ) from None
+
+    def relation_named(self, name: str) -> Relation:
+        """The relation with the given display name."""
+        for rel in self._relations.values():
+            if rel.name == name:
+                return rel
+        raise SchemaError(f"no relation named {name!r} in this database")
+
+    def name_of(self, scheme: AttrsLike) -> str:
+        """A display label for a relation scheme: its name if set, else the
+        formatted scheme."""
+        rel = self.state_for(scheme)
+        return rel.name if rel.name else format_attrs(rel.scheme)
+
+    # -- joins -------------------------------------------------------------------
+
+    def join_of(self, subset: Optional[Iterable[AttrsLike]] = None) -> Relation:
+        """``R_E``: the natural join of the states of ``E ⊆ D``.
+
+        ``subset=None`` joins the whole database (``R_D``).  Results are
+        memoized per subset; the memo is filled recursively so overlapping
+        subsets share work.
+        """
+        if subset is None:
+            chosen = frozenset(self._scheme.schemes)
+        elif isinstance(subset, DatabaseScheme):
+            chosen = frozenset(subset.schemes)
+        else:
+            chosen = frozenset(attrs(s) for s in subset)
+        unknown = chosen - self._scheme.schemes
+        if unknown:
+            raise SchemaError(
+                "schemes not in this database: "
+                + ", ".join(format_attrs(s) for s in sorted(unknown, key=tuple))
+            )
+        if not chosen:
+            raise SchemaError("cannot join an empty subset of relations")
+        return self._join_memo(chosen)
+
+    def _join_memo(self, chosen: FrozenSet[AttributeSet]) -> Relation:
+        """Compute (and memoize) the subset join.
+
+        The recursion peels off a scheme whose removal keeps the subset
+        connected (a spanning-tree leaf of the subset's intersection
+        graph), so intermediate results never become Cartesian products
+        of a connected input -- removing an arbitrary scheme can shatter
+        the subset into many components whose cross product explodes.
+        Genuinely unconnected subsets are joined component by component
+        (their result *is* the cross product of the component joins).
+        """
+        cached = self._join_cache.get(chosen)
+        if cached is not None:
+            return cached
+        if len(chosen) == 1:
+            (only,) = chosen
+            result = self._relations[only]
+        else:
+            components = DatabaseScheme(chosen).components()
+            if len(components) > 1:
+                parts = sorted(
+                    (frozenset(c.schemes) for c in components),
+                    key=lambda part: sorted(s.sorted() for s in part),
+                )
+                result = self._join_memo(parts[0])
+                for part in parts[1:]:
+                    result = result.join(self._join_memo(part))
+            else:
+                leaf = self._spanning_tree_leaf(chosen)
+                result = self._join_memo(chosen - {leaf}).join(
+                    self._relations[leaf]
+                )
+        self._join_cache[chosen] = result
+        return result
+
+    @staticmethod
+    def _spanning_tree_leaf(chosen: FrozenSet[AttributeSet]) -> AttributeSet:
+        """A scheme whose removal keeps the (connected) subset connected:
+        the last vertex reached by a DFS spanning tree."""
+        ordered = sorted(chosen, key=lambda s: s.sorted())
+        start = ordered[0]
+        seen = {start}
+        stack = [start]
+        last = start
+        while stack:
+            node = stack.pop()
+            last = node
+            for other in ordered:
+                if other not in seen and node & other:
+                    seen.add(other)
+                    stack.append(other)
+        return last
+
+    def evaluate(self) -> Relation:
+        """``R_D``: the natural join of all relation states."""
+        return self.join_of(None)
+
+    def tau_of(self, subset: Optional[Iterable[AttrsLike]] = None) -> int:
+        """``tau(R_E)``: the tuple count of the subset join."""
+        return len(self.join_of(subset))
+
+    def is_nonnull(self) -> bool:
+        """The paper's standing hypothesis ``R_D ≠ ∅``."""
+        return bool(self.evaluate())
+
+    # -- derived databases ----------------------------------------------------------
+
+    def restrict(self, subset: Iterable[AttrsLike]) -> "Database":
+        """The sub-database ``(D', D')`` for ``D' ⊆ D``.
+
+        The restriction shares no cache with the parent (sub-databases are
+        cheap and typically short-lived).
+        """
+        if isinstance(subset, DatabaseScheme):
+            chosen = subset.schemes
+        else:
+            chosen = frozenset(attrs(s) for s in subset)
+        return Database(self._relations[s] for s in chosen)
+
+    def with_state(self, replacement: Relation) -> "Database":
+        """A database with the state over ``replacement.scheme`` replaced."""
+        if replacement.scheme not in self._relations:
+            raise SchemaError(
+                f"no relation over {format_attrs(replacement.scheme)} to replace"
+            )
+        updated = dict(self._relations)
+        updated[replacement.scheme] = replacement
+        return Database(updated.values())
+
+    # -- presentation ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{self.name_of(rel.scheme)}({len(rel)})" for rel in self.relations()
+        )
+        return f"<Database {parts}>"
+
+
+def database(*relations: Relation) -> Database:
+    """Convenience constructor: ``database(r1, r2, r3)``."""
+    return Database(relations)

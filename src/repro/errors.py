@@ -1,0 +1,79 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs::
+
+    try:
+        db.evaluate(strategy)
+    except ReproError as exc:
+        ...
+
+The subclasses partition failures by subsystem: schema-level misuse
+(:class:`SchemaError`), malformed relation states (:class:`RelationError`),
+invalid strategy trees (:class:`StrategyError`), and optimizer misuse
+(:class:`OptimizerError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "RelationError",
+    "StrategyError",
+    "OptimizerError",
+    "DependencyError",
+    "AcyclicityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A relation or database scheme is malformed or used inconsistently.
+
+    Raised, for example, when a relation scheme is empty, when two
+    relations with the same scheme are added to one database, or when an
+    operation receives attributes outside the scheme it operates on.
+    """
+
+
+class RelationError(ReproError):
+    """A relation state is malformed.
+
+    Raised when a tuple does not range exactly over its relation's scheme,
+    or when relation-level operations receive incompatible operands.
+    """
+
+
+class StrategyError(ReproError):
+    """A strategy tree violates the paper's (S1)-(S4) well-formedness rules.
+
+    Raised when a strategy is built over schemes that are not disjoint,
+    when a parse string references unknown relations, or when a transform
+    (pluck/graft) is applied at an invalid position.
+    """
+
+
+class DependencyError(ReproError):
+    """A functional-dependency set or chase input is malformed."""
+
+
+class AcyclicityError(ReproError):
+    """An acyclicity-specific operation was applied to an unsuitable scheme.
+
+    Raised, for example, when a join tree is requested for a scheme that is
+    not alpha-acyclic.
+    """
+
+
+class OptimizerError(ReproError):
+    """An optimizer was invoked on an input it cannot handle.
+
+    Raised, for example, when a search space contains no strategy for the
+    given database (an empty database) or when a subspace restriction is
+    unsatisfiable (no Cartesian-product-free strategy exists because the
+    scheme is unconnected and components must be combined).
+    """

@@ -1,0 +1,42 @@
+"""Query optimizers over the strategy subspaces the paper studies.
+
+The paper asks when a query optimizer that searches only a *subspace* of
+strategies (linear, Cartesian-product-avoiding, or both) still finds a
+globally tau-optimum strategy.  This subpackage provides:
+
+* :mod:`spaces` -- the four subspaces as first-class objects;
+* :mod:`exhaustive` -- brute-force optimization by enumeration (ground
+  truth for tests and small benchmarks);
+* :mod:`dp` -- dynamic programming over scheme subsets, with per-space
+  feasibility rules (Selinger-style for linear, connected-split DP for
+  CP-avoiding, DPsub for bushy);
+* :mod:`greedy` -- the classic polynomial heuristics (GOO-style greedy
+  bushy, smallest-next linear) as baselines for the benchmarks.
+"""
+
+from repro.optimizer.spaces import SearchSpace, OptimizationResult
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.dp import optimize_dp
+from repro.optimizer.greedy import greedy_bushy, greedy_linear
+from repro.optimizer.ikkbz import ikkbz, estimated_linear_cost
+from repro.optimizer.estimate import (
+    CardinalityEstimator,
+    ColumnStatistics,
+    EstimatedRun,
+    optimize_with_estimates,
+)
+
+__all__ = [
+    "SearchSpace",
+    "OptimizationResult",
+    "optimize_exhaustive",
+    "optimize_dp",
+    "greedy_bushy",
+    "greedy_linear",
+    "CardinalityEstimator",
+    "ColumnStatistics",
+    "EstimatedRun",
+    "optimize_with_estimates",
+    "ikkbz",
+    "estimated_linear_cost",
+]

@@ -1,0 +1,150 @@
+"""Dynamic programming over scheme subsets.
+
+A strategy's tau cost decomposes over its tree: for a subset ``S`` with
+``|S| > 1`` evaluated by splitting into ``A`` and ``B``,
+
+    cost(S)  =  cost(A) + cost(B) + tau(R_S),
+
+and ``tau(R_S)`` does not depend on how ``S`` was computed.  The optimal
+substructure is therefore exact and a subset DP finds the true optimum of
+each subspace.  Per-space *feasibility of a split* encodes the subspace:
+
+* ``ALL`` -- every unordered 2-partition of ``S``;
+* ``LINEAR`` -- one part must be a single relation;
+* ``NOCP`` -- if ``S`` is connected both parts must be connected (a
+  CP-free strategy has connected scheme sets at *every* node); if ``S``
+  is unconnected each component of ``S`` must lie entirely inside one
+  part (components are evaluated individually, and the cross-part steps
+  are exactly the unavoidable Cartesian products);
+* ``LINEAR_NOCP`` -- the conjunction.
+
+The number of DP states is at most ``2^n`` (much less for the restricted
+spaces), versus ``(2n-3)!!`` enumerated strategies -- the tractability
+gap the paper's introduction describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+
+from repro.database import Database
+from repro.errors import OptimizerError
+from repro.optimizer.spaces import OptimizationResult, SearchSpace
+from repro.relational.attributes import AttributeSet
+from repro.schemegraph.scheme import DatabaseScheme
+from repro.strategy.tree import Strategy
+
+__all__ = ["optimize_dp"]
+
+SchemeKey = FrozenSet[AttributeSet]
+Entry = Tuple[int, Strategy]  # (cost, strategy)
+
+
+def _ordered(key: SchemeKey) -> Tuple[AttributeSet, ...]:
+    return tuple(sorted(key, key=lambda s: s.sorted()))
+
+
+def _all_splits(key: SchemeKey) -> Iterator[Tuple[SchemeKey, SchemeKey]]:
+    from itertools import combinations
+
+    ordered = _ordered(key)
+    fixed, rest = ordered[0], ordered[1:]
+    for size in range(len(rest)):
+        for chosen in combinations(rest, size):
+            part1 = frozenset((fixed,) + chosen)
+            part2 = key - part1
+            if part2:
+                yield part1, part2
+
+
+def _linear_splits(key: SchemeKey) -> Iterator[Tuple[SchemeKey, SchemeKey]]:
+    for scheme in _ordered(key):
+        rest = key - {scheme}
+        if rest:
+            yield rest, frozenset((scheme,))
+
+
+def _nocp_filter(
+    key: SchemeKey, base: Iterator[Tuple[SchemeKey, SchemeKey]]
+) -> Iterator[Tuple[SchemeKey, SchemeKey]]:
+    """Keep only the splits allowed in a CP-avoiding strategy.
+
+    Connected ``key``: both parts connected.  Unconnected ``key``: every
+    component entirely inside one part (the scheme/component analysis is
+    done once per ``key``, not per split).
+    """
+    scheme = DatabaseScheme(key)
+    components = scheme.components()
+    if len(components) == 1:
+        for part1, part2 in base:
+            if (
+                DatabaseScheme(part1).is_connected()
+                and DatabaseScheme(part2).is_connected()
+            ):
+                yield part1, part2
+        return
+    component_keys = [frozenset(c.schemes) for c in components]
+    for part1, part2 in base:
+        if all(c <= part1 or c <= part2 for c in component_keys):
+            yield part1, part2
+
+
+def optimize_dp(
+    db: Database,
+    space: SearchSpace = SearchSpace.ALL,
+    subset_cost=None,
+) -> OptimizationResult:
+    """Find a cheapest strategy in ``space`` by subset dynamic programming.
+
+    Returns an actual :class:`~repro.strategy.tree.Strategy` (so membership
+    in the space can be re-validated) together with its cost under the
+    optimizer's cost source.  ``subset_cost`` maps a frozenset of relation
+    schemes to the cost charged for producing that subset's join; it
+    defaults to the *true* tau (``db.tau_of``).  Passing an estimator here
+    turns this into a classical estimate-driven optimizer (see
+    :mod:`repro.optimizer.estimate`).  Raises
+    :class:`~repro.errors.OptimizerError` when the space is empty for the
+    database's scheme.
+    """
+    if subset_cost is None:
+        subset_cost = db.tau_of
+    memo: Dict[SchemeKey, Optional[Entry]] = {}
+    states_solved = 0
+
+    def splits(key: SchemeKey) -> Iterator[Tuple[SchemeKey, SchemeKey]]:
+        base = _linear_splits(key) if space.linear_only else _all_splits(key)
+        if space.avoids_cartesian_products:
+            return _nocp_filter(key, base)
+        return base
+
+    def best(key: SchemeKey) -> Optional[Entry]:
+        nonlocal states_solved
+        if key in memo:
+            return memo[key]
+        states_solved += 1
+        if len(key) == 1:
+            (scheme,) = key
+            entry: Optional[Entry] = (0, Strategy.leaf(db, scheme))
+        else:
+            tau_here = subset_cost(key)
+            entry = None
+            for part1, part2 in splits(key):
+                left = best(part1)
+                if left is None:
+                    continue
+                right = best(part2)
+                if right is None:
+                    continue
+                cost = left[0] + right[0] + tau_here
+                if entry is None or cost < entry[0]:
+                    entry = (cost, Strategy.join(left[1], right[1]))
+        memo[key] = entry
+        return entry
+
+    result = best(frozenset(db.scheme.schemes))
+    if result is None:
+        raise OptimizerError(
+            f"the {space.describe()} subspace is empty for {db.scheme}"
+        )
+    cost, strategy = result
+    return OptimizationResult(strategy, cost, space, "dp", states_solved)

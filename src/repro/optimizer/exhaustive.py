@@ -1,0 +1,60 @@
+"""Brute-force optimization by subspace enumeration.
+
+This is the ground-truth optimizer: it enumerates every strategy of the
+chosen subspace (via :mod:`repro.strategy.enumerate`), evaluates the cost
+of each, and keeps the best.  Exponential, but exact -- the test suite
+validates the dynamic-programming optimizers against it on every small
+database, and the paper's examples are all small enough to settle
+exhaustively.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.database import Database
+from repro.errors import OptimizerError
+from repro.optimizer.spaces import OptimizationResult, SearchSpace
+from repro.strategy.cost import tau_cost
+from repro.strategy.enumerate import strategies_in_space
+from repro.strategy.tree import Strategy
+
+__all__ = ["optimize_exhaustive"]
+
+
+def optimize_exhaustive(
+    db: Database,
+    space: SearchSpace = SearchSpace.ALL,
+    cost: Callable[[Strategy], int] = tau_cost,
+) -> OptimizationResult:
+    """Find a cheapest strategy in ``space`` by full enumeration.
+
+    Ties are broken by the strategy's rendered description, so results are
+    deterministic.  Raises :class:`~repro.errors.OptimizerError` when the
+    subspace is empty (e.g. linear-and-CP-avoiding over an unconnected
+    scheme with two multi-relation components).
+    """
+    best: Optional[Strategy] = None
+    best_cost = 0
+    best_label = ""
+    considered = 0
+    for candidate in strategies_in_space(
+        db,
+        linear=space.linear_only,
+        avoid_cartesian_products=space.avoids_cartesian_products,
+    ):
+        considered += 1
+        candidate_cost = cost(candidate)
+        if best is None or candidate_cost < best_cost:
+            best, best_cost, best_label = candidate, candidate_cost, ""
+        elif candidate_cost == best_cost:
+            if not best_label:
+                best_label = best.describe()
+            label = candidate.describe()
+            if label < best_label:
+                best, best_label = candidate, label
+    if best is None:
+        raise OptimizerError(
+            f"the {space.describe()} subspace is empty for {db.scheme}"
+        )
+    return OptimizationResult(best, best_cost, space, "exhaustive", considered)

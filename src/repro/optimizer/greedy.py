@@ -1,0 +1,127 @@
+"""Polynomial-time greedy baselines.
+
+Two classical heuristics the benchmarks compare against the exact
+optimizers:
+
+* :func:`greedy_bushy` -- GOO-style greedy operator ordering: maintain a
+  forest of substrategies and repeatedly join the pair whose result is
+  smallest, optionally refusing Cartesian products while a linked pair
+  exists;
+* :func:`greedy_linear` -- the smallest-next linear heuristic: start from
+  the smallest relation and repeatedly extend the chain with the relation
+  minimizing the next intermediate size, preferring linked relations.
+
+Both return genuine :class:`~repro.strategy.tree.Strategy` objects, so
+their costs and properties are computed by the same machinery as every
+other strategy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.database import Database
+from repro.optimizer.spaces import OptimizationResult, SearchSpace
+from repro.schemegraph.scheme import DatabaseScheme
+from repro.strategy.cost import tau_cost
+from repro.strategy.tree import Strategy
+
+__all__ = ["greedy_bushy", "greedy_linear"]
+
+
+def _pair_tau(db: Database, left: Strategy, right: Strategy) -> int:
+    return db.tau_of(left.scheme_set.union(right.scheme_set))
+
+
+def greedy_bushy(db: Database, avoid_cartesian_products: bool = True) -> OptimizationResult:
+    """Greedy operator ordering over bushy trees.
+
+    At each round, join the pair of forest roots producing the smallest
+    intermediate result.  With ``avoid_cartesian_products`` (default), a
+    non-linked pair is chosen only when no linked pair exists, which makes
+    the result avoid Cartesian products in the paper's sense.
+    """
+    forest: List[Strategy] = [Strategy.leaf(db, s) for s in db.scheme.sorted_schemes()]
+    joins_considered = 0
+    while len(forest) > 1:
+        best_choice: Optional[Tuple[int, int, int, int]] = None
+        for i in range(len(forest)):
+            for j in range(i + 1, len(forest)):
+                linked = forest[i].scheme_set.is_linked_to(forest[j].scheme_set)
+                if avoid_cartesian_products and not linked:
+                    continue
+                joins_considered += 1
+                size = _pair_tau(db, forest[i], forest[j])
+                candidate = (size, i, j, int(not linked))
+                if best_choice is None or candidate < best_choice:
+                    best_choice = candidate
+        if best_choice is None:
+            # No linked pair left: the forest roots are mutually unlinked,
+            # so some Cartesian product is unavoidable; take the cheapest.
+            for i in range(len(forest)):
+                for j in range(i + 1, len(forest)):
+                    joins_considered += 1
+                    size = _pair_tau(db, forest[i], forest[j])
+                    candidate = (size, i, j, 1)
+                    if best_choice is None or candidate < best_choice:
+                        best_choice = candidate
+        assert best_choice is not None
+        _, i, j, _ = best_choice
+        joined = Strategy.join(forest[i], forest[j])
+        forest = [s for k, s in enumerate(forest) if k not in (i, j)]
+        forest.append(joined)
+    strategy = forest[0]
+    return OptimizationResult(
+        strategy, tau_cost(strategy), SearchSpace.ALL, "greedy-bushy", joins_considered
+    )
+
+
+def greedy_linear(db: Database, avoid_cartesian_products: bool = True) -> OptimizationResult:
+    """Smallest-next linear heuristic.
+
+    Starts from the relation pair with the smallest join (preferring
+    linked pairs when ``avoid_cartesian_products``), then repeatedly
+    appends the relation minimizing the next intermediate size, again
+    preferring linked relations.
+    """
+    leaves = {s: Strategy.leaf(db, s) for s in db.scheme.sorted_schemes()}
+    remaining = list(db.scheme.sorted_schemes())
+    joins_considered = 0
+    if len(remaining) == 1:
+        strategy = leaves[remaining[0]]
+        return OptimizationResult(strategy, 0, SearchSpace.LINEAR, "greedy-linear", 0)
+
+    # Seed: the cheapest first join.
+    best_seed: Optional[Tuple[int, int, int, int]] = None
+    for i in range(len(remaining)):
+        for j in range(i + 1, len(remaining)):
+            linked = remaining[i].is_linked_to(remaining[j])
+            joins_considered += 1
+            size = db.tau_of([remaining[i], remaining[j]])
+            not_linked_penalty = int(avoid_cartesian_products and not linked)
+            candidate = (not_linked_penalty, size, i, j)
+            if best_seed is None or candidate < best_seed:
+                best_seed = candidate
+    assert best_seed is not None
+    _, _, i, j = best_seed
+    chain = Strategy.join(leaves[remaining[i]], leaves[remaining[j]])
+    remaining = [s for k, s in enumerate(remaining) if k not in (i, j)]
+
+    while remaining:
+        best_next: Optional[Tuple[int, int, int]] = None
+        for k, scheme in enumerate(remaining):
+            linked = chain.scheme_set.is_linked_to(DatabaseScheme([scheme]))
+            joins_considered += 1
+            size = db.tau_of(chain.scheme_set.union(DatabaseScheme([scheme])))
+            not_linked_penalty = int(avoid_cartesian_products and not linked)
+            candidate = (not_linked_penalty, size, k)
+            if best_next is None or candidate < best_next:
+                best_next = candidate
+        assert best_next is not None
+        _, _, k = best_next
+        chain = Strategy.join(chain, leaves[remaining[k]])
+        remaining.pop(k)
+
+    return OptimizationResult(
+        chain, tau_cost(chain), SearchSpace.LINEAR, "greedy-linear", joins_considered
+    )

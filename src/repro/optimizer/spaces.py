@@ -1,0 +1,88 @@
+"""Strategy subspaces and optimizer results.
+
+:class:`SearchSpace` names the four subspaces the paper discusses, with
+the systems it cites as motivation:
+
+* ``ALL`` -- every strategy (bushy trees, Cartesian products allowed);
+* ``LINEAR`` -- linear strategies only (GAMMA);
+* ``NOCP`` -- strategies avoiding Cartesian products (INGRES, Starburst);
+* ``LINEAR_NOCP`` -- both restrictions (System R, Office-by-Example).
+
+Each space knows how to test membership of a concrete strategy and
+carries the flags the enumerators/optimizers consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from repro.strategy.tree import Strategy
+
+__all__ = ["SearchSpace", "OptimizationResult"]
+
+
+class SearchSpace(enum.Enum):
+    """A strategy subspace searched by an optimizer."""
+
+    ALL = "all"
+    LINEAR = "linear"
+    NOCP = "nocp"
+    LINEAR_NOCP = "linear_nocp"
+
+    @property
+    def linear_only(self) -> bool:
+        """True when the space restricts to linear strategies."""
+        return self in (SearchSpace.LINEAR, SearchSpace.LINEAR_NOCP)
+
+    @property
+    def avoids_cartesian_products(self) -> bool:
+        """True when the space restricts to CP-avoiding strategies."""
+        return self in (SearchSpace.NOCP, SearchSpace.LINEAR_NOCP)
+
+    def contains(self, strategy: Strategy) -> bool:
+        """Membership test for a concrete strategy."""
+        if self.linear_only and not strategy.is_linear():
+            return False
+        if self.avoids_cartesian_products and not strategy.avoids_cartesian_products():
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Human-readable name used in benchmark tables."""
+        return {
+            SearchSpace.ALL: "all strategies",
+            SearchSpace.LINEAR: "linear",
+            SearchSpace.NOCP: "no Cartesian products",
+            SearchSpace.LINEAR_NOCP: "linear, no Cartesian products",
+        }[self]
+
+
+class OptimizationResult:
+    """The outcome of one optimizer run.
+
+    ``considered`` counts enumerated candidates (exhaustive) or solved DP
+    states (dynamic programming) -- the search-effort number the paper's
+    tractability discussion is about.
+    """
+
+    __slots__ = ("strategy", "cost", "space", "optimizer", "considered")
+
+    def __init__(
+        self,
+        strategy: Strategy,
+        cost: int,
+        space: SearchSpace,
+        optimizer: str,
+        considered: int,
+    ):
+        self.strategy = strategy
+        self.cost = cost
+        self.space = space
+        self.optimizer = optimizer
+        self.considered = considered
+
+    def __repr__(self) -> str:
+        return (
+            f"<OptimizationResult {self.optimizer}/{self.space.value}: "
+            f"{self.strategy.describe()} @ tau={self.cost} "
+            f"({self.considered} considered)>"
+        )

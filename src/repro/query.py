@@ -1,0 +1,224 @@
+"""A high-level query API over the library.
+
+:class:`JoinQuery` is the front door a downstream user actually wants:
+wrap a database (= the relations mentioned by a natural-join query), ask
+for a plan from any of the paper's search subspaces, explain it, execute
+it, and interrogate the paper's conditions to know *whether the chosen
+subspace was safe*::
+
+    query = JoinQuery(db)
+    plan = query.optimize(SearchSpace.LINEAR_NOCP)
+    print(plan.explain())
+    if not query.subspace_is_safe(SearchSpace.LINEAR_NOCP):
+        print("warning: C3 fails; the linear no-CP space may miss the optimum")
+    result = plan.execute()
+
+The safety test is exactly the paper's contribution: Theorem 2 makes
+``NOCP`` safe under C1 ∧ C2, Theorem 3 makes ``LINEAR_NOCP`` (and
+``LINEAR``) safe under C3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.conditions.checks import check_c1, check_c2, check_c3
+from repro.database import Database
+from repro.errors import OptimizerError
+from repro.optimizer.dp import optimize_dp
+from repro.optimizer.estimate import CardinalityEstimator
+from repro.optimizer.greedy import greedy_bushy, greedy_linear
+from repro.optimizer.spaces import OptimizationResult, SearchSpace
+from repro.relational.relation import Relation
+from repro.strategy.cost import step_costs, tau_cost
+from repro.strategy.tree import Strategy, parse_strategy
+
+__all__ = ["JoinQuery", "Plan"]
+
+
+class Plan:
+    """An executable join plan: a strategy plus provenance.
+
+    Plans are produced by :class:`JoinQuery`; ``execute`` returns the
+    final relation, ``explain`` renders the tree with per-step sizes.
+    """
+
+    __slots__ = ("strategy", "cost", "space", "optimizer")
+
+    def __init__(
+        self,
+        strategy: Strategy,
+        cost: int,
+        space: SearchSpace,
+        optimizer: str,
+    ):
+        self.strategy = strategy
+        self.cost = cost
+        self.space = space
+        self.optimizer = optimizer
+
+    @classmethod
+    def from_result(cls, result: OptimizationResult) -> "Plan":
+        """Wrap an optimizer result."""
+        return cls(result.strategy, result.cost, result.space, result.optimizer)
+
+    def execute(self) -> Relation:
+        """The final relation (the engine computes each step's join via
+        the database's memoized cache, so re-execution is cheap)."""
+        return self.strategy.state
+
+    def explain(self) -> str:
+        """A plan tree rendering with per-node tau, root first::
+
+            ⋈ [tau=11]  (MS ⋈ SC) ⋈ (CI ⋈ ID)
+              ⋈ [tau=3]   MS ⋈ SC
+              ...
+        """
+        lines = [
+            f"plan: {self.strategy.describe()}",
+            f"space: {self.space.describe()}  optimizer: {self.optimizer}  "
+            f"tau: {self.cost}",
+        ]
+
+        def walk(node: Strategy, depth: int) -> None:
+            indent = "  " * depth
+            if node.is_leaf:
+                (scheme,) = node.scheme_set.schemes
+                name = node.database.name_of(scheme)
+                lines.append(f"{indent}scan {name} [tau={node.tau}]")
+                return
+            lines.append(f"{indent}join {node.describe()} [tau={node.tau}]")
+            for child in sorted(node.children(), key=lambda c: c.describe()):
+                walk(child, depth + 1)
+
+        walk(self.strategy, 1)
+        return "\n".join(lines)
+
+    def pipeline(self):
+        """The (description, tau) trace of the steps, post-order."""
+        return step_costs(self.strategy)
+
+    @property
+    def is_linear(self) -> bool:
+        """True for a linear plan."""
+        return self.strategy.is_linear()
+
+    @property
+    def uses_cartesian_products(self) -> bool:
+        """True when some step is a Cartesian product."""
+        return self.strategy.uses_cartesian_products()
+
+    def __repr__(self) -> str:
+        return f"<Plan {self.strategy.describe()} tau={self.cost}>"
+
+
+class JoinQuery:
+    """A natural-join query over a database, with plan search and the
+    paper's safety analysis."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        self._condition_cache: Dict[str, bool] = {}
+
+    @property
+    def database(self) -> Database:
+        """The underlying database."""
+        return self._db
+
+    # -- planning --------------------------------------------------------------
+
+    def optimize(
+        self,
+        space: SearchSpace = SearchSpace.ALL,
+        use_estimates: bool = False,
+    ) -> Plan:
+        """An exact cheapest plan in ``space`` (subset DP).
+
+        With ``use_estimates`` the DP runs on the classical
+        uniformity/independence estimates instead of true sizes -- the
+        plan's reported ``cost`` is then its *true* tau, which may exceed
+        the optimum (see :mod:`repro.optimizer.estimate`).
+        """
+        if use_estimates:
+            estimator = CardinalityEstimator.from_database(self._db)
+            believed = optimize_dp(
+                self._db, space, subset_cost=lambda key: estimator.estimate(key)
+            )
+            return Plan(
+                believed.strategy,
+                tau_cost(believed.strategy),
+                space,
+                "dp+estimates",
+            )
+        return Plan.from_result(optimize_dp(self._db, space))
+
+    def plan_greedy(self, linear: bool = False) -> Plan:
+        """A polynomial-time heuristic plan (GOO-style or linear)."""
+        result = greedy_linear(self._db) if linear else greedy_bushy(self._db)
+        return Plan.from_result(result)
+
+    def plan_ikkbz(self) -> Plan:
+        """The IK/KBZ rank-optimal linear order (tree query graphs only).
+
+        The plan's ``cost`` is its *true* tau; the rank algorithm
+        optimized the estimated cost (see :mod:`repro.optimizer.ikkbz`).
+        Raises :class:`~repro.errors.OptimizerError` on non-tree query
+        graphs.
+        """
+        from repro.optimizer.ikkbz import ikkbz
+
+        result = ikkbz(self._db)
+        return Plan(
+            result.strategy, tau_cost(result.strategy), SearchSpace.LINEAR, "ikkbz"
+        )
+
+    def plan_from_text(self, text: str) -> Plan:
+        """Wrap a hand-written parenthesized strategy as a plan."""
+        strategy = parse_strategy(self._db, text)
+        return Plan(strategy, tau_cost(strategy), SearchSpace.ALL, "manual")
+
+    def execute(self, plan: Optional[Plan] = None) -> Relation:
+        """Execute a plan (default: the best unrestricted plan)."""
+        chosen = plan if plan is not None else self.optimize()
+        return chosen.execute()
+
+    # -- the paper's safety analysis -----------------------------------------------
+
+    def condition(self, name: str) -> bool:
+        """Cached verdict of one of C1 / C2 / C3 on this database."""
+        key = name.upper()
+        if key not in self._condition_cache:
+            checker = {"C1": check_c1, "C2": check_c2, "C3": check_c3}.get(key)
+            if checker is None:
+                raise OptimizerError(f"unknown condition {name!r}")
+            self._condition_cache[key] = bool(checker(self._db))
+        return self._condition_cache[key]
+
+    def subspace_is_safe(self, space: SearchSpace) -> bool:
+        """True when the paper *guarantees* the subspace contains a
+        tau-optimum strategy for this database:
+
+        * ``ALL`` -- always;
+        * ``NOCP`` -- under C1 ∧ C2 (Theorem 2);
+        * ``LINEAR`` and ``LINEAR_NOCP`` -- under C3 (Theorem 3).
+
+        ``False`` means "no guarantee", not "provably unsafe" (the
+        theorems are sufficient conditions).
+        """
+        if not self._db.scheme.is_connected() or not self._db.is_nonnull():
+            return space is SearchSpace.ALL
+        if space is SearchSpace.ALL:
+            return True
+        if space is SearchSpace.NOCP:
+            return self.condition("C1") and self.condition("C2")
+        return self.condition("C3")
+
+    def safety_report(self) -> Dict[str, bool]:
+        """Conditions and per-space safety in one dictionary."""
+        report = {name: self.condition(name) for name in ("C1", "C2", "C3")}
+        for space in SearchSpace:
+            report[f"safe[{space.value}]"] = self.subspace_is_safe(space)
+        return report
+
+    def __repr__(self) -> str:
+        return f"<JoinQuery over {self._db.scheme}>"

@@ -1,0 +1,61 @@
+"""Relational-algebra substrate.
+
+This subpackage implements the data model of the paper's Section 2 as an
+executable engine: attributes, relation schemes, relation states (sets of
+tuples), and the algebra (natural join, projection, selection, semijoin,
+set operations).  The paper reasons purely about tuple *counts* of
+intermediate joins; this engine computes those counts exactly under set
+semantics.
+
+It also implements the dependency theory the paper's Section 4 leans on:
+functional dependencies, attribute closures, superkeys and candidate keys,
+and the tableau chase used to decide lossless joins.
+"""
+
+from repro.relational.attributes import (
+    AttributeSet,
+    attrs,
+    format_attrs,
+)
+from repro.relational.relation import (
+    Relation,
+    RelationSchema,
+    Row,
+    relation,
+)
+from repro.relational.dependencies import (
+    FDSet,
+    FunctionalDependency,
+    fd,
+)
+from repro.relational.chase import (
+    Tableau,
+    chase_decomposition,
+    is_lossless_decomposition,
+)
+from repro.relational.keys import (
+    candidate_keys,
+    is_superkey_of_relation,
+    satisfies_fd,
+    satisfied_fds,
+)
+
+__all__ = [
+    "AttributeSet",
+    "attrs",
+    "format_attrs",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "relation",
+    "FDSet",
+    "FunctionalDependency",
+    "fd",
+    "Tableau",
+    "chase_decomposition",
+    "is_lossless_decomposition",
+    "candidate_keys",
+    "is_superkey_of_relation",
+    "satisfies_fd",
+    "satisfied_fds",
+]

@@ -1,0 +1,332 @@
+"""Relational-algebra expression trees.
+
+Strategies are join-only plans; real optimizer pipelines sit inside a
+general algebra.  This module provides a small, immutable expression AST
+over the engine -- scans, natural joins, projections, selections,
+renames, and the set operations -- with scheme inference at construction
+time and evaluation against a database:
+
+    expr = Project(
+        Join(Scan("AB"), Scan("BC")),
+        "AC",
+    )
+    expr.scheme        # inferred: {A, C}
+    expr.evaluate(db)  # a Relation
+
+Interop with strategies: :func:`strategy_to_algebra` embeds a strategy as
+a pure-join expression, and :func:`join_order_of` recovers a strategy
+from a pure-join expression (the inverse embedding), so the optimizer's
+output can flow into a larger algebra pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Tuple
+
+from repro.database import Database
+from repro.errors import RelationError, SchemaError
+from repro.relational.attributes import AttributeSet, AttrsLike, attrs, format_attrs
+from repro.relational.relation import Relation, Row
+from repro.strategy.tree import Strategy
+
+__all__ = [
+    "Expression",
+    "Scan",
+    "Join",
+    "Product",
+    "Project",
+    "Select",
+    "Rename",
+    "Union",
+    "Intersection",
+    "Difference",
+    "strategy_to_algebra",
+    "join_order_of",
+]
+
+
+class Expression:
+    """Base class: an immutable algebra expression with a known scheme."""
+
+    __slots__ = ()
+
+    @property
+    def scheme(self) -> AttributeSet:
+        """The output scheme (inferred at construction)."""
+        raise NotImplementedError
+
+    def evaluate(self, db: Database) -> Relation:
+        """Evaluate against the database's relation states."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expression", ...]:
+        """Sub-expressions (empty for scans)."""
+        return ()
+
+    def depth(self) -> int:
+        """Height of the expression tree (a scan has depth 1)."""
+        kids = self.children()
+        return 1 + (max(k.depth() for k in kids) if kids else 0)
+
+    def describe(self) -> str:
+        """A compact one-line rendering."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class Scan(Expression):
+    """A base-relation scan, identified by its relation scheme."""
+
+    __slots__ = ("_scheme",)
+
+    def __init__(self, scheme: AttrsLike):
+        self._scheme = attrs(scheme)
+
+    @property
+    def scheme(self) -> AttributeSet:
+        return self._scheme
+
+    def evaluate(self, db: Database) -> Relation:
+        return db.state_for(self._scheme)
+
+    def describe(self) -> str:
+        return format_attrs(self._scheme)
+
+
+class _Binary(Expression):
+    __slots__ = ("_left", "_right", "_scheme")
+
+    def __init__(self, left: Expression, right: Expression):
+        self._left = left
+        self._right = right
+        self._scheme = self._infer_scheme()
+
+    def _infer_scheme(self) -> AttributeSet:
+        raise NotImplementedError
+
+    @property
+    def scheme(self) -> AttributeSet:
+        return self._scheme
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self._left, self._right)
+
+    @property
+    def left(self) -> Expression:
+        """The first operand."""
+        return self._left
+
+    @property
+    def right(self) -> Expression:
+        """The second operand."""
+        return self._right
+
+
+class Join(_Binary):
+    """Natural join of two expressions."""
+
+    __slots__ = ()
+
+    def _infer_scheme(self) -> AttributeSet:
+        return self._left.scheme | self._right.scheme
+
+    def evaluate(self, db: Database) -> Relation:
+        return self._left.evaluate(db).join(self._right.evaluate(db))
+
+    def describe(self) -> str:
+        return f"({self._left.describe()} ⋈ {self._right.describe()})"
+
+
+class Product(_Binary):
+    """Explicit Cartesian product; operands must have disjoint schemes."""
+
+    __slots__ = ()
+
+    def _infer_scheme(self) -> AttributeSet:
+        if self._left.scheme & self._right.scheme:
+            raise SchemaError(
+                "Cartesian product operands must have disjoint schemes; "
+                f"{format_attrs(self._left.scheme)} and "
+                f"{format_attrs(self._right.scheme)} overlap"
+            )
+        return self._left.scheme | self._right.scheme
+
+    def evaluate(self, db: Database) -> Relation:
+        return self._left.evaluate(db).cross(self._right.evaluate(db))
+
+    def describe(self) -> str:
+        return f"({self._left.describe()} × {self._right.describe()})"
+
+
+class _SameScheme(_Binary):
+    __slots__ = ()
+    _symbol = "?"
+
+    def _infer_scheme(self) -> AttributeSet:
+        if self._left.scheme != self._right.scheme:
+            raise SchemaError(
+                f"{type(self).__name__} operands must share a scheme; got "
+                f"{format_attrs(self._left.scheme)} and "
+                f"{format_attrs(self._right.scheme)}"
+            )
+        return self._left.scheme
+
+    def describe(self) -> str:
+        return f"({self._left.describe()} {self._symbol} {self._right.describe()})"
+
+
+class Union(_SameScheme):
+    """Set union over a common scheme."""
+
+    __slots__ = ()
+    _symbol = "∪"
+
+    def evaluate(self, db: Database) -> Relation:
+        return self._left.evaluate(db).union(self._right.evaluate(db))
+
+
+class Intersection(_SameScheme):
+    """Set intersection over a common scheme."""
+
+    __slots__ = ()
+    _symbol = "∩"
+
+    def evaluate(self, db: Database) -> Relation:
+        return self._left.evaluate(db).intersection(self._right.evaluate(db))
+
+
+class Difference(_SameScheme):
+    """Set difference over a common scheme."""
+
+    __slots__ = ()
+    _symbol = "−"
+
+    def evaluate(self, db: Database) -> Relation:
+        return self._left.evaluate(db).difference(self._right.evaluate(db))
+
+
+class Project(Expression):
+    """Projection onto a subset of the input scheme."""
+
+    __slots__ = ("_input", "_scheme")
+
+    def __init__(self, input_expr: Expression, onto: AttrsLike):
+        wanted = attrs(onto)
+        if not wanted <= input_expr.scheme:
+            raise SchemaError(
+                f"cannot project {format_attrs(input_expr.scheme)} "
+                f"onto {format_attrs(wanted)}"
+            )
+        self._input = input_expr
+        self._scheme = wanted
+
+    @property
+    def scheme(self) -> AttributeSet:
+        return self._scheme
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self._input,)
+
+    def evaluate(self, db: Database) -> Relation:
+        return self._input.evaluate(db).project(self._scheme)
+
+    def describe(self) -> str:
+        return f"π[{format_attrs(self._scheme)}]({self._input.describe()})"
+
+
+class Select(Expression):
+    """Selection by an arbitrary row predicate.
+
+    ``label`` names the predicate in renderings (predicates are opaque
+    callables, so a label keeps plans readable).
+    """
+
+    __slots__ = ("_input", "_predicate", "_label")
+
+    def __init__(
+        self,
+        input_expr: Expression,
+        predicate: Callable[[Row], bool],
+        label: str = "p",
+    ):
+        self._input = input_expr
+        self._predicate = predicate
+        self._label = label
+
+    @property
+    def scheme(self) -> AttributeSet:
+        return self._input.scheme
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self._input,)
+
+    def evaluate(self, db: Database) -> Relation:
+        return self._input.evaluate(db).select(self._predicate)
+
+    def describe(self) -> str:
+        return f"σ[{self._label}]({self._input.describe()})"
+
+
+class Rename(Expression):
+    """Attribute renaming."""
+
+    __slots__ = ("_input", "_mapping", "_scheme")
+
+    def __init__(self, input_expr: Expression, mapping: Mapping[str, str]):
+        unknown = AttributeSet(mapping) - input_expr.scheme
+        if unknown:
+            raise SchemaError(
+                f"cannot rename attributes {format_attrs(unknown)} absent from "
+                f"{format_attrs(input_expr.scheme)}"
+            )
+        renamed = [mapping.get(a, a) for a in input_expr.scheme]
+        if len(set(renamed)) != len(input_expr.scheme):
+            raise SchemaError(f"rename {dict(mapping)!r} collapses attributes")
+        self._input = input_expr
+        self._mapping = dict(mapping)
+        self._scheme = AttributeSet(renamed)
+
+    @property
+    def scheme(self) -> AttributeSet:
+        return self._scheme
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self._input,)
+
+    def evaluate(self, db: Database) -> Relation:
+        return self._input.evaluate(db).rename(self._mapping)
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{k}→{v}" for k, v in sorted(self._mapping.items()))
+        return f"ρ[{pairs}]({self._input.describe()})"
+
+
+def strategy_to_algebra(strategy: Strategy) -> Expression:
+    """Embed a strategy as a pure-join algebra expression."""
+    if strategy.is_leaf:
+        (scheme,) = strategy.scheme_set.schemes
+        return Scan(scheme)
+    return Join(
+        strategy_to_algebra(strategy.left), strategy_to_algebra(strategy.right)
+    )
+
+
+def join_order_of(expression: Expression, db: Database) -> Strategy:
+    """Recover a strategy from a pure-join expression over scans.
+
+    The inverse of :func:`strategy_to_algebra`; raises
+    :class:`~repro.errors.RelationError` when the expression contains
+    non-join operators (those have no strategy counterpart).
+    """
+    if isinstance(expression, Scan):
+        return Strategy.leaf(db, expression.scheme)
+    if isinstance(expression, Join):
+        return Strategy.join(
+            join_order_of(expression.left, db), join_order_of(expression.right, db)
+        )
+    raise RelationError(
+        f"{type(expression).__name__} has no strategy counterpart; only "
+        "scans and natural joins can be converted"
+    )

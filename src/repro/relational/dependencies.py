@@ -1,0 +1,266 @@
+"""Functional dependencies and their standard theory.
+
+The paper's Section 4 derives its semantic sufficient conditions from
+functional dependencies: shared join attributes forming *superkeys* make
+joins non-expanding, which yields conditions C2 and C3.  This module
+implements the classical machinery needed for that derivation:
+
+* :class:`FunctionalDependency` -- an FD ``X -> Y``;
+* :class:`FDSet` -- a set of FDs with attribute closure (the linear-time
+  Beeri–Bernstein algorithm), implication tests, superkey/key tests,
+  minimal covers, and FD projection onto a subscheme (used when reasoning
+  about decompositions).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, Iterator, List, Optional
+
+from repro.errors import DependencyError
+from repro.relational.attributes import AttributeSet, AttrsLike, attrs, format_attrs
+
+__all__ = ["FunctionalDependency", "FDSet", "fd"]
+
+
+class FunctionalDependency:
+    """A functional dependency ``X -> Y`` over some attribute universe."""
+
+    __slots__ = ("_lhs", "_rhs")
+
+    def __init__(self, lhs: AttrsLike, rhs: AttrsLike):
+        self._lhs = attrs(lhs)
+        self._rhs = attrs(rhs)
+
+    @property
+    def lhs(self) -> AttributeSet:
+        """The determinant ``X``."""
+        return self._lhs
+
+    @property
+    def rhs(self) -> AttributeSet:
+        """The dependent ``Y``."""
+        return self._rhs
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """All attributes mentioned by the FD."""
+        return self._lhs | self._rhs
+
+    def is_trivial(self) -> bool:
+        """True for ``X -> Y`` with ``Y ⊆ X``."""
+        return self._rhs <= self._lhs
+
+    def restrict_to(self, scheme: AttrsLike) -> Optional["FunctionalDependency"]:
+        """The FD with its right side cut down to ``scheme``; ``None`` when
+        nothing of the right side (or not all of the left side) survives."""
+        scheme_set = attrs(scheme)
+        if not self._lhs <= scheme_set:
+            return None
+        kept = self._rhs & scheme_set
+        if not kept:
+            return None
+        return FunctionalDependency(self._lhs, kept)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return self._lhs == other._lhs and self._rhs == other._rhs
+
+    def __hash__(self) -> int:
+        return hash((self._lhs, self._rhs))
+
+    def __repr__(self) -> str:
+        return f"fd({format_attrs(self._lhs)!r}, {format_attrs(self._rhs)!r})"
+
+    def __str__(self) -> str:
+        return f"{format_attrs(self._lhs)} -> {format_attrs(self._rhs)}"
+
+
+def fd(lhs: AttrsLike, rhs: AttrsLike) -> FunctionalDependency:
+    """Shorthand constructor: ``fd("AB", "C")`` is ``AB -> C``."""
+    return FunctionalDependency(lhs, rhs)
+
+
+class FDSet:
+    """An immutable set of functional dependencies.
+
+    Supports the classical operations; all are deterministic so test output
+    is stable.
+    """
+
+    __slots__ = ("_fds",)
+
+    def __init__(self, fds: Iterable[FunctionalDependency] = ()):
+        fds = tuple(fds)
+        for dependency in fds:
+            if not isinstance(dependency, FunctionalDependency):
+                raise DependencyError(
+                    f"expected FunctionalDependency, got {dependency!r}"
+                )
+        self._fds: FrozenSet[FunctionalDependency] = frozenset(fds)
+
+    # -- container ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[FunctionalDependency]:
+        return iter(
+            sorted(self._fds, key=lambda f: (f.lhs.sorted(), f.rhs.sorted()))
+        )
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __contains__(self, dependency: object) -> bool:
+        return dependency in self._fds
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FDSet):
+            return NotImplemented
+        return self._fds == other._fds
+
+    def __hash__(self) -> int:
+        return hash(self._fds)
+
+    def __or__(self, other: "FDSet") -> "FDSet":
+        if not isinstance(other, FDSet):
+            return NotImplemented
+        return FDSet(self._fds | other._fds)
+
+    def add(self, dependency: FunctionalDependency) -> "FDSet":
+        """A new FD set with ``dependency`` included."""
+        return FDSet(self._fds | {dependency})
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """All attributes mentioned by any FD."""
+        universe = AttributeSet()
+        for dependency in self._fds:
+            universe |= dependency.attributes
+        return universe
+
+    # -- closure and implication ------------------------------------------------
+
+    def closure(self, attributes: AttrsLike) -> AttributeSet:
+        """The attribute closure ``X+`` under this FD set.
+
+        Linear-time fixpoint: repeatedly fire FDs whose left side is
+        contained in the current closure.
+        """
+        closure = attrs(attributes)
+        pending = list(self._fds)
+        changed = True
+        while changed:
+            changed = False
+            remaining = []
+            for dependency in pending:
+                if dependency.lhs <= closure:
+                    if not dependency.rhs <= closure:
+                        closure |= dependency.rhs
+                        changed = True
+                else:
+                    remaining.append(dependency)
+            pending = remaining
+        return closure
+
+    def implies(self, dependency: FunctionalDependency) -> bool:
+        """True when this FD set logically implies ``dependency``."""
+        return dependency.rhs <= self.closure(dependency.lhs)
+
+    def is_equivalent_to(self, other: "FDSet") -> bool:
+        """True when the two FD sets imply each other."""
+        return all(other.implies(f) for f in self._fds) and all(
+            self.implies(f) for f in other._fds
+        )
+
+    # -- keys ------------------------------------------------------------------
+
+    def is_superkey(self, candidate: AttrsLike, scheme: AttrsLike) -> bool:
+        """True when ``candidate`` functionally determines all of ``scheme``."""
+        return attrs(scheme) <= self.closure(candidate)
+
+    def is_candidate_key(self, candidate: AttrsLike, scheme: AttrsLike) -> bool:
+        """True when ``candidate`` is a minimal superkey of ``scheme``."""
+        candidate_set = attrs(candidate)
+        if not self.is_superkey(candidate_set, scheme):
+            return False
+        return not any(
+            self.is_superkey(candidate_set - {attr}, scheme)
+            for attr in candidate_set
+            if len(candidate_set) > 1
+        )
+
+    def candidate_keys(self, scheme: AttrsLike) -> List[AttributeSet]:
+        """All candidate keys of ``scheme``, smallest first.
+
+        Exhaustive by subset size (fine for the small schemes this
+        reproduction works with); only subsets of ``scheme`` are considered.
+        """
+        scheme_set = attrs(scheme)
+        names = scheme_set.sorted()
+        keys: List[AttributeSet] = []
+        for size in range(1, len(names) + 1):
+            for combo in combinations(names, size):
+                candidate = AttributeSet(combo)
+                if any(key <= candidate for key in keys):
+                    continue
+                if self.is_superkey(candidate, scheme_set):
+                    keys.append(candidate)
+        return sorted(keys, key=lambda key: (len(key), key.sorted()))
+
+    # -- normalization ------------------------------------------------------------
+
+    def projected_onto(self, scheme: AttrsLike) -> "FDSet":
+        """The projection of this FD set onto ``scheme``.
+
+        Computes, for every subset ``X`` of ``scheme``, the implied FD
+        ``X -> (X+ ∩ scheme)``; exponential in ``|scheme|`` (standard, and
+        acceptable at this reproduction's scheme sizes).
+        """
+        scheme_set = attrs(scheme)
+        names = scheme_set.sorted()
+        result = []
+        for size in range(1, len(names) + 1):
+            for combo in combinations(names, size):
+                lhs = AttributeSet(combo)
+                rhs = (self.closure(lhs) & scheme_set) - lhs
+                if rhs:
+                    result.append(FunctionalDependency(lhs, rhs))
+        return FDSet(result)
+
+    def minimal_cover(self) -> "FDSet":
+        """A minimal (canonical) cover: singleton right sides, no redundant
+        FDs, no extraneous left-side attributes."""
+        # 1. Split right sides.
+        split = [
+            FunctionalDependency(f.lhs, AttributeSet([attr]))
+            for f in self
+            for attr in f.rhs.sorted()
+            if attr not in f.lhs
+        ]
+        # 2. Remove extraneous left-side attributes.
+        trimmed: List[FunctionalDependency] = []
+        working = FDSet(split)
+        for dependency in split:
+            lhs = dependency.lhs
+            for attr in dependency.lhs.sorted():
+                if len(lhs) == 1:
+                    break
+                reduced = lhs - {attr}
+                if dependency.rhs <= working.closure(reduced):
+                    lhs = reduced
+            trimmed.append(FunctionalDependency(lhs, dependency.rhs))
+        # 3. Remove redundant FDs.
+        kept = list(dict.fromkeys(trimmed))
+        changed = True
+        while changed:
+            changed = False
+            for i, dependency in enumerate(kept):
+                rest = FDSet(kept[:i] + kept[i + 1 :])
+                if rest.implies(dependency):
+                    kept.pop(i)
+                    changed = True
+                    break
+        return FDSet(kept)
+
+    def __repr__(self) -> str:
+        return "FDSet({" + ", ".join(str(f) for f in self) + "})"

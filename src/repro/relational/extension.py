@@ -1,0 +1,197 @@
+"""Extension joins and lossless strategies (paper, Section 5).
+
+Section 5 surveys two FD-driven strategy classes:
+
+* **Osborn's strategies**: every step ``[E1] ⋈ [E2]`` joins on attributes
+  ``R_E1 ∩ R_E2`` forming a superkey of ``R_E1`` or of ``R_E2`` (each
+  step is then a lossless join).  :func:`osborn_strategy` constructs such
+  a strategy from a declared FD set by backtracking search, or reports
+  that none exists.
+* **Honeyman's extension joins**: the shared attributes form a superkey
+  of some ``Y`` contained in one side's private attributes;
+  :func:`is_extension_join` decides the definition for a candidate step.
+
+These strategies matter to the paper because each Osborn step satisfies
+the C2 comparison (``tau(join) <= tau`` of the keyed side) -- Section 5
+explicitly notes the connection and asks when lossless strategies are
+tau-optimal; the E-LOSSLESS benchmark explores that question empirically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.database import Database
+from repro.relational.attributes import AttributeSet
+from repro.relational.dependencies import FDSet
+from repro.strategy.tree import Strategy
+
+__all__ = [
+    "is_superkey_step",
+    "is_extension_join",
+    "osborn_strategy",
+    "honeyman_strategy",
+    "strategy_is_lossless",
+    "strategy_is_extension_only",
+]
+
+
+def is_superkey_step(
+    left_attrs: AttributeSet, right_attrs: AttributeSet, fds: FDSet
+) -> bool:
+    """Osborn's step condition: the shared attributes are a superkey of
+    the left or of the right side (under ``fds``)."""
+    shared = left_attrs & right_attrs
+    if not shared:
+        return False
+    return fds.is_superkey(shared, left_attrs) or fds.is_superkey(
+        shared, right_attrs
+    )
+
+
+def is_extension_join(
+    left_attrs: AttributeSet, right_attrs: AttributeSet, fds: FDSet
+) -> bool:
+    """Honeyman's extension-join condition.
+
+    ``X = left ∩ right`` must be a superkey of some nonempty ``Y``
+    contained in one side's private attributes (``left - right`` or
+    ``right - left``): the join then merely *extends* tuples of the other
+    side by functionally determined values.
+    """
+    shared = left_attrs & right_attrs
+    if not shared:
+        return False
+    closure = fds.closure(shared)
+    return bool((closure & (left_attrs - right_attrs))) or bool(
+        (closure & (right_attrs - left_attrs))
+    )
+
+
+def _search(
+    groups: List[Tuple[AttributeSet, ...]],
+    attr_of: dict,
+    fds: FDSet,
+) -> Optional[Tuple]:
+    """Backtracking: repeatedly merge two groups whose attribute unions
+    satisfy Osborn's step condition, until one group remains.  Returns a
+    nested-pair spec over the original schemes, or ``None``."""
+    if len(groups) == 1:
+        return groups[0][0] if len(groups[0]) == 1 else attr_of[groups[0]]
+    for i in range(len(groups)):
+        for j in range(i + 1, len(groups)):
+            left_union = _union_attrs(groups[i])
+            right_union = _union_attrs(groups[j])
+            if not is_superkey_step(left_union, right_union, fds):
+                continue
+            merged = groups[i] + groups[j]
+            spec = (
+                attr_of.get(groups[i], groups[i][0] if len(groups[i]) == 1 else None),
+                attr_of.get(groups[j], groups[j][0] if len(groups[j]) == 1 else None),
+            )
+            attr_of[merged] = spec
+            remaining = [g for k, g in enumerate(groups) if k not in (i, j)]
+            result = _search(remaining + [merged], attr_of, fds)
+            if result is not None:
+                return result
+    return None
+
+
+def _union_attrs(group: Sequence[AttributeSet]) -> AttributeSet:
+    union = AttributeSet(group[0])
+    for scheme in group[1:]:
+        union |= scheme
+    return union
+
+
+def osborn_strategy(db: Database, fds: FDSet) -> Optional[Strategy]:
+    """Build a strategy whose every step joins on a superkey of one side.
+
+    Backtracking over merge orders; exponential in the worst case, which
+    is fine at the reproduction's schema sizes.  Returns ``None`` when no
+    such strategy exists (e.g. when the FDs provide no keys at all).
+    """
+    schemes = db.scheme.sorted_schemes()
+    if len(schemes) == 1:
+        return Strategy.leaf(db, schemes[0])
+    groups: List[Tuple[AttributeSet, ...]] = [(s,) for s in schemes]
+    spec = _search(groups, {}, fds)
+    if spec is None:
+        return None
+    return Strategy.from_spec(db, spec)
+
+
+def strategy_is_lossless(strategy: Strategy, fds: FDSet) -> bool:
+    """True when every step of the strategy satisfies Osborn's superkey
+    condition under ``fds`` -- the paper's *lossless strategy*."""
+    for step in strategy.steps():
+        left, right = step.left, step.right
+        if not is_superkey_step(
+            left.scheme_set.attributes, right.scheme_set.attributes, fds
+        ):
+            return False
+    return True
+
+
+def _search_extension(
+    groups: List[Tuple[AttributeSet, ...]],
+    attr_of: dict,
+    fds: FDSet,
+) -> Optional[Tuple]:
+    """Backtracking over merge orders where every step is an extension
+    join (Honeyman's class), mirroring :func:`_search`."""
+    if len(groups) == 1:
+        return groups[0][0] if len(groups[0]) == 1 else attr_of[groups[0]]
+    for i in range(len(groups)):
+        for j in range(i + 1, len(groups)):
+            left_union = _union_attrs(groups[i])
+            right_union = _union_attrs(groups[j])
+            if not is_extension_join(left_union, right_union, fds):
+                continue
+            merged = groups[i] + groups[j]
+            spec = (
+                attr_of.get(groups[i], groups[i][0] if len(groups[i]) == 1 else None),
+                attr_of.get(groups[j], groups[j][0] if len(groups[j]) == 1 else None),
+            )
+            attr_of[merged] = spec
+            remaining = [g for k, g in enumerate(groups) if k not in (i, j)]
+            result = _search_extension(remaining + [merged], attr_of, fds)
+            if result is not None:
+                return result
+    return None
+
+
+def honeyman_strategy(db: Database, fds: FDSet) -> Optional[Strategy]:
+    """Build a strategy whose every step is an *extension join*.
+
+    Honeyman gave an algorithm to determine, for a set of functional
+    dependencies, a strategy (if it exists) in which every step is an
+    extension join; this implementation finds one by backtracking over
+    merge orders (exponential in the worst case; fine at this
+    reproduction's schema sizes).  Returns ``None`` when no such strategy
+    exists.
+
+    Every Osborn step is an extension join (the superkey determines the
+    entire other side), so :func:`osborn_strategy` success implies
+    success here; the converse fails, since an extension join may extend
+    by only part of the other side's private attributes.
+    """
+    schemes = db.scheme.sorted_schemes()
+    if len(schemes) == 1:
+        return Strategy.leaf(db, schemes[0])
+    groups: List[Tuple[AttributeSet, ...]] = [(s,) for s in schemes]
+    spec = _search_extension(groups, {}, fds)
+    if spec is None:
+        return None
+    return Strategy.from_spec(db, spec)
+
+
+def strategy_is_extension_only(strategy: Strategy, fds: FDSet) -> bool:
+    """True when every step of the strategy is an extension join."""
+    for step in strategy.steps():
+        left, right = step.left, step.right
+        if not is_extension_join(
+            left.scheme_set.attributes, right.scheme_set.attributes, fds
+        ):
+            return False
+    return True

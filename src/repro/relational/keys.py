@@ -1,0 +1,103 @@
+"""Key discovery from relation *states*.
+
+The paper's Section 4 sufficient conditions speak of superkeys implied by
+declared functional dependencies.  When we generate synthetic data (the
+workload generators) we instead need the converse direction: inspect a
+concrete relation state and discover which FDs/keys it satisfies, so we
+can verify that a generated database really is, e.g., a joins-on-superkeys
+database.  This module provides those state-level checks.
+
+Note the usual caveat: a state satisfying ``X -> Y`` is evidence, not a
+schema constraint.  The library keeps the two notions separate -- schema
+constraints live in :mod:`repro.relational.dependencies`, state-level
+observations live here.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Hashable, List, Tuple
+
+from repro.relational.attributes import AttributeSet, AttrsLike, attrs
+from repro.relational.dependencies import FDSet, FunctionalDependency
+from repro.relational.relation import Relation
+
+__all__ = [
+    "satisfies_fd",
+    "is_superkey_of_relation",
+    "candidate_keys",
+    "satisfied_fds",
+]
+
+
+def satisfies_fd(state: Relation, dependency: FunctionalDependency) -> bool:
+    """True when the state satisfies ``X -> Y``: no two tuples agree on
+    ``X`` but disagree on ``Y``.
+
+    Attributes of the FD outside the state's scheme make the FD
+    inapplicable; we require both sides to be contained in the scheme.
+    """
+    if not dependency.attributes <= state.scheme:
+        return False
+    lhs = dependency.lhs.sorted()
+    rhs = dependency.rhs.sorted()
+    seen: Dict[Tuple[Hashable, ...], Tuple[Hashable, ...]] = {}
+    for row in state:
+        key = row.values_for(lhs)
+        value = row.values_for(rhs)
+        if key in seen:
+            if seen[key] != value:
+                return False
+        else:
+            seen[key] = value
+    return True
+
+
+def is_superkey_of_relation(state: Relation, candidate: AttrsLike) -> bool:
+    """True when ``candidate`` is a superkey of the *state*: its values
+    identify tuples uniquely (i.e. the state satisfies
+    ``candidate -> scheme``)."""
+    candidate_set = attrs(candidate)
+    if not candidate_set <= state.scheme:
+        return False
+    return len(state.project(candidate_set)) == len(state)
+
+
+def candidate_keys(state: Relation) -> List[AttributeSet]:
+    """All minimal superkeys of the state, smallest first.
+
+    Exhaustive over subsets by size; supersets of found keys are pruned.
+    """
+    names = state.scheme.sorted()
+    keys: List[AttributeSet] = []
+    for size in range(1, len(names) + 1):
+        for combo in combinations(names, size):
+            candidate = AttributeSet(combo)
+            if any(key <= candidate for key in keys):
+                continue
+            if is_superkey_of_relation(state, candidate):
+                keys.append(candidate)
+    return sorted(keys, key=lambda key: (len(key), key.sorted()))
+
+
+def satisfied_fds(state: Relation, max_lhs: int = 2) -> FDSet:
+    """Mine the FDs with small left sides that the state satisfies.
+
+    For every ``X`` with ``|X| <= max_lhs`` report the maximal satisfied FD
+    ``X -> Y``.  Intended for diagnostics in examples and tests; not an
+    efficient general FD-discovery algorithm.
+    """
+    names = state.scheme.sorted()
+    found = []
+    for size in range(1, min(max_lhs, len(names)) + 1):
+        for combo in combinations(names, size):
+            lhs = AttributeSet(combo)
+            rhs = AttributeSet(
+                attr
+                for attr in names
+                if attr not in lhs
+                and satisfies_fd(state, FunctionalDependency(lhs, [attr]))
+            )
+            if rhs:
+                found.append(FunctionalDependency(lhs, rhs))
+    return FDSet(found)

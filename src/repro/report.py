@@ -1,0 +1,111 @@
+"""Plain-text table rendering for benchmarks and examples.
+
+Every benchmark prints its results through :class:`Table`, so EXPERIMENTS
+rows are regenerated in a uniform format::
+
+    strategy                         | tau  | linear | uses CP
+    ---------------------------------+------+--------+--------
+    ((R1 ⋈ R2) ⋈ R3) ⋈ R4            | 570  | yes    | no
+
+No third-party dependencies; right-aligns numbers, left-aligns text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["Table", "format_bool", "render_kv"]
+
+Cell = Union[str, int, float, bool, None]
+
+
+def format_bool(value: bool) -> str:
+    """``yes``/``no`` -- terser than True/False in tables."""
+    return "yes" if value else "no"
+
+
+def _render_cell(value: Cell) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return format_bool(value)
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+class Table:
+    """A fixed-column plain-text table builder."""
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None):
+        self._columns = list(columns)
+        self._title = title
+        self._rows: List[List[str]] = []
+        self._numeric = [True] * len(self._columns)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row; cell count must match the header."""
+        if len(cells) != len(self._columns):
+            raise ValueError(
+                f"expected {len(self._columns)} cells, got {len(cells)}"
+            )
+        rendered = [_render_cell(c) for c in cells]
+        for i, cell in enumerate(cells):
+            if not isinstance(cell, (int, float)) or isinstance(cell, bool):
+                self._numeric[i] = False
+        self._rows.append(rendered)
+
+    def render(self) -> str:
+        """The table as a string (no trailing newline)."""
+        widths = [
+            max(len(self._columns[i]), *(len(r[i]) for r in self._rows))
+            if self._rows
+            else len(self._columns[i])
+            for i in range(len(self._columns))
+        ]
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            parts = []
+            for i, cell in enumerate(cells):
+                if self._numeric[i]:
+                    parts.append(cell.rjust(widths[i]))
+                else:
+                    parts.append(cell.ljust(widths[i]))
+            return " | ".join(parts).rstrip()
+
+        lines = []
+        if self._title:
+            lines.append(self._title)
+            lines.append("=" * len(self._title))
+        lines.append(fmt_row(self._columns))
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt_row(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Render to stdout, followed by a blank line."""
+        print(self.render())
+        print()
+
+    def to_markdown(self) -> str:
+        """The table as GitHub-flavored markdown (for EXPERIMENTS.md)."""
+        def fmt(cells):
+            return "| " + " | ".join(cells) + " |"
+
+        lines = []
+        if self._title:
+            lines.append(f"**{self._title}**")
+            lines.append("")
+        lines.append(fmt(self._columns))
+        lines.append(fmt(["---"] * len(self._columns)))
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable) -> str:
+    """Render (key, value) pairs as aligned ``key: value`` lines."""
+    pairs = [(str(k), _render_cell(v)) for k, v in pairs]
+    if not pairs:
+        return ""
+    width = max(len(k) for k, _ in pairs)
+    return "\n".join(f"{k.ljust(width)} : {v}" for k, v in pairs)

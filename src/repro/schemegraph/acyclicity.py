@@ -1,0 +1,183 @@
+"""Degrees of acyclicity for database schemes (Fagin, JACM 1983).
+
+Section 5 of the paper relies on two of Fagin's acyclicity notions:
+
+* **alpha-acyclicity** -- decided here by the GYO (Graham / Yu–Ozsoyoglu)
+  reduction: repeatedly (1) delete attributes that occur in exactly one
+  relation scheme, and (2) delete a relation scheme contained in another.
+  The scheme is alpha-acyclic iff the reduction empties it.
+* **gamma-acyclicity** -- decided by searching for a *gamma-cycle*, exactly
+  as Fagin defines it: a sequence ``(S1, x1, S2, x2, ..., Sm, xm, S1)``
+  with ``m >= 3``, distinct edges ``Si``, distinct attributes ``xi``,
+  ``xi ∈ Si ∩ Si+1`` (indices mod ``m``), and -- for ``i < m`` -- ``xi``
+  in *no* other edge of the cycle.  The search enumerates simple cycles of
+  the intersection graph and backtracks over attribute assignments;
+  worst-case exponential, which is fine at this reproduction's scheme
+  sizes (the paper's examples have 3-5 relations; our generators stay
+  small).
+
+**beta-acyclicity** (every subset of schemes alpha-acyclic) is provided
+for completeness and is decided by brute force over subsets.
+
+Fagin's hierarchy -- gamma implies beta implies alpha -- is asserted by
+the test suite on random schemes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.attributes import AttributeSet
+from repro.schemegraph.scheme import DatabaseScheme, scheme_of
+
+__all__ = [
+    "gyo_reduction",
+    "is_alpha_acyclic",
+    "is_beta_acyclic",
+    "find_gamma_cycle",
+    "is_gamma_acyclic",
+]
+
+#: A gamma-cycle witness: ``((S1, x1), ..., (Sm, xm))`` with the closing
+#: edge ``S1`` implicit (``xm ∈ Sm ∩ S1``).
+GammaCycle = Tuple[Tuple[AttributeSet, str], ...]
+
+
+def gyo_reduction(scheme) -> List[AttributeSet]:
+    """Run the GYO reduction; return the *residue* (surviving hyperedges).
+
+    An empty residue means the scheme is alpha-acyclic.  The reduction is
+    confluent, so the deletion order does not affect emptiness.
+    """
+    db = scheme_of(scheme)
+    edges: List[Set[str]] = [set(s) for s in db.sorted_schemes()]
+    changed = True
+    while changed and edges:
+        changed = False
+        # Rule 1: drop attributes occurring in exactly one edge.
+        counts: Dict[str, int] = {}
+        for edge in edges:
+            for attr in edge:
+                counts[attr] = counts.get(attr, 0) + 1
+        for edge in edges:
+            lonely = {attr for attr in edge if counts[attr] == 1}
+            if lonely:
+                edge -= lonely
+                changed = True
+        # Drop emptied edges.
+        if any(not edge for edge in edges):
+            edges = [edge for edge in edges if edge]
+            changed = True
+        # Rule 2: drop an edge contained in another (possibly equal) edge.
+        for i, edge in enumerate(edges):
+            if any(j != i and edge <= other for j, other in enumerate(edges)):
+                edges.pop(i)
+                changed = True
+                break
+    return [AttributeSet(edge) for edge in edges]
+
+
+def is_alpha_acyclic(scheme) -> bool:
+    """True when the database scheme is alpha-acyclic (GYO empties it)."""
+    return not gyo_reduction(scheme)
+
+
+def is_beta_acyclic(scheme) -> bool:
+    """True when every nonempty subset of the relation schemes is
+    alpha-acyclic (Fagin's beta-acyclicity).  Brute force over subsets."""
+    db = scheme_of(scheme)
+    ordered = db.sorted_schemes()
+    for size in range(1, len(ordered) + 1):
+        for combo in combinations(ordered, size):
+            if not is_alpha_acyclic(DatabaseScheme(combo)):
+                return False
+    return True
+
+
+def _assign_attributes(
+    cycle: Sequence[AttributeSet],
+) -> Optional[Tuple[str, ...]]:
+    """Try to pick distinct attributes ``x1..xm`` for an edge cycle.
+
+    ``xi`` must lie in ``cycle[i] ∩ cycle[i+1 mod m]``; for ``i < m-1``
+    (0-based: every position except the last) it must avoid all other
+    edges of the cycle.  Returns the assignment or ``None``.
+    """
+    m = len(cycle)
+
+    def candidates(position: int) -> List[str]:
+        here, there = cycle[position], cycle[(position + 1) % m]
+        shared = sorted(here & there)
+        if position == m - 1:
+            return shared
+        others = [cycle[j] for j in range(m) if j not in (position, (position + 1) % m)]
+        return [a for a in shared if all(a not in other for other in others)]
+
+    def backtrack(position: int, chosen: Tuple[str, ...]) -> Optional[Tuple[str, ...]]:
+        if position == m:
+            return chosen
+        for attr in candidates(position):
+            if attr in chosen:
+                continue
+            result = backtrack(position + 1, chosen + (attr,))
+            if result is not None:
+                return result
+        return None
+
+    return backtrack(0, ())
+
+
+def find_gamma_cycle(scheme) -> Optional[GammaCycle]:
+    """Search for a gamma-cycle; return a witness or ``None``.
+
+    Enumerates simple cycles (length >= 3) of the intersection graph of
+    the relation schemes, canonically rooted at their smallest edge so each
+    cycle is visited once per direction, and tries to realize each as a
+    gamma-cycle by assigning attributes.
+    """
+    db = scheme_of(scheme)
+    edges = db.sorted_schemes()
+    if len(edges) < 3:
+        return None
+    index = {edge: i for i, edge in enumerate(edges)}
+    neighbors: Dict[AttributeSet, List[AttributeSet]] = {e: [] for e in edges}
+    for left, right in combinations(edges, 2):
+        if left & right:
+            neighbors[left].append(right)
+            neighbors[right].append(left)
+
+    found: List[GammaCycle] = []
+
+    def dfs(path: List[AttributeSet]) -> Optional[GammaCycle]:
+        last = path[-1]
+        root = path[0]
+        if len(path) >= 3 and root in neighbors[last]:
+            # Fagin's exemption applies only to the last attribute of the
+            # sequence, so every rotation of the cycle is a distinct
+            # candidate sequence; try them all.
+            for shift in range(len(path)):
+                rotated = path[shift:] + path[:shift]
+                assignment = _assign_attributes(rotated)
+                if assignment is not None:
+                    return tuple(zip(rotated, assignment))
+        for nxt in neighbors[last]:
+            # Only grow with edges larger than the root (canonical rooting)
+            # and not already on the path (simple cycles).
+            if index[nxt] <= index[root] or nxt in path:
+                continue
+            result = dfs(path + [nxt])
+            if result is not None:
+                return result
+        return None
+
+    for root in edges:
+        result = dfs([root])
+        if result is not None:
+            return result
+    return None
+
+
+def is_gamma_acyclic(scheme) -> bool:
+    """True when the database scheme has no gamma-cycle."""
+    return find_gamma_cycle(scheme) is None

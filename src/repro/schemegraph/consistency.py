@@ -1,0 +1,168 @@
+"""Pairwise consistency, semijoin reduction, and Yannakakis evaluation.
+
+Section 5 of the paper uses:
+
+* **pairwise consistency** (Beeri et al. / Goodman–Shmueli): every two
+  relation states project equally onto their shared attributes;
+* the **full reducer** of Bernstein and Chiu: a semijoin program that,
+  for acyclic schemes, removes every tuple that cannot contribute to the
+  final join (producing a pairwise-consistent -- indeed globally
+  consistent -- database);
+* **Yannakakis' algorithm**: evaluate an acyclic join in time polynomial
+  in input + output by joining up a join tree after a full reduction.
+
+These are what make the paper's condition C4 satisfiable: a
+gamma-acyclic pairwise-consistent database satisfies C4, and a full
+reduction is how one obtains pairwise consistency in practice.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import AcyclicityError
+from repro.relational.attributes import AttributeSet
+from repro.relational.relation import Relation
+from repro.schemegraph.jointree import JoinTree, build_join_tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.database import Database
+
+__all__ = [
+    "is_pairwise_consistent",
+    "semijoin_program",
+    "full_reduce",
+    "yannakakis",
+    "YannakakisTrace",
+]
+
+
+def is_pairwise_consistent(db: Database) -> bool:
+    """True when every pair of relation states is consistent (projects
+    equally onto the shared attributes).  Pairs over disjoint schemes are
+    vacuously consistent."""
+    rels = db.relations()
+    for i, left in enumerate(rels):
+        for right in rels[i + 1 :]:
+            if not left.is_consistent_with(right):
+                return False
+    return True
+
+
+def semijoin_program(tree: JoinTree, root: AttributeSet) -> List[Tuple[AttributeSet, AttributeSet]]:
+    """The Bernstein–Chiu full-reducer program for a join tree.
+
+    Returns a list of (target, source) pairs meaning "replace the state
+    over *target* by its semijoin with the state over *source*": first an
+    upward (leaves-to-root) sweep, then a downward (root-to-leaves) sweep.
+    Applying the program in order fully reduces the database.
+    """
+    order = tree.rooted_at(root)
+    upward = [
+        (parent, node) for node, parent in reversed(order) if parent is not None
+    ]
+    downward = [(node, parent) for node, parent in order if parent is not None]
+    return upward + downward
+
+
+def full_reduce(db: Database, root: Optional[AttributeSet] = None) -> Database:
+    """Fully reduce ``db`` by semijoins.
+
+    For a connected alpha-acyclic scheme this runs the Bernstein–Chiu
+    program on a join tree (root defaults to the lexicographically first
+    scheme) and the result is globally consistent.  For other schemes it
+    falls back to the naive fixpoint (repeat pairwise semijoins until no
+    state shrinks), which reaches pairwise consistency on acyclic
+    components but is only a heuristic filter in general.
+    """
+    schemes = db.scheme.sorted_schemes()
+    try:
+        tree = build_join_tree(db.scheme)
+    except AcyclicityError:
+        tree = None
+    if tree is not None:
+        chosen_root = root if root is not None else schemes[0]
+        reduced = db
+        for target, source in semijoin_program(tree, chosen_root):
+            new_state = reduced.state_for(target).semijoin(reduced.state_for(source))
+            reduced = reduced.with_state(new_state.with_name(db.state_for(target).name))
+        return reduced
+    # Naive fixpoint fallback.
+    reduced = db
+    changed = True
+    while changed:
+        changed = False
+        for target in schemes:
+            for source in schemes:
+                if target == source:
+                    continue
+                current = reduced.state_for(target)
+                new_state = current.semijoin(reduced.state_for(source))
+                if len(new_state) < len(current):
+                    reduced = reduced.with_state(new_state.with_name(current.name))
+                    changed = True
+    return reduced
+
+
+class YannakakisTrace:
+    """The result of a Yannakakis evaluation plus its intermediate sizes.
+
+    ``steps`` records ``(accumulated_size, input_size, output_size)`` for
+    each join along the tree (the quantities the paper's
+    monotone-increasing discussion is about); ``result`` is ``R_D``.
+    """
+
+    __slots__ = ("result", "steps", "reduced_sizes")
+
+    def __init__(
+        self,
+        result: Relation,
+        steps: List[Tuple[int, int, int]],
+        reduced_sizes: Dict[AttributeSet, int],
+    ):
+        self.result = result
+        self.steps = steps
+        self.reduced_sizes = reduced_sizes
+
+    @property
+    def total_tuples_generated(self) -> int:
+        """The tau-cost of the evaluation: sum of all step outputs."""
+        return sum(out for _, _, out in self.steps)
+
+    def is_monotone_increasing(self) -> bool:
+        """True when every join output is at least as large as both of its
+        inputs -- guaranteed after a full reduction of an acyclic
+        pairwise-consistent database."""
+        return all(out >= left and out >= right for left, right, out in self.steps)
+
+
+def yannakakis(db: Database, root: Optional[AttributeSet] = None) -> YannakakisTrace:
+    """Evaluate an alpha-acyclic connected database Yannakakis-style.
+
+    Fully reduces the database, then joins the states along a join tree in
+    BFS order from the root (every BFS prefix induces a subtree, so each
+    join is along a tree edge -- never a Cartesian product).  After the
+    reduction no join step can produce dangling tuples, so every
+    intermediate tuple extends to the final result: the evaluation is
+    *monotone increasing* in the paper's sense.
+
+    Raises :class:`~repro.errors.AcyclicityError` for schemes without a
+    join tree.
+    """
+    tree = build_join_tree(db.scheme)
+    schemes = db.scheme.sorted_schemes()
+    chosen_root = root if root is not None else schemes[0]
+    reduced = full_reduce(db, root=chosen_root)
+    reduced_sizes = {s: len(reduced.state_for(s)) for s in schemes}
+    result: Optional[Relation] = None
+    steps: List[Tuple[int, int, int]] = []
+    for node, _parent in tree.rooted_at(chosen_root):
+        state = reduced.state_for(node)
+        if result is None:
+            result = state
+        else:
+            left, right = len(result), len(state)
+            result = result.join(state)
+            steps.append((left, right, len(result)))
+    assert result is not None
+    return YannakakisTrace(result, steps, reduced_sizes)

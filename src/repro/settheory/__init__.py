@@ -1,0 +1,31 @@
+"""Set-theoretic strategies (paper, Section 5).
+
+The paper closes by reinterpreting its framework with ``⋈`` replaced by
+set union or intersection over a family of sets: every two "relations"
+are linked, ∩ satisfies C3 (so Theorem 3 gives an optimal *linear*
+intersection order), and ∪ satisfies C4.  :mod:`sets` implements
+strategies over set families with those operations and the optimal
+linear intersection search.
+"""
+
+from repro.settheory.sets import (
+    SetFamily,
+    SetStrategy,
+    intersection_satisfies_c3,
+    union_satisfies_c4,
+    best_linear_intersection,
+    optimal_intersection_cost,
+    best_linear_union,
+    optimal_union_cost,
+)
+
+__all__ = [
+    "SetFamily",
+    "SetStrategy",
+    "intersection_satisfies_c3",
+    "union_satisfies_c4",
+    "best_linear_intersection",
+    "optimal_intersection_cost",
+    "best_linear_union",
+    "optimal_union_cost",
+]

@@ -1,0 +1,96 @@
+"""Strategy trees: the paper's central formal object.
+
+A *strategy* for evaluating a database is a rooted binary tree whose
+leaves are the base relations and whose internal nodes ("steps") are
+pairwise natural joins (paper, Section 2, rules S1-S4).  This subpackage
+provides:
+
+* :mod:`tree` -- the :class:`Strategy` type with all the paper's
+  predicates (linear, uses/avoids Cartesian products, evaluates
+  components individually, monotone);
+* :mod:`cost` -- the tau cost measure and alternatives;
+* :mod:`transform` -- the pluck/graft surgeries of Figures 1-6 used in
+  the proofs;
+* :mod:`enumerate` -- exhaustive generators and census formulas for the
+  strategy subspaces optimizers search.
+"""
+
+from repro.strategy.tree import Strategy, parse_strategy
+from repro.strategy.cost import (
+    tau_cost,
+    step_costs,
+    max_intermediate_cost,
+    tau_cost_excluding_root,
+)
+from repro.strategy.transform import (
+    pluck,
+    graft,
+    pluck_and_graft,
+    exchange_leaves,
+)
+from repro.strategy.proofs import (
+    eliminate_cartesian_products,
+    last_cartesian_product_step,
+    lemma2_merge,
+    lemma3_merge,
+    linearize,
+    normalize_components_individually,
+    refute_linear_optimality,
+    theorem1_improvement,
+)
+from repro.strategy.monotone import (
+    best_monotone,
+    monotone_decreasing_possible,
+    monotone_increasing_possible,
+    monotone_strategies,
+    probe_monotone_optimality,
+)
+from repro.strategy.sampling import (
+    cost_distribution,
+    sample_linear_strategy,
+    sample_strategy,
+)
+from repro.strategy.visualize import render_steps, render_tree
+from repro.strategy.enumerate import (
+    all_strategies,
+    linear_strategies,
+    strategies_in_space,
+    count_all_strategies,
+    count_linear_strategies,
+)
+
+__all__ = [
+    "Strategy",
+    "parse_strategy",
+    "tau_cost",
+    "step_costs",
+    "max_intermediate_cost",
+    "tau_cost_excluding_root",
+    "pluck",
+    "graft",
+    "pluck_and_graft",
+    "exchange_leaves",
+    "all_strategies",
+    "linear_strategies",
+    "strategies_in_space",
+    "count_all_strategies",
+    "count_linear_strategies",
+    "eliminate_cartesian_products",
+    "last_cartesian_product_step",
+    "lemma2_merge",
+    "lemma3_merge",
+    "linearize",
+    "normalize_components_individually",
+    "refute_linear_optimality",
+    "theorem1_improvement",
+    "best_monotone",
+    "monotone_decreasing_possible",
+    "monotone_increasing_possible",
+    "monotone_strategies",
+    "probe_monotone_optimality",
+    "cost_distribution",
+    "sample_linear_strategy",
+    "sample_strategy",
+    "render_steps",
+    "render_tree",
+]

@@ -1,0 +1,245 @@
+"""Exhaustive enumeration of strategy subspaces, plus census formulas.
+
+The paper's introduction counts the strategies for four relations: 15 in
+all, of which 12 are linear.  In general, with children unordered (joins
+commute), the number of strategies for ``n`` relations is the double
+factorial ``(2n-3)!!`` and the number of linear strategies is ``n!/2``
+(for ``n >= 2``).  :func:`count_all_strategies` and
+:func:`count_linear_strategies` implement the formulas; the generators
+below materialize the actual trees and are the ground truth against which
+the dynamic-programming optimizers are validated.
+
+Key structural fact used by the no-Cartesian-product generator: in a
+strategy with no CP step, *every* node's scheme set is connected (an
+unconnected node would need a CP step somewhere beneath it to combine its
+components).  So CP-free strategies over a connected scheme are generated
+by recursively splitting into two connected parts; over an unconnected
+scheme, the paper's *avoids Cartesian products* means each component is
+evaluated individually by a CP-free substrategy and the components are
+then combined by the unavoidable ``comp(D)-1`` Cartesian products.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import factorial
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.database import Database
+from repro.errors import StrategyError
+from repro.relational.attributes import AttributeSet
+from repro.schemegraph.scheme import DatabaseScheme
+from repro.strategy.tree import Strategy
+
+__all__ = [
+    "all_strategies",
+    "linear_strategies",
+    "nocp_strategies",
+    "linear_nocp_strategies",
+    "strategies_in_space",
+    "count_all_strategies",
+    "count_linear_strategies",
+]
+
+SchemeKey = FrozenSet[AttributeSet]
+
+
+def _subset_key(db: Database, subset) -> SchemeKey:
+    if subset is None:
+        return frozenset(db.scheme.schemes)
+    if isinstance(subset, DatabaseScheme):
+        return frozenset(subset.schemes)
+    return frozenset(DatabaseScheme(subset).schemes)
+
+
+def _splits(schemes: Tuple[AttributeSet, ...]) -> Iterator[Tuple[Tuple[AttributeSet, ...], Tuple[AttributeSet, ...]]]:
+    """Unordered 2-partitions of ``schemes`` into nonempty parts.
+
+    The first scheme is pinned to the first part, so each partition is
+    produced exactly once.
+    """
+    fixed, rest = schemes[0], schemes[1:]
+    for size in range(len(rest)):
+        for chosen in combinations(rest, size):
+            part1 = (fixed,) + chosen
+            part2 = tuple(s for s in rest if s not in chosen)
+            if part2:
+                yield part1, part2
+
+
+def all_strategies(db: Database, subset=None) -> Iterator[Strategy]:
+    """Every strategy for the database (or for a subset of its schemes).
+
+    Enumerates ``(2n-3)!!`` trees; results within one call are memoized
+    per scheme subset so shared substrategies are built once.
+    """
+    memo: Dict[SchemeKey, Tuple[Strategy, ...]] = {}
+
+    def build(key: SchemeKey) -> Tuple[Strategy, ...]:
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        ordered = tuple(sorted(key, key=lambda s: s.sorted()))
+        if len(ordered) == 1:
+            result: Tuple[Strategy, ...] = (Strategy.leaf(db, ordered[0]),)
+        else:
+            built: List[Strategy] = []
+            for part1, part2 in _splits(ordered):
+                for left in build(frozenset(part1)):
+                    for right in build(frozenset(part2)):
+                        built.append(Strategy.join(left, right))
+            result = tuple(built)
+        memo[key] = result
+        return result
+
+    yield from build(_subset_key(db, subset))
+
+
+def linear_strategies(db: Database, subset=None) -> Iterator[Strategy]:
+    """Every linear strategy: ``n!/2`` trees for ``n >= 2`` relations."""
+    key = _subset_key(db, subset)
+    ordered = tuple(sorted(key, key=lambda s: s.sorted()))
+    if len(ordered) == 1:
+        yield Strategy.leaf(db, ordered[0])
+        return
+
+    def build(prefix: Tuple[AttributeSet, ...]) -> Strategy:
+        node = Strategy.leaf(db, prefix[0])
+        for scheme in prefix[1:]:
+            node = Strategy.join(node, Strategy.leaf(db, scheme))
+        return node
+
+    seen = set()
+    from itertools import permutations
+
+    for order in permutations(ordered):
+        # The first two leaves commute; canonicalize to dedupe.
+        if order[0].sorted() > order[1].sorted():
+            continue
+        strategy = build(order)
+        if strategy not in seen:
+            seen.add(strategy)
+            yield strategy
+
+
+def _connected_strategies(db: Database, key: SchemeKey,
+                          memo: Dict[SchemeKey, Tuple[Strategy, ...]]) -> Tuple[Strategy, ...]:
+    """All CP-free strategies for a *connected* scheme subset."""
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    ordered = tuple(sorted(key, key=lambda s: s.sorted()))
+    if len(ordered) == 1:
+        result: Tuple[Strategy, ...] = (Strategy.leaf(db, ordered[0]),)
+    else:
+        built: List[Strategy] = []
+        for part1, part2 in _splits(ordered):
+            scheme1 = DatabaseScheme(part1)
+            scheme2 = DatabaseScheme(part2)
+            if not (scheme1.is_connected() and scheme2.is_connected()):
+                continue
+            for left in _connected_strategies(db, frozenset(part1), memo):
+                for right in _connected_strategies(db, frozenset(part2), memo):
+                    built.append(Strategy.join(left, right))
+        result = tuple(built)
+    memo[key] = result
+    return result
+
+
+def nocp_strategies(db: Database, subset=None) -> Iterator[Strategy]:
+    """Every strategy that *avoids Cartesian products* (paper, Section 2).
+
+    For a connected scheme this is exactly the CP-free ("connected")
+    strategies; for an unconnected scheme, each component is evaluated
+    individually by a CP-free substrategy and the component results are
+    combined by every possible binary tree of the unavoidable Cartesian
+    products.
+    """
+    key = _subset_key(db, subset)
+    scheme = DatabaseScheme(key)
+    components = scheme.components()
+    memo: Dict[SchemeKey, Tuple[Strategy, ...]] = {}
+    if len(components) == 1:
+        yield from _connected_strategies(db, key, memo)
+        return
+
+    per_component: List[Tuple[Strategy, ...]] = [
+        _connected_strategies(db, frozenset(component.schemes), memo)
+        for component in components
+    ]
+
+    def combine(blocks: Tuple[Strategy, ...]) -> Iterator[Strategy]:
+        """All binary trees over the given component strategies."""
+        if len(blocks) == 1:
+            yield blocks[0]
+            return
+        indices = tuple(range(len(blocks)))
+        for size in range(1, len(indices)):
+            for chosen in combinations(indices[1:], size - 1):
+                part1 = (0,) + chosen
+                part2 = tuple(i for i in indices if i not in part1)
+                left_blocks = tuple(blocks[i] for i in part1)
+                right_blocks = tuple(blocks[i] for i in part2)
+                for left in combine(left_blocks):
+                    for right in combine(right_blocks):
+                        yield Strategy.join(left, right)
+
+    from itertools import product
+
+    for assignment in product(*per_component):
+        yield from combine(tuple(assignment))
+
+
+def linear_nocp_strategies(db: Database, subset=None) -> Iterator[Strategy]:
+    """Every strategy that is linear *and* avoids Cartesian products."""
+    for strategy in nocp_strategies(db, subset):
+        if strategy.is_linear():
+            yield strategy
+
+
+def strategies_in_space(
+    db: Database,
+    subset=None,
+    linear: bool = False,
+    avoid_cartesian_products: bool = False,
+) -> Iterator[Strategy]:
+    """Enumerate a strategy subspace selected by flags.
+
+    ``linear`` restricts to linear strategies; ``avoid_cartesian_products``
+    restricts to strategies avoiding Cartesian products; both may be
+    combined (System R's subspace).
+    """
+    if avoid_cartesian_products:
+        source = nocp_strategies(db, subset)
+        if linear:
+            source = (s for s in source if s.is_linear())
+        yield from source
+    elif linear:
+        yield from linear_strategies(db, subset)
+    else:
+        yield from all_strategies(db, subset)
+
+
+def count_all_strategies(n: int) -> int:
+    """``(2n-3)!!``: the number of strategies for ``n`` relations.
+
+    Matches the paper's count of 15 for four relations.
+    """
+    if n < 1:
+        raise StrategyError("a database has at least one relation")
+    if n == 1:
+        return 1
+    result = 1
+    for odd in range(1, 2 * n - 2, 2):
+        result *= odd
+    return result
+
+
+def count_linear_strategies(n: int) -> int:
+    """``n!/2``: the number of linear strategies for ``n >= 2`` relations
+    (12 for four relations, as in the paper's introduction)."""
+    if n < 1:
+        raise StrategyError("a database has at least one relation")
+    if n == 1:
+        return 1
+    return factorial(n) // 2

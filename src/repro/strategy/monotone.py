@@ -1,0 +1,116 @@
+"""Monotone strategies (paper, Section 5).
+
+A strategy is *monotone decreasing* when every step's output is no larger
+than either input, and *monotone increasing* when it is no smaller.  The
+paper observes:
+
+* a necessary condition for a monotone decreasing strategy to exist is
+  that the final result be no larger than every relation state
+  (:func:`monotone_decreasing_possible`);
+* dually for monotone increasing (:func:`monotone_increasing_possible`);
+* under C3, Theorem 3's linear tau-optimal strategy is monotone
+  decreasing;
+* and it leaves open whether more general conditions guarantee a
+  tau-optimal monotone strategy -- :func:`probe_monotone_optimality`
+  answers the question *empirically* for a given database, which is what
+  the E-MONO benchmark sweeps.
+
+All searches here are exhaustive (they quantify over a strategy
+subspace), intended for the small databases the reproduction studies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.database import Database
+from repro.strategy.cost import tau_cost
+from repro.strategy.enumerate import all_strategies
+from repro.strategy.tree import Strategy
+
+__all__ = [
+    "monotone_decreasing_possible",
+    "monotone_increasing_possible",
+    "monotone_strategies",
+    "best_monotone",
+    "MonotoneProbe",
+    "probe_monotone_optimality",
+]
+
+
+def monotone_decreasing_possible(db: Database) -> bool:
+    """The paper's necessary condition: ``tau(R_D)`` is at most every
+    relation state's size.  ("This condition is not restrictive, since it
+    should usually be the case in practice.")"""
+    final = db.tau_of()
+    return all(final <= len(rel) for rel in db.relations())
+
+
+def monotone_increasing_possible(db: Database) -> bool:
+    """Dual necessary condition: the final result is at least as large as
+    every relation state."""
+    final = db.tau_of()
+    return all(final >= len(rel) for rel in db.relations())
+
+
+def monotone_strategies(db: Database, direction: str) -> Iterator[Strategy]:
+    """All strategies monotone in the given direction (``"decreasing"``
+    or ``"increasing"``)."""
+    if direction not in ("decreasing", "increasing"):
+        raise ValueError(f"direction must be 'decreasing' or 'increasing', got {direction!r}")
+    for strategy in all_strategies(db):
+        if direction == "decreasing" and strategy.is_monotone_decreasing():
+            yield strategy
+        elif direction == "increasing" and strategy.is_monotone_increasing():
+            yield strategy
+
+
+def best_monotone(db: Database, direction: str) -> Optional[Tuple[Strategy, int]]:
+    """The cheapest monotone strategy (and its tau), or ``None`` when the
+    monotone subspace is empty."""
+    best: Optional[Strategy] = None
+    best_cost = 0
+    for strategy in monotone_strategies(db, direction):
+        cost = tau_cost(strategy)
+        if best is None or cost < best_cost:
+            best, best_cost = strategy, cost
+    if best is None:
+        return None
+    return best, best_cost
+
+
+class MonotoneProbe:
+    """The empirical answer to Section 5's open question for one database.
+
+    ``exists`` -- a monotone strategy exists; ``optimal`` -- some monotone
+    strategy attains the global tau optimum; ``gap`` -- cheapest-monotone
+    minus optimum (0 when optimal, ``None`` when no monotone strategy
+    exists).
+    """
+
+    __slots__ = ("direction", "exists", "optimal", "gap", "optimum_cost")
+
+    def __init__(self, direction: str, exists: bool, optimal: bool, gap, optimum_cost: int):
+        self.direction = direction
+        self.exists = exists
+        self.optimal = optimal
+        self.gap = gap
+        self.optimum_cost = optimum_cost
+
+    def __repr__(self) -> str:
+        return (
+            f"<MonotoneProbe {self.direction}: exists={self.exists} "
+            f"optimal={self.optimal} gap={self.gap}>"
+        )
+
+
+def probe_monotone_optimality(db: Database, direction: str) -> MonotoneProbe:
+    """Exhaustively decide whether a tau-optimal monotone strategy exists
+    for this database (the per-instance version of the paper's open
+    question)."""
+    optimum = min(tau_cost(s) for s in all_strategies(db))
+    found = best_monotone(db, direction)
+    if found is None:
+        return MonotoneProbe(direction, False, False, None, optimum)
+    _, cost = found
+    return MonotoneProbe(direction, True, cost == optimum, cost - optimum, optimum)

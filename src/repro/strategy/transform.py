@@ -1,0 +1,167 @@
+"""The proof surgeries: pluck, graft, and leaf exchange.
+
+These are the tree transformations the paper defines before Section 3
+(Figures 1 and 2) and applies throughout the lemmas:
+
+* :func:`pluck` removes a substrategy ``S_D''`` whose parent step is
+  ``[D'] ⋈ [D'']``, yielding a strategy for ``(D - D'', D - D'')``;
+* :func:`graft` inserts a strategy ``S_D''`` above a node ``S_D'``,
+  yielding a strategy for ``(D ∪ D'', D ∪ D'')``;
+* :func:`pluck_and_graft` composes the two -- the move used in Lemmas 2,
+  3, and 6;
+* :func:`exchange_leaves` swaps two leaves -- the ``T2`` move in the
+  proof of Theorem 1 (Figure 3).
+
+Because strategy nodes derive their states from the database's memoized
+subset joins, the "replace every ancestor ``[E, R_E]`` by
+``[E ∓ D'', R_{E ∓ D''}]``" bookkeeping in the paper's definition happens
+automatically when the tree is rebuilt.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import StrategyError
+from repro.schemegraph.scheme import DatabaseScheme, scheme_of
+from repro.strategy.tree import Strategy
+
+__all__ = ["pluck", "graft", "pluck_and_graft", "exchange_leaves"]
+
+
+def _as_scheme_set(strategy: Strategy, subset) -> DatabaseScheme:
+    target = subset.scheme_set if isinstance(subset, Strategy) else scheme_of(subset)
+    return target
+
+
+def pluck(strategy: Strategy, subset) -> Strategy:
+    """Remove the substrategy rooted at the node with scheme set ``subset``.
+
+    ``subset`` may be a :class:`DatabaseScheme`-like spec or a
+    :class:`Strategy` node.  The named node must exist and must not be the
+    root (the paper plucks a child of a step, never the whole tree).
+    Returns the strategy for the remaining schemes.
+    """
+    target = _as_scheme_set(strategy, subset)
+    if strategy.scheme_set == target:
+        raise StrategyError("cannot pluck the root of a strategy")
+    result = _pluck_inner(strategy, target)
+    if result is None:
+        raise StrategyError(
+            f"no substrategy with scheme set {target} to pluck"
+        )
+    return result
+
+
+def _pluck_inner(node: Strategy, target: DatabaseScheme) -> Optional[Strategy]:
+    """Rebuild ``node`` without the subtree whose schemes equal ``target``;
+    ``None`` when the target does not occur inside ``node``."""
+    if node.is_leaf:
+        return None
+    left, right = node.left, node.right
+    if left.scheme_set == target:
+        return right
+    if right.scheme_set == target:
+        return left
+    if target.schemes <= left.scheme_set.schemes:
+        rebuilt = _pluck_inner(left, target)
+        if rebuilt is not None:
+            return Strategy.join(rebuilt, right)
+        return None
+    if target.schemes <= right.scheme_set.schemes:
+        rebuilt = _pluck_inner(right, target)
+        if rebuilt is not None:
+            return Strategy.join(left, rebuilt)
+        return None
+    return None
+
+
+def graft(strategy: Strategy, donor: Strategy, above) -> Strategy:
+    """Graft ``donor`` above the node of ``strategy`` with scheme set
+    ``above`` (paper, Figure 2).
+
+    The donor's schemes must be disjoint from the host's; the result
+    evaluates ``host ∪ donor``.
+    """
+    if donor.database is not strategy.database:
+        raise StrategyError("donor and host must be strategies over the same database")
+    if not strategy.scheme_set.is_disjoint_from(donor.scheme_set):
+        raise StrategyError(
+            f"donor schemes {donor.scheme_set} overlap host schemes "
+            f"{strategy.scheme_set}"
+        )
+    target = _as_scheme_set(strategy, above)
+    result = _graft_inner(strategy, donor, target)
+    if result is None:
+        raise StrategyError(f"no substrategy with scheme set {target} to graft above")
+    return result
+
+
+def _graft_inner(
+    node: Strategy, donor: Strategy, target: DatabaseScheme
+) -> Optional[Strategy]:
+    if node.scheme_set == target:
+        return Strategy.join(node, donor)
+    if node.is_leaf:
+        return None
+    if target.schemes <= node.left.scheme_set.schemes:
+        rebuilt = _graft_inner(node.left, donor, target)
+        if rebuilt is not None:
+            return Strategy.join(rebuilt, node.right)
+        return None
+    if target.schemes <= node.right.scheme_set.schemes:
+        rebuilt = _graft_inner(node.right, donor, target)
+        if rebuilt is not None:
+            return Strategy.join(node.left, rebuilt)
+        return None
+    return None
+
+
+def pluck_and_graft(strategy: Strategy, moved, above) -> Strategy:
+    """Pluck the substrategy ``moved`` and graft it above ``above``.
+
+    This is the compound move of Lemmas 2, 3, and 6 ("obtain S' from S by
+    plucking S_E and grafting it above S_D1").  ``above`` must survive the
+    pluck (it may not be inside ``moved``).
+    """
+    moved_set = _as_scheme_set(strategy, moved)
+    above_set = _as_scheme_set(strategy, above)
+    if above_set.schemes & moved_set.schemes:
+        raise StrategyError(
+            "the graft position must be disjoint from the plucked subtree"
+        )
+    donor = strategy.find(moved_set)
+    if donor is None:
+        raise StrategyError(f"no substrategy with scheme set {moved_set} to move")
+    remainder = pluck(strategy, moved_set)
+    return graft(remainder, donor, above_set)
+
+
+def exchange_leaves(strategy: Strategy, first, second) -> Strategy:
+    """Swap the positions of two leaves (Theorem 1's ``T2`` move).
+
+    ``first`` and ``second`` identify leaves by their relation scheme.
+    """
+    first_set = _as_scheme_set(strategy, first)
+    second_set = _as_scheme_set(strategy, second)
+    if len(first_set) != 1 or len(second_set) != 1:
+        raise StrategyError("exchange_leaves swaps single relations only")
+    (first_scheme,) = first_set.schemes
+    (second_scheme,) = second_set.schemes
+    if first_scheme == second_scheme:
+        raise StrategyError("cannot exchange a leaf with itself")
+    db = strategy.database
+
+    def rebuild(node: Strategy) -> Strategy:
+        if node.is_leaf:
+            (scheme,) = node.scheme_set.schemes
+            if scheme == first_scheme:
+                return Strategy.leaf(db, second_scheme)
+            if scheme == second_scheme:
+                return Strategy.leaf(db, first_scheme)
+            return node
+        return Strategy.join(rebuild(node.left), rebuild(node.right))
+
+    if strategy.find(first_set) is None or strategy.find(second_set) is None:
+        raise StrategyError("both leaves must occur in the strategy")
+    return rebuild(strategy)

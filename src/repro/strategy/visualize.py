@@ -1,0 +1,71 @@
+"""ASCII rendering of strategy trees.
+
+The paper draws its strategies as binary trees (Figures 1-6); this module
+renders them the same way in plain text, annotated with the quantities
+the paper tracks at each node::
+
+    ⋈ ABCDEFG  tau=546
+    ├── ⋈ ABDE  tau=28
+    │   ├── R1  tau=4
+    │   └── R3  tau=7   [×]
+    └── ⋈ BCFG  tau=28
+        ├── R2  tau=4
+        └── R4  tau=7   [×]
+
+``[×]`` marks the child joined by a Cartesian-product step.  Used by the
+example scripts and handy in a REPL.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.relational.attributes import format_attrs
+from repro.strategy.tree import Strategy
+
+__all__ = ["render_tree", "render_steps"]
+
+
+def render_tree(strategy: Strategy, show_tau: bool = True) -> str:
+    """A box-drawing rendering of the strategy, root first."""
+    lines: List[str] = []
+
+    def label(node: Strategy) -> str:
+        if node.is_leaf:
+            (scheme,) = node.scheme_set.schemes
+            text = node.database.name_of(scheme)
+        else:
+            text = "⋈ " + format_attrs(node.scheme_set.attributes)
+        if show_tau:
+            text += f"  tau={node.tau}"
+        if not node.is_leaf and node.step_uses_cartesian_product():
+            text += "  [×]"
+        return text
+
+    def walk(node: Strategy, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(label(node))
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + label(node))
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        kids = sorted(node.children(), key=lambda c: c.describe())
+        for index, child in enumerate(kids):
+            walk(child, child_prefix, index == len(kids) - 1, False)
+
+    walk(strategy, "", True, True)
+    return "\n".join(lines)
+
+
+def render_steps(strategy: Strategy) -> str:
+    """The paper's arithmetic view: one line per step, post-order, with a
+    closing total (e.g. Example 1's ``10 + 70 + 490 = 570``)."""
+    parts = []
+    total = 0
+    for step in strategy.steps():
+        parts.append(str(step.tau))
+        total += step.tau
+    if not parts:
+        return "trivial strategy: tau = 0"
+    return " + ".join(parts) + f" = {total}"

@@ -1,0 +1,171 @@
+"""Executable statements of the paper's three theorems.
+
+Each ``check_theorem*`` function takes a concrete database, decides the
+theorem's hypotheses with the condition checkers, decides its conclusion
+with the exhaustive optimizers, and returns a :class:`TheoremReport`
+stating both.  A theorem is *violated* only when the hypotheses hold and
+the conclusion fails -- which, if the library is correct, never happens;
+the benchmarks run these checks over random populations and report the
+tallies, and the necessity benches show the conclusions failing once the
+hypotheses are dropped (reproducing Examples 3-5).
+
+* **Theorem 1** (D connected, R_D nonempty, C1'): every tau-optimum
+  *linear* strategy avoids Cartesian products.
+* **Theorem 2** (D connected, R_D nonempty, C1 and C2): *some*
+  tau-optimum strategy uses no Cartesian products.
+* **Theorem 3** (D connected, R_D nonempty, C3): some tau-optimum
+  strategy is linear and uses no Cartesian products.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.conditions.checks import (
+    check_c1,
+    check_c1_strict,
+    check_c2,
+    check_c3,
+)
+from repro.database import Database
+from repro.strategy.cost import tau_cost
+from repro.strategy.enumerate import all_strategies, linear_strategies
+from repro.strategy.tree import Strategy
+
+__all__ = ["TheoremReport", "check_theorem1", "check_theorem2", "check_theorem3"]
+
+
+class TheoremReport:
+    """The verdict of checking one theorem on one database.
+
+    ``hypotheses`` maps hypothesis names to booleans; ``applicable`` is
+    their conjunction; ``conclusion`` is whether the theorem's conclusion
+    holds on this database (checked regardless of applicability, since the
+    necessity studies are about exactly the non-applicable cases);
+    ``violated`` flags the impossible case hypotheses-and-not-conclusion.
+    """
+
+    __slots__ = ("theorem", "hypotheses", "conclusion", "details")
+
+    def __init__(
+        self,
+        theorem: str,
+        hypotheses: Dict[str, bool],
+        conclusion: bool,
+        details: Dict[str, object],
+    ):
+        self.theorem = theorem
+        self.hypotheses = hypotheses
+        self.conclusion = conclusion
+        self.details = details
+
+    @property
+    def applicable(self) -> bool:
+        """True when every hypothesis holds."""
+        return all(self.hypotheses.values())
+
+    @property
+    def violated(self) -> bool:
+        """True only if the theorem itself failed (library bug if ever)."""
+        return self.applicable and not self.conclusion
+
+    def __repr__(self) -> str:
+        hyp = ", ".join(f"{k}={v}" for k, v in self.hypotheses.items())
+        return (
+            f"<{self.theorem}: hypotheses[{hyp}] "
+            f"conclusion={self.conclusion} violated={self.violated}>"
+        )
+
+
+def _common_hypotheses(db: Database) -> Dict[str, bool]:
+    return {
+        "connected": db.scheme.is_connected(),
+        "nonnull": db.is_nonnull(),
+    }
+
+
+def check_theorem1(db: Database) -> TheoremReport:
+    """Theorem 1: under C1' (with D connected, R_D nonempty), a linear
+    tau-optimum strategy does not use Cartesian products.
+
+    The conclusion is checked over the full linear subspace: *every*
+    cost-minimal linear strategy must be CP-free.
+    """
+    hypotheses = _common_hypotheses(db)
+    hypotheses["C1'"] = bool(check_c1_strict(db))
+    candidates: List[Strategy] = list(linear_strategies(db))
+    costs = [tau_cost(s) for s in candidates]
+    best = min(costs)
+    optimal = [s for s, c in zip(candidates, costs) if c == best]
+    offenders = [s for s in optimal if s.uses_cartesian_products()]
+    return TheoremReport(
+        "Theorem 1",
+        hypotheses,
+        conclusion=not offenders,
+        details={
+            "linear_optimum_cost": best,
+            "optimal_linear_count": len(optimal),
+            "offending": [s.describe() for s in offenders],
+        },
+    )
+
+
+def check_theorem2(db: Database) -> TheoremReport:
+    """Theorem 2: under C1 and C2 (D connected, R_D nonempty), some
+    tau-optimum strategy uses no Cartesian products."""
+    hypotheses = _common_hypotheses(db)
+    hypotheses["C1"] = bool(check_c1(db))
+    hypotheses["C2"] = bool(check_c2(db))
+    best_cost: Optional[int] = None
+    witness: Optional[Strategy] = None
+    cp_free_attains = False
+    for strategy in all_strategies(db):
+        cost = tau_cost(strategy)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            witness = strategy
+            cp_free_attains = not strategy.uses_cartesian_products()
+        elif cost == best_cost and not cp_free_attains:
+            if not strategy.uses_cartesian_products():
+                witness = strategy
+                cp_free_attains = True
+    assert best_cost is not None and witness is not None
+    return TheoremReport(
+        "Theorem 2",
+        hypotheses,
+        conclusion=cp_free_attains,
+        details={
+            "optimum_cost": best_cost,
+            "witness": witness.describe(),
+        },
+    )
+
+
+def check_theorem3(db: Database) -> TheoremReport:
+    """Theorem 3: under C3 (D connected, R_D nonempty), some tau-optimum
+    strategy is linear and uses no Cartesian products."""
+    hypotheses = _common_hypotheses(db)
+    hypotheses["C3"] = bool(check_c3(db))
+    best_cost: Optional[int] = None
+    witness: Optional[Strategy] = None
+    attained = False
+    for strategy in all_strategies(db):
+        cost = tau_cost(strategy)
+        good = strategy.is_linear() and not strategy.uses_cartesian_products()
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            witness = strategy
+            attained = good
+        elif cost == best_cost and not attained and good:
+            witness = strategy
+            attained = True
+    assert best_cost is not None and witness is not None
+    return TheoremReport(
+        "Theorem 3",
+        hypotheses,
+        conclusion=attained,
+        details={
+            "optimum_cost": best_cost,
+            "witness": witness.describe(),
+        },
+    )

@@ -1,0 +1,55 @@
+"""Workloads: the paper's exact examples plus synthetic generators.
+
+:mod:`paper` reproduces the databases of Examples 1-5 and the Section 1
+four-relation setting.  :mod:`generators` builds parameterized synthetic
+databases (chain/star/cycle/clique shapes; uniform or zipf-skewed data;
+key-constrained states) for the empirical benchmarks.  :mod:`scenarios`
+holds the university-registrar scenario the paper's examples are drawn
+from, at larger scale.
+"""
+
+from repro.workloads.paper import (
+    example1,
+    example2_c1_only,
+    example2_c2_only,
+    example3,
+    example4,
+    example5,
+)
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    star_scheme,
+    cycle_scheme,
+    clique_scheme,
+    random_tree_scheme,
+    generate_database,
+    generate_superkey_join_database,
+    generate_foreign_key_chain,
+    generate_consistent_acyclic_database,
+    generate_until,
+)
+from repro.workloads.scenarios import university_database, registrar_database, retail_star_database
+
+__all__ = [
+    "example1",
+    "example2_c1_only",
+    "example2_c2_only",
+    "example3",
+    "example4",
+    "example5",
+    "WorkloadSpec",
+    "chain_scheme",
+    "star_scheme",
+    "cycle_scheme",
+    "clique_scheme",
+    "random_tree_scheme",
+    "generate_database",
+    "generate_superkey_join_database",
+    "generate_foreign_key_chain",
+    "generate_consistent_acyclic_database",
+    "generate_until",
+    "university_database",
+    "registrar_database",
+    "retail_star_database",
+]

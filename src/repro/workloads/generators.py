@@ -1,0 +1,347 @@
+"""Synthetic database generators for the empirical benchmarks.
+
+The paper's necessity examples are hand-built; its broader claims ("for
+large queries, the cheapest linear strategy could be significantly more
+expensive than the cheapest possible strategy", the GAMMA observation)
+need populations of databases.  This module generates them:
+
+* scheme shapes -- :func:`chain_scheme`, :func:`star_scheme`,
+  :func:`cycle_scheme`, :func:`clique_scheme`, :func:`random_tree_scheme`;
+* :func:`generate_database` -- random states over any scheme, with
+  per-relation sizes, per-attribute domain sizes, and optional zipf skew;
+* :func:`generate_superkey_join_database` -- states in which every
+  pairwise join is on a superkey of both sides (Section 4's semantic
+  hypothesis for C3), built from per-attribute value permutations;
+* :func:`generate_consistent_acyclic_database` -- gamma-acyclic schemes
+  with pairwise-consistent states (Section 5's hypothesis for C4),
+  obtained by fully reducing random chain/star data;
+* :func:`generate_until` -- rejection sampling against a predicate (used
+  to harvest populations satisfying C1' or C1∧C2).
+
+All generators take an explicit :class:`random.Random` seed, never the
+global RNG, so every benchmark row is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.database import Database
+from repro.errors import ReproError
+from repro.relational.attributes import AttributeSet
+from repro.relational.relation import Relation, Row
+from repro.schemegraph.consistency import full_reduce
+
+__all__ = [
+    "WorkloadSpec",
+    "chain_scheme",
+    "star_scheme",
+    "cycle_scheme",
+    "clique_scheme",
+    "random_tree_scheme",
+    "generate_database",
+    "generate_superkey_join_database",
+    "generate_consistent_acyclic_database",
+    "generate_until",
+]
+
+T = TypeVar("T")
+
+
+def _attr_name(index: int) -> str:
+    """Attribute names A, B, ..., Z, A1, B1, ... -- single letters first so
+    small schemes print in the paper's compact style."""
+    letters = string.ascii_uppercase
+    if index < len(letters):
+        return letters[index]
+    return f"{letters[index % len(letters)]}{index // len(letters)}"
+
+
+def chain_scheme(n: int) -> List[AttributeSet]:
+    """A chain of ``n`` relations: R_i over ``{A_i, A_i+1}``.
+
+    Chains are gamma-acyclic and every nontrivial split of a proper
+    connected subset is a potential Cartesian product -- the classic
+    join-ordering shape.
+    """
+    if n < 1:
+        raise ReproError("a chain needs at least one relation")
+    return [AttributeSet([_attr_name(i), _attr_name(i + 1)]) for i in range(n)]
+
+
+def star_scheme(n: int) -> List[AttributeSet]:
+    """A star of ``n`` relations: a hub over ``{A_1..A_n-1}`` plus
+    satellites ``{A_i, B_i}`` (a fact table with dimensions)."""
+    if n < 2:
+        raise ReproError("a star needs at least two relations")
+    hub = AttributeSet([_attr_name(i) for i in range(n - 1)])
+    satellites = [
+        AttributeSet([_attr_name(i), _attr_name(n - 1 + i + 1)]) for i in range(n - 1)
+    ]
+    return [hub] + satellites
+
+
+def cycle_scheme(n: int) -> List[AttributeSet]:
+    """A cycle of ``n`` relations (not alpha-acyclic for ``n >= 3``)."""
+    if n < 3:
+        raise ReproError("a cycle needs at least three relations")
+    schemes = [AttributeSet([_attr_name(i), _attr_name(i + 1)]) for i in range(n - 1)]
+    schemes.append(AttributeSet([_attr_name(n - 1), _attr_name(0)]))
+    return schemes
+
+
+def clique_scheme(n: int) -> List[AttributeSet]:
+    """A clique of ``n`` relations: R_i and R_j share attribute ``A_ij``."""
+    if n < 2:
+        raise ReproError("a clique needs at least two relations")
+    pair_attr: Dict[Tuple[int, int], str] = {}
+    counter = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            pair_attr[(i, j)] = _attr_name(counter)
+            counter += 1
+    schemes = []
+    for i in range(n):
+        members = [
+            pair_attr[(min(i, j), max(i, j))] for j in range(n) if j != i
+        ]
+        schemes.append(AttributeSet(members))
+    return schemes
+
+
+def random_tree_scheme(n: int, rng: random.Random) -> List[AttributeSet]:
+    """A random tree-shaped scheme: relation ``i > 0`` shares one fresh
+    attribute with a uniformly chosen earlier relation (always
+    gamma-acyclic and connected)."""
+    if n < 1:
+        raise ReproError("a tree needs at least one relation")
+    # own[i] is the private attribute of relation i; link[i] joins i to its
+    # parent.
+    schemes: List[set] = [{_attr_name(0)}]
+    next_attr = 1
+    for i in range(1, n):
+        parent = rng.randrange(i)
+        link = _attr_name(next_attr)
+        next_attr += 1
+        own = _attr_name(next_attr)
+        next_attr += 1
+        schemes[parent].add(link)
+        schemes.append({link, own})
+    return [AttributeSet(s) for s in schemes]
+
+
+class WorkloadSpec:
+    """Parameters for random state generation.
+
+    ``size`` tuples are drawn per relation; each attribute value is drawn
+    from ``1..domain`` either uniformly or zipf-skewed with exponent
+    ``skew`` (0 = uniform).  Duplicate draws collapse under set semantics,
+    so relations may come out slightly smaller than ``size``.
+    """
+
+    __slots__ = ("size", "domain", "skew")
+
+    def __init__(self, size: int = 30, domain: int = 10, skew: float = 0.0):
+        if size < 1 or domain < 1:
+            raise ReproError("size and domain must be positive")
+        if skew < 0:
+            raise ReproError("skew must be nonnegative")
+        self.size = size
+        self.domain = domain
+        self.skew = skew
+
+    def draw_value(self, rng: random.Random) -> int:
+        """One attribute value under the spec's distribution."""
+        if self.skew == 0.0:
+            return rng.randint(1, self.domain)
+        # Zipf via inverse-CDF over the finite domain.
+        weights = [1.0 / (rank ** self.skew) for rank in range(1, self.domain + 1)]
+        total = sum(weights)
+        point = rng.random() * total
+        acc = 0.0
+        for value, weight in enumerate(weights, start=1):
+            acc += weight
+            if point <= acc:
+                return value
+        return self.domain
+
+    def __repr__(self) -> str:
+        return f"WorkloadSpec(size={self.size}, domain={self.domain}, skew={self.skew})"
+
+
+def generate_database(
+    schemes: Sequence[AttributeSet],
+    rng: random.Random,
+    spec: Optional[WorkloadSpec] = None,
+    per_relation: Optional[Dict[AttributeSet, WorkloadSpec]] = None,
+) -> Database:
+    """Random states over ``schemes``.
+
+    ``spec`` sets the default parameters; ``per_relation`` overrides them
+    for specific schemes (e.g. a big skewed hub with small uniform
+    satellites).
+    """
+    default = spec if spec is not None else WorkloadSpec()
+    relations = []
+    for index, scheme in enumerate(schemes):
+        chosen = (per_relation or {}).get(scheme, default)
+        rows = set()
+        for _ in range(chosen.size):
+            rows.add(
+                Row({attr: chosen.draw_value(rng) for attr in scheme.sorted()})
+            )
+        relations.append(Relation(scheme, rows, name=f"R{index + 1}"))
+    return Database(relations)
+
+
+def generate_superkey_join_database(
+    schemes: Sequence[AttributeSet],
+    rng: random.Random,
+    size: int = 12,
+) -> Database:
+    """States in which every pairwise join is on a superkey of both sides.
+
+    Construction: fix one global set of ``size`` entity ids; in every
+    relation, each attribute's column is a permutation of those ids.  Then
+    every single attribute -- hence every nonempty shared attribute set --
+    is a key of every relation containing it, which is exactly Section 4's
+    hypothesis for C3.
+    """
+    if size < 1:
+        raise ReproError("size must be positive")
+    ids = list(range(1, size + 1))
+    relations = []
+    for index, scheme in enumerate(schemes):
+        columns = {}
+        for attr in scheme.sorted():
+            column = ids[:]
+            rng.shuffle(column)
+            columns[attr] = column
+        rows = [
+            Row({attr: columns[attr][i] for attr in scheme.sorted()})
+            for i in range(size)
+        ]
+        relations.append(Relation(scheme, rows, name=f"R{index + 1}"))
+    return Database(relations)
+
+
+def generate_foreign_key_chain(
+    n: int,
+    rng: random.Random,
+    size: int = 10,
+) -> Database:
+    """A chain where every shared attribute is a key of the *deeper* side
+    (the classic foreign-key pattern: R_i.A_{i+1} references R_{i+1}).
+
+    In relation ``R_i`` over ``{A_i, A_i+1}`` (for ``i >= 2``) the column
+    ``A_i`` is unique, so each tuple of ``R_i-1`` matches at most one
+    tuple of ``R_i`` and every left-to-right join shrinks (or preserves)
+    the left side.  Such databases satisfy C2 by construction and usually
+    C1 as well -- the population used by the Theorem 2 benchmark.
+    """
+    if n < 1:
+        raise ReproError("a chain needs at least one relation")
+    schemes = chain_scheme(n)
+    ids = list(range(1, size + 1))
+    relations = []
+    for index, scheme in enumerate(schemes):
+        left_attr, right_attr = sorted(scheme)
+        if index == 0:
+            left_column = [rng.choice(ids) for _ in range(size)]
+        else:
+            # Key side: each id exactly once.
+            left_column = ids[:]
+            rng.shuffle(left_column)
+        right_column = [rng.choice(ids) for _ in range(size)]
+        rows = {
+            Row({left_attr: left, right_attr: right})
+            for left, right in zip(left_column, right_column)
+        }
+        relations.append(Relation(scheme, rows, name=f"R{index + 1}"))
+    return Database(relations)
+
+
+def generate_correlated_chain(
+    n: int,
+    rng: random.Random,
+    size: int = 30,
+    domain: int = 10,
+    correlation: float = 0.8,
+) -> Database:
+    """A chain whose columns are *correlated* within each relation.
+
+    With probability ``correlation`` a tuple's two attribute values are
+    equal; otherwise independent.  Correlated columns are exactly what
+    breaks the classical uniformity/independence estimator the paper
+    criticizes -- the benchmark feeds these databases to the
+    estimate-driven optimizer and measures its regret.
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise ReproError("correlation must be within [0, 1]")
+    schemes = chain_scheme(n)
+    relations = []
+    for index, scheme in enumerate(schemes):
+        left_attr, right_attr = sorted(scheme)
+        rows = set()
+        for _ in range(size):
+            left = rng.randint(1, domain)
+            if rng.random() < correlation:
+                right = left
+            else:
+                right = rng.randint(1, domain)
+            rows.add(Row({left_attr: left, right_attr: right}))
+        relations.append(Relation(scheme, rows, name=f"R{index + 1}"))
+    return Database(relations)
+
+
+def generate_consistent_acyclic_database(
+    n: int,
+    rng: random.Random,
+    shape: str = "chain",
+    spec: Optional[WorkloadSpec] = None,
+) -> Database:
+    """A gamma-acyclic, pairwise-consistent database (Section 5's
+    hypothesis for C4).
+
+    Generates random states over a chain or star scheme (both
+    gamma-acyclic) and applies the Bernstein–Chiu full reducer; for
+    acyclic schemes the reduced database is globally consistent.  The
+    result is guaranteed nonempty (regenerated until ``R_D ≠ ∅``).
+    """
+    if shape == "chain":
+        schemes = chain_scheme(n)
+    elif shape == "star":
+        schemes = star_scheme(n)
+    else:
+        raise ReproError(f"unsupported acyclic shape {shape!r}")
+    # Small domains make a nonempty final join overwhelmingly likely.
+    chosen = spec if spec is not None else WorkloadSpec(size=20, domain=4)
+    for _ in range(100):
+        db = generate_database(schemes, rng, spec=chosen)
+        reduced = full_reduce(db)
+        if all(len(rel) > 0 for rel in reduced.relations()) and reduced.is_nonnull():
+            return reduced
+    raise ReproError(
+        "could not generate a nonempty consistent acyclic database; "
+        "increase sizes or shrink domains"
+    )
+
+
+def generate_until(
+    make: Callable[[random.Random], T],
+    accept: Callable[[T], bool],
+    rng: random.Random,
+    max_tries: int = 500,
+) -> Tuple[T, int]:
+    """Rejection-sample ``make(rng)`` until ``accept`` passes.
+
+    Returns ``(value, tries)`` so benchmark tables can report acceptance
+    rates.  Raises :class:`~repro.errors.ReproError` after ``max_tries``.
+    """
+    for attempt in range(1, max_tries + 1):
+        candidate = make(rng)
+        if accept(candidate):
+            return candidate, attempt
+    raise ReproError(f"no accepted sample in {max_tries} tries")

@@ -1,0 +1,225 @@
+"""Semi-realistic scenario databases.
+
+The paper's Section 4 examples are drawn from a university registrar:
+games/students/courses/laboratories and majors/students/courses/
+instructors/departments.  These builders scale that scenario up with
+seeded random data, for the example scripts and the larger benchmark
+rows.  The schemes are chains (gamma-acyclic), so both the join-ordering
+machinery and the Section 5 acyclicity machinery apply.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.database import Database
+from repro.relational.relation import Relation, Row
+
+__all__ = ["university_database", "registrar_database", "retail_star_database"]
+
+
+def _sample_pairs(
+    rng: random.Random,
+    lefts: Sequence[str],
+    rights: Sequence[str],
+    count: int,
+):
+    """``count`` distinct (left, right) pairs (fewer if the cross space is
+    smaller), as a set of tuples."""
+    pairs = set()
+    limit = len(lefts) * len(rights)
+    target = min(count, limit)
+    while len(pairs) < target:
+        pairs.add((rng.choice(lefts), rng.choice(rights)))
+    return pairs
+
+
+def university_database(
+    students: int = 30,
+    courses: int = 12,
+    instructors: int = 6,
+    departments: int = 4,
+    enrollments: int = 80,
+    teaching: int = 18,
+    majors: int = 35,
+    seed: int = 0,
+) -> Database:
+    """The Example 5 scenario (MS ⋈ SC ⋈ CI ⋈ ID) at configurable scale.
+
+    A chain of four relations: majors-of-students, student enrollments,
+    course instructors, and instructor departments.  Every instructor is
+    assigned a department, so the final join is nonempty whenever some
+    enrolled course is taught.
+    """
+    rng = random.Random(seed)
+    student_names = [f"s{i}" for i in range(students)]
+    course_names = [f"c{i}" for i in range(courses)]
+    instructor_names = [f"i{i}" for i in range(instructors)]
+    department_names = [f"d{i}" for i in range(departments)]
+
+    ms = Relation(
+        ["major", "student"],
+        (
+            Row({"major": major, "student": student})
+            for major, student in _sample_pairs(
+                rng, department_names, student_names, majors
+            )
+        ),
+        name="MS",
+    )
+    sc = Relation(
+        ["student", "course"],
+        (
+            Row({"student": student, "course": course})
+            for student, course in _sample_pairs(
+                rng, student_names, course_names, enrollments
+            )
+        ),
+        name="SC",
+    )
+    ci = Relation(
+        ["course", "instructor"],
+        (
+            Row({"course": course, "instructor": instructor})
+            for course, instructor in _sample_pairs(
+                rng, course_names, instructor_names, teaching
+            )
+        ),
+        name="CI",
+    )
+    id_rel = Relation(
+        ["instructor", "department"],
+        (
+            Row({"instructor": instructor, "department": rng.choice(department_names)})
+            for instructor in instructor_names
+        ),
+        name="ID",
+    )
+    return Database([ms, sc, ci, id_rel])
+
+
+def registrar_database(
+    students: int = 25,
+    courses: int = 10,
+    games: int = 5,
+    laboratories: int = 4,
+    athletes: int = 15,
+    enrollments: int = 60,
+    lab_courses: int = 6,
+    seed: int = 0,
+) -> Database:
+    """The Example 3/4 scenario (GS ⋈ SC ⋈ CL) at configurable scale.
+
+    Games-of-students, enrollments, and laboratories-of-courses -- the
+    "do athletes avoid courses requiring laboratory work?" query.
+    """
+    rng = random.Random(seed)
+    student_names = [f"s{i}" for i in range(students)]
+    course_names = [f"c{i}" for i in range(courses)]
+    game_names = [f"g{i}" for i in range(games)]
+    lab_names = [f"l{i}" for i in range(laboratories)]
+
+    gs = Relation(
+        ["game", "student"],
+        (
+            Row({"game": game, "student": student})
+            for game, student in _sample_pairs(rng, game_names, student_names, athletes)
+        ),
+        name="GS",
+    )
+    sc = Relation(
+        ["student", "course"],
+        (
+            Row({"student": student, "course": course})
+            for student, course in _sample_pairs(
+                rng, student_names, course_names, enrollments
+            )
+        ),
+        name="SC",
+    )
+    cl = Relation(
+        ["course", "laboratory"],
+        (
+            Row({"course": course, "laboratory": lab})
+            for course, lab in _sample_pairs(rng, course_names, lab_names, lab_courses)
+        ),
+        name="CL",
+    )
+    return Database([gs, sc, cl])
+
+
+def retail_star_database(
+    sales: int = 120,
+    products: int = 15,
+    stores: int = 6,
+    customers: int = 25,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> Database:
+    """A retail star schema: a sales fact table with three dimensions.
+
+    ``SALES(product, store, customer)`` joined to ``PRODUCT(product,
+    category)``, ``STORE(store, city)``, and ``CUSTOMER(customer,
+    segment)``.  The fact table's foreign keys are zipf-skewed with
+    exponent ``skew`` (popular products dominate), which is the workload
+    regime where the GAMMA observation (cheapest linear vs cheapest bushy)
+    shows up; the E-GAP and optimizer benchmarks use this shape.
+    """
+    rng = random.Random(seed)
+    product_ids = [f"p{i}" for i in range(products)]
+    store_ids = [f"st{i}" for i in range(stores)]
+    customer_ids = [f"cu{i}" for i in range(customers)]
+
+    def zipf_choice(items):
+        if skew <= 0:
+            return rng.choice(items)
+        weights = [1.0 / (rank ** skew) for rank in range(1, len(items) + 1)]
+        total = sum(weights)
+        point = rng.random() * total
+        acc = 0.0
+        for item, weight in zip(items, weights):
+            acc += weight
+            if point <= acc:
+                return item
+        return items[-1]
+
+    fact_rows = set()
+    while len(fact_rows) < min(sales, products * stores * customers):
+        fact_rows.add(
+            (
+                zipf_choice(product_ids),
+                zipf_choice(store_ids),
+                zipf_choice(customer_ids),
+            )
+        )
+    fact = Relation(
+        ["product", "store", "customer"],
+        (
+            Row({"product": p, "store": s, "customer": c})
+            for p, s, c in fact_rows
+        ),
+        name="SALES",
+    )
+    product_dim = Relation(
+        ["product", "category"],
+        (
+            Row({"product": p, "category": f"cat{rng.randrange(4)}"})
+            for p in product_ids
+        ),
+        name="PRODUCT",
+    )
+    store_dim = Relation(
+        ["store", "city"],
+        (Row({"store": s, "city": f"city{rng.randrange(3)}"}) for s in store_ids),
+        name="STORE",
+    )
+    customer_dim = Relation(
+        ["customer", "segment"],
+        (
+            Row({"customer": c, "segment": f"seg{rng.randrange(3)}"})
+            for c in customer_ids
+        ),
+        name="CUSTOMER",
+    )
+    return Database([fact, product_dim, store_dim, customer_dim])

@@ -1,0 +1,115 @@
+"""Tests for the executable lemma statements."""
+
+import random
+
+from repro.conditions.lemmas import (
+    check_lemma1,
+    check_lemma1_strict,
+    check_lemma5,
+    check_submultiplicativity,
+)
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    generate_database,
+    generate_foreign_key_chain,
+    generate_superkey_join_database,
+    star_scheme,
+)
+
+
+class TestLemma1:
+    def test_holds_on_example1(self, ex1):
+        # Example 1 satisfies C1 and has unconnected subsets, so Lemma 1's
+        # extended quantifier gets real instances.
+        report = check_lemma1(ex1)
+        assert report.holds
+        assert report.instances_checked > 0
+
+    def test_holds_on_paper_examples(self, ex3, ex5):
+        for db in (ex3, ex5):
+            assert check_lemma1(db).holds
+
+    def test_vacuous_when_c1_fails(self, ex4):
+        report = check_lemma1(ex4)
+        assert report.holds
+        assert report.instances_checked == 0
+
+    def test_holds_on_random_c1_populations(self):
+        verified = 0
+        for seed in range(10):
+            rng = random.Random(seed)
+            db = generate_database(
+                chain_scheme(4), rng, WorkloadSpec(size=6, domain=3)
+            )
+            report = check_lemma1(db)
+            assert report.holds
+            if report.instances_checked:
+                verified += 1
+        assert verified > 0
+
+
+class TestLemma1Strict:
+    def test_vacuous_on_example3(self, ex3):
+        # Example 3 violates C1', so Lemma 1' has nothing to say.
+        report = check_lemma1_strict(ex3)
+        assert report.holds
+        assert report.instances_checked == 0
+
+    def test_strict_on_c1_strict_population(self):
+        verified = 0
+        for seed in range(10):
+            rng = random.Random(seed)
+            db = generate_database(
+                star_scheme(4), rng, WorkloadSpec(size=6, domain=3)
+            )
+            report = check_lemma1_strict(db)
+            assert report.holds
+            if report.instances_checked:
+                verified += 1
+        assert verified > 0
+
+
+class TestLemma5:
+    def test_on_superkey_databases(self):
+        for seed in range(5):
+            rng = random.Random(seed)
+            db = generate_superkey_join_database(chain_scheme(4), rng, size=7)
+            report = check_lemma5(db)
+            assert report.holds
+
+    def test_vacuous_when_c3_fails(self, ex5):
+        report = check_lemma5(ex5)
+        assert report.holds
+        assert report.instances_checked == 0
+
+    def test_nontrivial_instances_on_c3_data(self):
+        rng = random.Random(1)
+        db = generate_superkey_join_database(chain_scheme(4), rng, size=7)
+        if db.is_nonnull():
+            assert check_lemma5(db).instances_checked > 0
+
+
+class TestSubmultiplicativity:
+    def test_on_paper_examples(self, ex1, ex3, ex4, ex5):
+        for db in (ex1, ex3, ex4, ex5):
+            assert check_submultiplicativity(db).holds
+
+    def test_on_random_databases(self):
+        for seed in range(6):
+            rng = random.Random(seed)
+            db = generate_database(
+                chain_scheme(4), rng, WorkloadSpec(size=6, domain=3)
+            )
+            assert check_submultiplicativity(db).holds
+
+    def test_on_fk_chains(self):
+        for seed in range(4):
+            db = generate_foreign_key_chain(4, random.Random(seed), size=6)
+            assert check_submultiplicativity(db).holds
+
+    def test_counts_pairs(self, ex3):
+        report = check_submultiplicativity(ex3)
+        # Three relations: pairs {R1,R2},{R1,R3},{R2,R3} plus pairs with a
+        # 2-subset and the remaining singleton = 6 disjoint pairs.
+        assert report.instances_checked == 6

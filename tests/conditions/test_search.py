@@ -1,0 +1,69 @@
+"""Tests for the open-problem search harness."""
+
+import pytest
+
+from repro.conditions.search import (
+    SearchOutcome,
+    search_c2_necessity,
+    verify_small_connected_c1_suffices,
+)
+
+
+class TestSmallConnectedClaim:
+    def test_paper_claim_holds_on_samples(self):
+        # |D| <= 4 connected with C1: C1 alone gives a CP-free optimum.
+        outcome = verify_small_connected_c1_suffices(samples=40)
+        assert not outcome.found
+        assert outcome.eligible > 0
+
+    def test_three_relations_too(self):
+        outcome = verify_small_connected_c1_suffices(samples=30, relations=3)
+        assert not outcome.found
+
+    def test_rejects_large_relation_counts(self):
+        with pytest.raises(ValueError):
+            verify_small_connected_c1_suffices(relations=5)
+
+
+class TestC2NecessitySearch:
+    def test_search_runs_and_reports(self):
+        outcome = search_c2_necessity(samples=30)
+        assert isinstance(outcome, SearchOutcome)
+        assert outcome.samples == 30
+        # Either verdict is scientifically valid; if a counterexample is
+        # found it must genuinely satisfy C1 and miss the optimum.
+        if outcome.found:
+            from repro.conditions.checks import check_c1
+            from repro.optimizer.dp import optimize_dp
+            from repro.optimizer.spaces import SearchSpace
+
+            db = outcome.counterexample
+            assert check_c1(db).holds
+            assert (
+                optimize_dp(db, SearchSpace.NOCP).cost
+                > optimize_dp(db, SearchSpace.ALL).cost
+            )
+
+    def test_including_c2_databases_never_contradicts_theorem2(self):
+        # With require_c2_failure=False, C1-and-C2 databases enter the
+        # hunt; a miss there would raise (library bug).  It must not.
+        outcome = search_c2_necessity(samples=30, require_c2_failure=False)
+        assert isinstance(outcome, SearchOutcome)
+
+    def test_custom_generator(self):
+        from repro import Database, relation
+
+        def tiny(seed):
+            return Database(
+                [
+                    relation("AB", [(1, 1)], name="R1"),
+                    relation("BC", [(1, 1)], name="R2"),
+                ]
+            )
+
+        outcome = search_c2_necessity(samples=3, generator=tiny)
+        assert not outcome.found  # two relations can never miss
+
+    def test_repr(self):
+        outcome = search_c2_necessity(samples=5)
+        assert "samples" in repr(outcome)

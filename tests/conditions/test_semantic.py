@@ -1,0 +1,142 @@
+"""Tests for the Section 4/5 semantic sufficient conditions and the
+implications the paper derives from them."""
+
+import random
+
+from repro import Database, relation
+from repro.conditions.checks import check_c2, check_c3, check_c4
+from repro.conditions.semantic import (
+    all_joins_on_superkeys,
+    has_no_lossy_joins,
+    is_gamma_acyclic_pairwise_consistent,
+)
+from repro.relational.dependencies import FDSet, fd
+from repro.workloads.generators import (
+    chain_scheme,
+    generate_consistent_acyclic_database,
+    generate_superkey_join_database,
+    star_scheme,
+)
+
+
+class TestSuperkeyJoins:
+    def test_state_level_positive(self):
+        db = Database(
+            [
+                relation("AB", [(1, 10), (2, 20)], name="R1"),
+                relation("BC", [(10, 5), (20, 6)], name="R2"),
+            ]
+        )
+        assert all_joins_on_superkeys(db)
+
+    def test_state_level_negative(self):
+        db = Database(
+            [
+                relation("AB", [(1, 10), (2, 10)], name="R1"),  # B not unique
+                relation("BC", [(10, 5)], name="R2"),
+            ]
+        )
+        assert not all_joins_on_superkeys(db)
+
+    def test_fd_level(self):
+        db = Database(
+            [
+                relation("AB", [(1, 10), (2, 10)], name="R1"),
+                relation("BC", [(10, 5)], name="R2"),
+            ]
+        )
+        fds = FDSet([fd("B", "A"), fd("B", "C")])
+        assert all_joins_on_superkeys(db, fds)
+
+    def test_fd_level_negative(self):
+        db = Database(
+            [
+                relation("AB", [(1, 10)], name="R1"),
+                relation("BC", [(10, 5)], name="R2"),
+            ]
+        )
+        assert not all_joins_on_superkeys(db, FDSet([fd("B", "A")]))
+
+    def test_unlinked_relations_are_ignored(self):
+        db = Database(
+            [
+                relation("AB", [(1, 1), (2, 1)], name="R1"),
+                relation("CD", [(1, 1)], name="R2"),
+            ]
+        )
+        assert all_joins_on_superkeys(db)
+
+    def test_superkey_joins_imply_c3_section4(self):
+        # The paper's Section 4 derivation: all joins on superkeys => C3.
+        rng = random.Random(3)
+        for shape in (chain_scheme(4), star_scheme(4)):
+            db = generate_superkey_join_database(shape, rng, size=8)
+            assert all_joins_on_superkeys(db)
+            assert check_c3(db).holds
+
+    def test_generated_superkey_database_has_permutation_columns(self):
+        rng = random.Random(4)
+        db = generate_superkey_join_database(chain_scheme(3), rng, size=6)
+        for rel in db.relations():
+            for attr in rel.scheme.sorted():
+                assert len(rel.project([attr])) == len(rel)
+
+
+class TestNoLossyJoins:
+    def test_keyed_chain_has_no_lossy_joins(self):
+        fds = FDSet([fd("B", "A"), fd("B", "C"), fd("C", "D")])
+        assert has_no_lossy_joins(["AB", "BC", "CD"], fds)
+
+    def test_unkeyed_chain_has_lossy_joins(self):
+        assert not has_no_lossy_joins(["AB", "BC", "CD"], FDSet())
+
+    def test_no_lossy_joins_implies_c2_on_satisfying_states(self):
+        # Build states actually satisfying the FDs; Section 4 then promises
+        # C2.
+        fds = FDSet([fd("B", "A"), fd("C", "B")])
+        assert has_no_lossy_joins(["AB", "BC"], fds)
+        db = Database(
+            [
+                relation("AB", [(1, 10), (2, 20), (3, 30)], name="R1"),
+                relation("BC", [(10, 100), (20, 200)], name="R2"),
+            ]
+        )
+        assert check_c2(db).holds
+
+
+class TestGammaAcyclicConsistent:
+    def test_consistent_acyclic_database_recognized(self, rng):
+        db = generate_consistent_acyclic_database(4, rng)
+        assert is_gamma_acyclic_pairwise_consistent(db)
+
+    def test_implies_c4_section5(self, rng):
+        # Section 5: gamma-acyclic + pairwise consistent => C4.
+        for seed in range(4):
+            local = random.Random(seed)
+            db = generate_consistent_acyclic_database(4, local)
+            assert is_gamma_acyclic_pairwise_consistent(db)
+            assert check_c4(db).holds
+
+    def test_star_shape(self, rng):
+        db = generate_consistent_acyclic_database(4, rng, shape="star")
+        assert is_gamma_acyclic_pairwise_consistent(db)
+        assert check_c4(db).holds
+
+    def test_inconsistent_database_rejected(self):
+        db = Database(
+            [
+                relation("AB", [(1, 0), (2, 9)], name="R1"),
+                relation("BC", [(0, 5)], name="R2"),
+            ]
+        )
+        assert not is_gamma_acyclic_pairwise_consistent(db)
+
+    def test_cyclic_scheme_rejected(self):
+        db = Database(
+            [
+                relation("AB", [(1, 1)], name="R1"),
+                relation("BC", [(1, 1)], name="R2"),
+                relation("CA", [(1, 1)], name="R3"),
+            ]
+        )
+        assert not is_gamma_acyclic_pairwise_consistent(db)

@@ -1,0 +1,148 @@
+"""Edge cases the paper sets aside -- the library must still behave sanely.
+
+The paper assumes ``R_D ≠ ∅`` ("the evaluation can be abandoned as soon
+as an intermediate relation state is null") and connected schemes.  These
+tests pin the library's behaviour outside those assumptions: null final
+results, empty base relations, single-relation databases, and very small
+schemes.
+"""
+
+import pytest
+
+from repro import Database, relation
+from repro.conditions.checks import check_c1, check_c2, check_c3, check_c4
+from repro.optimizer.dp import optimize_dp
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.greedy import greedy_bushy, greedy_linear
+from repro.optimizer.spaces import SearchSpace
+from repro.relational.relation import Relation
+from repro.strategy.cost import tau_cost
+from repro.strategy.enumerate import all_strategies
+from repro.theorems import check_theorem1, check_theorem2, check_theorem3
+
+
+@pytest.fixture
+def null_db():
+    """A connected database whose final join is empty."""
+    return Database(
+        [
+            relation("AB", [(1, 1), (2, 2)], name="R1"),
+            relation("BC", [(9, 9)], name="R2"),
+        ]
+    )
+
+
+@pytest.fixture
+def empty_relation_db():
+    """A database containing an entirely empty relation."""
+    return Database(
+        [
+            relation("AB", [(1, 1)], name="R1"),
+            Relation("BC", (), name="R2"),
+        ]
+    )
+
+
+class TestNullFinalResult:
+    def test_evaluation_is_empty(self, null_db):
+        assert null_db.tau_of() == 0
+        assert not null_db.is_nonnull()
+
+    def test_optimizers_still_work(self, null_db):
+        for space in (SearchSpace.ALL, SearchSpace.LINEAR):
+            result = optimize_dp(null_db, space)
+            assert result.cost == 0  # the single step produces 0 tuples
+
+    def test_conditions_still_decidable(self, null_db):
+        for checker in (check_c1, check_c2, check_c3, check_c4):
+            checker(null_db)  # must not raise
+
+    def test_theorem_reports_flag_nonnull_hypothesis(self, null_db):
+        for checker in (check_theorem1, check_theorem2, check_theorem3):
+            report = checker(null_db)
+            assert report.hypotheses["nonnull"] is False
+            assert not report.violated
+
+
+class TestEmptyBaseRelation:
+    def test_joins_propagate_emptiness(self, empty_relation_db):
+        assert empty_relation_db.tau_of() == 0
+
+    def test_all_strategies_cost_zero(self, empty_relation_db):
+        costs = {tau_cost(s) for s in all_strategies(empty_relation_db)}
+        assert costs == {0}
+
+    def test_greedy_handles_empty_inputs(self, empty_relation_db):
+        assert greedy_bushy(empty_relation_db).cost == 0
+        assert greedy_linear(empty_relation_db).cost == 0
+
+    def test_c3_holds_vacuously_strongly(self, empty_relation_db):
+        # Every join is empty, hence never larger than either side.
+        assert check_c3(empty_relation_db).holds
+
+
+class TestTinyDatabases:
+    def test_single_relation_everything(self):
+        db = Database([relation("AB", [(1, 1)], name="R1")])
+        assert optimize_exhaustive(db).cost == 0
+        assert optimize_dp(db).cost == 0
+        assert check_c1(db).holds and check_c3(db).holds
+        for checker in (check_theorem1, check_theorem2, check_theorem3):
+            assert not checker(db).violated
+
+    def test_two_relations_linked(self):
+        db = Database(
+            [
+                relation("AB", [(1, 1)], name="R1"),
+                relation("BC", [(1, 2)], name="R2"),
+            ]
+        )
+        result = optimize_dp(db)
+        assert result.cost == 1
+        assert result.strategy.is_linear()
+        assert not result.strategy.uses_cartesian_products()
+
+    def test_two_relations_unlinked(self):
+        db = Database(
+            [
+                relation("AB", [(1, 1)], name="R1"),
+                relation("CD", [(2, 2), (3, 3)], name="R2"),
+            ]
+        )
+        result = optimize_dp(db)
+        assert result.cost == 2  # the unavoidable Cartesian product
+        assert result.strategy.uses_cartesian_products()
+        assert result.strategy.avoids_cartesian_products()  # comp-1 CPs
+
+    def test_self_equal_relations_collapse(self):
+        # Two identical schemes cannot coexist (set-of-schemes semantics);
+        # verified at construction.
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            Database(
+                [
+                    relation("AB", [(1, 1)]),
+                    relation("AB", [(2, 2)]),
+                ]
+            )
+
+
+class TestLargerValueTypes:
+    def test_mixed_value_types_join(self):
+        db = Database(
+            [
+                relation("AB", [(("tuple", 1), "x"), (3.5, "y")], name="R1"),
+                relation("BC", [("x", None), ("y", frozenset([1]))], name="R2"),
+            ]
+        )
+        assert db.tau_of() == 2
+
+    def test_boolean_values(self):
+        db = Database(
+            [
+                relation("AB", [(True, False)], name="R1"),
+                relation("BC", [(False, True)], name="R2"),
+            ]
+        )
+        assert db.tau_of() == 1

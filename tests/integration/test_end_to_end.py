@@ -1,0 +1,117 @@
+"""End-to-end integration tests: full pipelines crossing every subsystem."""
+
+import random
+
+from repro.conditions.checks import check_c3, check_c4
+from repro.conditions.semantic import (
+    all_joins_on_superkeys,
+    is_gamma_acyclic_pairwise_consistent,
+)
+from repro.optimizer.dp import optimize_dp
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.greedy import greedy_bushy, greedy_linear
+from repro.optimizer.spaces import SearchSpace
+from repro.schemegraph.consistency import full_reduce, yannakakis
+from repro.strategy.cost import tau_cost
+from repro.theorems import check_theorem1, check_theorem2, check_theorem3
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    generate_database,
+    generate_superkey_join_database,
+    star_scheme,
+)
+from repro.workloads.scenarios import registrar_database, university_database
+
+
+class TestOptimizerPipeline:
+    """Generate -> optimize in all four subspaces -> re-validate."""
+
+    def test_university_scenario_full_sweep(self):
+        db = university_database(seed=1)
+        assert db.is_nonnull()
+        results = {space: optimize_dp(db, space) for space in SearchSpace}
+        # Space inclusions must show as cost monotonicity.
+        assert results[SearchSpace.ALL].cost <= results[SearchSpace.LINEAR].cost
+        assert results[SearchSpace.ALL].cost <= results[SearchSpace.NOCP].cost
+        assert results[SearchSpace.NOCP].cost <= results[SearchSpace.LINEAR_NOCP].cost
+        assert results[SearchSpace.LINEAR].cost <= results[SearchSpace.LINEAR_NOCP].cost
+        # Every strategy re-validates its space and cost.
+        for space, result in results.items():
+            assert space.contains(result.strategy)
+            assert tau_cost(result.strategy) == result.cost
+            assert result.strategy.state == db.evaluate()
+
+    def test_registrar_scenario_greedy_vs_exact(self):
+        db = registrar_database(seed=2)
+        exact = optimize_dp(db).cost
+        assert greedy_bushy(db).cost >= exact
+        assert greedy_linear(db).cost >= exact
+
+    def test_random_databases_all_optimizers_agree_on_result_relation(self):
+        rng = random.Random(13)
+        db = generate_database(chain_scheme(5), rng, WorkloadSpec(size=12, domain=4))
+        final = db.evaluate()
+        for make in (
+            lambda: optimize_dp(db).strategy,
+            lambda: optimize_exhaustive(db).strategy,
+            lambda: greedy_bushy(db).strategy,
+            lambda: greedy_linear(db).strategy,
+        ):
+            assert make().state == final
+
+
+class TestSection4Pipeline:
+    """Superkey-join data -> C3 -> Theorem 3 -> linear no-CP optimizer is
+    globally optimal (the paper's practical payoff)."""
+
+    def test_superkey_pipeline(self):
+        for seed in range(3):
+            rng = random.Random(seed)
+            db = generate_superkey_join_database(star_scheme(4), rng, size=8)
+            assert all_joins_on_superkeys(db)
+            assert check_c3(db).holds
+            report = check_theorem3(db)
+            assert report.applicable and report.conclusion
+            restricted = optimize_dp(db, SearchSpace.LINEAR_NOCP).cost
+            unrestricted = optimize_dp(db, SearchSpace.ALL).cost
+            assert restricted == unrestricted
+
+
+class TestSection5Pipeline:
+    """Acyclic data -> full reduce -> C4 + monotone-increasing Yannakakis."""
+
+    def test_acyclic_pipeline(self):
+        rng = random.Random(17)
+        db = generate_database(chain_scheme(4), rng, WorkloadSpec(size=15, domain=3))
+        reduced = full_reduce(db)
+        if not reduced.is_nonnull():
+            return
+        assert is_gamma_acyclic_pairwise_consistent(reduced)
+        assert check_c4(reduced).holds
+        trace = yannakakis(reduced)
+        assert trace.result == db.evaluate()
+        assert trace.is_monotone_increasing()
+
+    def test_yannakakis_total_matches_a_tree_strategy_cost(self):
+        rng = random.Random(19)
+        db = generate_database(chain_scheme(4), rng, WorkloadSpec(size=12, domain=3))
+        reduced = full_reduce(db)
+        if not reduced.is_nonnull():
+            return
+        trace = yannakakis(reduced)
+        # The Yannakakis join order corresponds to some CP-free strategy of
+        # the reduced database, so the optimum over that space is a lower
+        # bound for the trace's total.
+        best = optimize_dp(reduced, SearchSpace.NOCP).cost
+        assert trace.total_tuples_generated >= best
+
+
+class TestTheoremSweeps:
+    def test_no_violations_across_scenarios(self):
+        for db in (
+            university_database(seed=3),
+            registrar_database(seed=4),
+        ):
+            for check in (check_theorem1, check_theorem2, check_theorem3):
+                assert not check(db).violated

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are deliverables; this keeps them from rotting.  Each is
+executed in-process via runpy (so the suite fails with a stack trace, not
+an opaque subprocess error).
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(SCRIPTS) >= 6
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example prints its findings
+
+
+def test_quickstart_prints_paper_numbers(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    for number in ("570", "549", "546"):
+        assert number in out
+
+
+def test_registrar_prints_examples(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "university_registrar.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "Example 3" in out
+    assert "Example 5" in out

@@ -1,0 +1,42 @@
+"""Moderate-scale smoke tests: the polynomial path must handle the
+'hundreds of joins' regime the paper's introduction motivates (kept to
+dozens here so the suite stays fast; the E-SCALE bench goes to 100)."""
+
+import random
+
+from repro.optimizer.greedy import greedy_bushy, greedy_linear
+from repro.optimizer.ikkbz import ikkbz
+from repro.strategy.cost import tau_cost
+from repro.workloads.generators import generate_foreign_key_chain
+
+
+class TestFortyRelationChain:
+    def setup_method(self):
+        self.db = generate_foreign_key_chain(40, random.Random(40), size=10)
+
+    def test_greedy_bushy_completes(self):
+        result = greedy_bushy(self.db)
+        assert result.strategy.scheme_set == self.db.scheme
+        assert result.cost == tau_cost(result.strategy)
+
+    def test_greedy_linear_completes(self):
+        result = greedy_linear(self.db)
+        assert result.strategy.is_linear()
+        assert result.strategy.scheme_set == self.db.scheme
+
+    def test_ikkbz_completes(self):
+        result = ikkbz(self.db)
+        assert result.strategy.is_linear()
+        assert not result.strategy.uses_cartesian_products()
+
+    def test_all_agree_on_the_final_result(self):
+        final = self.db.evaluate()
+        for make in (greedy_bushy, greedy_linear, ikkbz):
+            assert make(self.db).strategy.state == final
+
+    def test_predicates_run_at_scale(self):
+        result = greedy_bushy(self.db)
+        # The predicate implementations must not blow up on deep trees.
+        assert isinstance(result.strategy.is_linear(), bool)
+        assert isinstance(result.strategy.uses_cartesian_products(), bool)
+        assert result.strategy.step_count() == 39

@@ -1,0 +1,171 @@
+"""Tests for the classical cardinality estimator and estimate-driven
+optimization (the assumptions the paper breaks with)."""
+
+import random
+
+import pytest
+
+from repro import Database, relation
+from repro.optimizer.estimate import (
+    CardinalityEstimator,
+    ColumnStatistics,
+    optimize_with_estimates,
+)
+from repro.optimizer.spaces import SearchSpace
+from repro.strategy.cost import tau_cost
+from repro.strategy.tree import parse_strategy
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    generate_correlated_chain,
+    generate_database,
+    generate_superkey_join_database,
+)
+
+
+@pytest.fixture
+def simple_db():
+    return Database(
+        [
+            relation("AB", [(i, i % 4) for i in range(8)], name="R1"),
+            relation("BC", [(i % 4, i) for i in range(8)], name="R2"),
+        ]
+    )
+
+
+class TestColumnStatistics:
+    def test_collects_cardinality_and_distinct_counts(self, simple_db):
+        stats = ColumnStatistics.of(simple_db.state_for("AB"))
+        assert stats.cardinality == 8
+        assert stats.distinct["A"] == 8
+        assert stats.distinct["B"] == 4
+
+    def test_empty_relation(self):
+        stats = ColumnStatistics.of(relation("AB", []))
+        assert stats.cardinality == 0
+        assert stats.distinct == {"A": 0, "B": 0}
+
+
+class TestEstimator:
+    def test_single_relation_estimate_is_exact(self, simple_db):
+        est = CardinalityEstimator.from_database(simple_db)
+        assert est.estimate([next(iter(simple_db.scheme))]) in (8.0, 8.0)
+
+    def test_classic_join_formula(self, simple_db):
+        # |R1 ⋈ R2| estimated as |R1||R2| / max(V(R1,B), V(R2,B)) = 64/4.
+        est = CardinalityEstimator.from_database(simple_db)
+        estimate = est.estimate(simple_db.scheme.schemes)
+        assert estimate == pytest.approx(16.0)
+
+    def test_estimate_exact_under_uniform_independent_keys(self):
+        # When B is a key of R2, each R1 tuple matches exactly one R2
+        # tuple and the formula is exact.
+        db = Database(
+            [
+                relation("AB", [(i, i % 4) for i in range(8)], name="R1"),
+                relation("BC", [(b, b * 10) for b in range(4)], name="R2"),
+            ]
+        )
+        est = CardinalityEstimator.from_database(db)
+        assert est.estimate(db.scheme.schemes) == pytest.approx(
+            db.tau_of()
+        )
+
+    def test_cartesian_product_estimate_multiplies(self):
+        db = Database(
+            [
+                relation("AB", [(i, i) for i in range(5)], name="R1"),
+                relation("CD", [(i, i) for i in range(3)], name="R2"),
+            ]
+        )
+        est = CardinalityEstimator.from_database(db)
+        assert est.estimate(db.scheme.schemes) == pytest.approx(15.0)
+
+    def test_estimates_are_memoized(self, simple_db):
+        est = CardinalityEstimator.from_database(simple_db)
+        key = frozenset(simple_db.scheme.schemes)
+        first = est.estimate(key)
+        assert est._memo[key] == first
+
+    def test_estimate_order_independent(self):
+        rng = random.Random(2)
+        db = generate_database(chain_scheme(4), rng, WorkloadSpec(size=12, domain=4))
+        est = CardinalityEstimator.from_database(db)
+        schemes = db.scheme.sorted_schemes()
+        assert est.estimate(schemes) == est.estimate(tuple(reversed(schemes)))
+
+    def test_strategy_estimate_sums_steps(self, simple_db):
+        est = CardinalityEstimator.from_database(simple_db)
+        s = parse_strategy(simple_db, "(R1 R2)")
+        assert est.estimate_strategy(s) == pytest.approx(16.0)
+
+
+class TestEstimateDrivenOptimization:
+    def test_regret_is_one_when_estimates_are_faithful(self):
+        # Superkey-join data is uniform-ish: estimates rank plans well.
+        rng = random.Random(4)
+        db = generate_superkey_join_database(chain_scheme(4), rng, size=8)
+        run = optimize_with_estimates(db)
+        assert run.true_cost >= run.optimal_cost
+        assert run.regret == pytest.approx(1.0)
+
+    def test_regret_at_least_one_always(self):
+        for seed in range(5):
+            rng = random.Random(seed)
+            db = generate_correlated_chain(4, rng, size=20, domain=5)
+            if not db.is_nonnull():
+                continue
+            run = optimize_with_estimates(db)
+            assert run.regret >= 1.0
+
+    def test_correlation_can_hurt_the_estimator(self):
+        # Somewhere in a correlated population the estimator must pick a
+        # strictly suboptimal plan -- the paper's motivating phenomenon.
+        hurt = False
+        for seed in range(40):
+            rng = random.Random(seed)
+            db = generate_correlated_chain(5, rng, size=25, domain=5, correlation=0.9)
+            if not db.is_nonnull():
+                continue
+            run = optimize_with_estimates(db)
+            if run.regret > 1.0:
+                hurt = True
+                break
+        assert hurt
+
+    def test_run_reports_consistent_numbers(self):
+        rng = random.Random(9)
+        db = generate_database(chain_scheme(4), rng, WorkloadSpec(size=10, domain=4))
+        run = optimize_with_estimates(db, SearchSpace.LINEAR)
+        assert run.true_cost == tau_cost(run.chosen)
+        assert run.chosen.is_linear()
+        assert run.estimated_cost >= 0.0
+
+    def test_repr(self):
+        rng = random.Random(10)
+        db = generate_database(chain_scheme(3), rng, WorkloadSpec(size=8, domain=3))
+        assert "regret" in repr(optimize_with_estimates(db))
+
+
+class TestCorrelatedGenerator:
+    def test_correlation_bounds_validated(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            generate_correlated_chain(3, random.Random(0), correlation=1.5)
+
+    def test_full_correlation_makes_equal_columns(self):
+        db = generate_correlated_chain(3, random.Random(1), size=15, correlation=1.0)
+        for rel in db.relations():
+            attrs_sorted = rel.scheme.sorted()
+            for row in rel:
+                assert row[attrs_sorted[0]] == row[attrs_sorted[1]]
+
+    def test_zero_correlation_mixes_values(self):
+        db = generate_correlated_chain(3, random.Random(2), size=40, correlation=0.0)
+        mixed = any(
+            row[rel.scheme.sorted()[0]] != row[rel.scheme.sorted()[1]]
+            for rel in db.relations()
+            for row in rel
+        )
+        assert mixed

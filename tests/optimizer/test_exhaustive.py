@@ -1,0 +1,93 @@
+"""Tests for the exhaustive (ground-truth) optimizer."""
+
+import pytest
+
+from repro import Database, relation
+from repro.errors import OptimizerError
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.spaces import SearchSpace
+from repro.strategy.cost import max_intermediate_cost, tau_cost
+
+
+class TestOnPaperExamples:
+    def test_example1_global_optimum_uses_cp(self, ex1):
+        result = optimize_exhaustive(ex1)
+        assert result.cost <= 546
+        # The paper's S4 costs 546; the optimum is at most that and -- per
+        # the paper's point -- cannot avoid Cartesian products.
+        assert result.strategy.uses_cartesian_products()
+
+    def test_example1_nocp_optimum_is_549(self, ex1):
+        result = optimize_exhaustive(ex1, SearchSpace.NOCP)
+        assert result.cost == 549
+        assert result.strategy.describe() == "((R1 ⋈ R2) ⋈ (R3 ⋈ R4))"
+
+    def test_example4_optimum_is_11_with_cp(self, ex4):
+        result = optimize_exhaustive(ex4)
+        assert result.cost == 11
+        assert result.strategy.uses_cartesian_products()
+
+    def test_example4_nocp_optimum_is_12(self, ex4):
+        result = optimize_exhaustive(ex4, SearchSpace.NOCP)
+        assert result.cost == 12
+
+    def test_example5_optimum_is_bushy_11(self, ex5):
+        result = optimize_exhaustive(ex5)
+        assert result.cost == 11
+        assert not result.strategy.is_linear()
+        assert not result.strategy.uses_cartesian_products()
+
+    def test_example5_linear_optimum_is_12(self, ex5):
+        result = optimize_exhaustive(ex5, SearchSpace.LINEAR)
+        assert result.cost == 12
+
+    def test_example3_all_strategies_tie(self, ex3):
+        result = optimize_exhaustive(ex3)
+        assert result.cost == 7
+        assert result.considered == 3
+
+
+class TestMechanics:
+    def test_considered_counts_the_subspace(self, ex1):
+        assert optimize_exhaustive(ex1).considered == 15
+        assert optimize_exhaustive(ex1, SearchSpace.LINEAR).considered == 12
+        assert optimize_exhaustive(ex1, SearchSpace.NOCP).considered == 3
+
+    def test_returned_strategy_is_in_space(self, ex5):
+        for space in SearchSpace:
+            result = optimize_exhaustive(ex5, space)
+            assert space.contains(result.strategy)
+
+    def test_cost_field_matches_strategy(self, ex5):
+        result = optimize_exhaustive(ex5)
+        assert result.cost == tau_cost(result.strategy)
+
+    def test_custom_cost_function(self, ex1):
+        result = optimize_exhaustive(ex1, cost=max_intermediate_cost)
+        assert result.cost == min(
+            max_intermediate_cost(s)
+            for s in __import__("repro.strategy.enumerate", fromlist=["all_strategies"]).all_strategies(ex1)
+        )
+
+    def test_deterministic_tie_breaking(self, ex3):
+        first = optimize_exhaustive(ex3)
+        second = optimize_exhaustive(ex3)
+        assert first.strategy == second.strategy
+
+    def test_empty_space_raises(self):
+        db = Database(
+            [
+                relation("AB", [(1, 1)], name="R1"),
+                relation("BC", [(1, 1)], name="R2"),
+                relation("DE", [(1, 1)], name="R3"),
+                relation("EF", [(1, 1)], name="R4"),
+            ]
+        )
+        with pytest.raises(OptimizerError):
+            optimize_exhaustive(db, SearchSpace.LINEAR_NOCP)
+
+    def test_single_relation_database(self):
+        db = Database([relation("AB", [(1, 1)], name="R1")])
+        result = optimize_exhaustive(db)
+        assert result.cost == 0
+        assert result.strategy.is_leaf

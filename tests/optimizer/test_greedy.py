@@ -1,0 +1,76 @@
+"""Tests for the greedy baselines."""
+
+import random
+
+from repro import Database, relation
+from repro.optimizer.dp import optimize_dp
+from repro.optimizer.greedy import greedy_bushy, greedy_linear
+from repro.optimizer.spaces import SearchSpace
+from repro.strategy.cost import tau_cost
+from repro.workloads.generators import WorkloadSpec, chain_scheme, generate_database
+
+
+class TestGreedyBushy:
+    def test_produces_valid_full_strategy(self, ex5):
+        result = greedy_bushy(ex5)
+        assert result.strategy.scheme_set == ex5.scheme
+        assert result.cost == tau_cost(result.strategy)
+
+    def test_avoids_cps_when_possible(self, ex5):
+        result = greedy_bushy(ex5)
+        assert not result.strategy.uses_cartesian_products()
+
+    def test_avoids_cps_across_components_only_at_the_end(self, ex1):
+        result = greedy_bushy(ex1)
+        # Components must still be combined by CPs, but only the
+        # unavoidable comp-1 of them.
+        assert result.strategy.avoids_cartesian_products()
+
+    def test_cp_allowed_mode_can_beat_cp_avoiding(self, ex4):
+        # On Example 4 the true optimum uses a CP; greedy with CPs enabled
+        # may find a cheaper tree than CP-avoiding greedy.
+        avoiding = greedy_bushy(ex4, avoid_cartesian_products=True)
+        free = greedy_bushy(ex4, avoid_cartesian_products=False)
+        assert free.cost <= avoiding.cost
+
+    def test_never_beats_dp_optimum(self, ex1, ex4, ex5):
+        for db in (ex1, ex4, ex5):
+            assert greedy_bushy(db).cost >= optimize_dp(db).cost
+
+    def test_single_relation(self):
+        db = Database([relation("AB", [(1, 1)], name="R1")])
+        assert greedy_bushy(db).cost == 0
+
+
+class TestGreedyLinear:
+    def test_produces_linear_strategy(self, ex5):
+        result = greedy_linear(ex5)
+        assert result.strategy.is_linear()
+        assert result.strategy.scheme_set == ex5.scheme
+
+    def test_never_beats_linear_dp(self, ex1, ex4, ex5):
+        for db in (ex1, ex4, ex5):
+            assert (
+                greedy_linear(db).cost
+                >= optimize_dp(db, SearchSpace.LINEAR).cost
+            )
+
+    def test_on_random_chains(self):
+        rng = random.Random(5)
+        for _ in range(3):
+            db = generate_database(chain_scheme(5), rng, WorkloadSpec(size=10, domain=4))
+            result = greedy_linear(db)
+            assert result.strategy.is_linear()
+            assert result.cost >= optimize_dp(db, SearchSpace.LINEAR).cost
+
+    def test_prefers_linked_extensions(self, ex5):
+        # On a connected chain, greedy-linear with CP avoidance should
+        # produce a CP-free chain.
+        result = greedy_linear(ex5)
+        assert not result.strategy.uses_cartesian_products()
+
+    def test_single_relation(self):
+        db = Database([relation("AB", [(1, 1)], name="R1")])
+        result = greedy_linear(db)
+        assert result.cost == 0
+        assert result.strategy.is_leaf

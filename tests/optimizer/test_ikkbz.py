@@ -1,0 +1,135 @@
+"""Tests for the IK/KBZ rank-based linear optimizer (paper reference [11]).
+
+The load-bearing test: on tree query graphs the algorithm's order must
+attain the minimum *estimated* cost over all connected linear orders
+(that is IK's theorem); brute force provides the ground truth.
+"""
+
+import random
+from itertools import permutations
+
+import pytest
+
+from repro import Database, relation
+from repro.errors import OptimizerError
+from repro.optimizer.estimate import CardinalityEstimator
+from repro.optimizer.ikkbz import estimated_linear_cost, ikkbz
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    cycle_scheme,
+    generate_database,
+    random_tree_scheme,
+    star_scheme,
+)
+
+
+def _bruteforce_best(db) -> float:
+    """Minimum estimated cost over *connected* linear orders."""
+    est = CardinalityEstimator.from_database(db)
+    schemes = db.scheme.sorted_schemes()
+    best = None
+    for order in permutations(schemes):
+        # Connected prefixes only (IKKBZ never takes a Cartesian product).
+        ok = True
+        for k in range(2, len(order) + 1):
+            if not db.scheme.restrict(order[:k]).is_connected():
+                ok = False
+                break
+        if not ok:
+            continue
+        cost = estimated_linear_cost(db, list(order), est)
+        if best is None or cost < best:
+            best = cost
+    assert best is not None
+    return best
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("shape_name", ["chain", "star", "tree"])
+    def test_matches_bruteforce_on_tree_queries(self, shape_name):
+        for seed in range(4):
+            rng = random.Random(seed)
+            if shape_name == "chain":
+                schemes = chain_scheme(5)
+            elif shape_name == "star":
+                schemes = star_scheme(5)
+            else:
+                schemes = random_tree_scheme(5, rng)
+            db = generate_database(
+                schemes, rng, WorkloadSpec(size=12, domain=4)
+            )
+            result = ikkbz(db)
+            assert result.cost == pytest.approx(_bruteforce_best(db))
+
+    def test_result_is_linear_and_connected(self):
+        rng = random.Random(7)
+        db = generate_database(star_scheme(5), rng, WorkloadSpec(size=15, domain=4))
+        result = ikkbz(db)
+        assert result.strategy.is_linear()
+        assert not result.strategy.uses_cartesian_products()
+
+    def test_estimated_cost_matches_helper(self):
+        rng = random.Random(8)
+        db = generate_database(chain_scheme(4), rng, WorkloadSpec(size=10, domain=4))
+        result = ikkbz(db)
+        order = [
+            next(iter(leaf.scheme_set.schemes))
+            for leaf in _linear_order(result.strategy)
+        ]
+        assert result.cost == pytest.approx(estimated_linear_cost(db, order))
+
+
+def _linear_order(strategy):
+    """The leaves of a linear strategy in join order."""
+    if strategy.is_leaf:
+        return [strategy]
+    left, right = strategy.left, strategy.right
+    if right.is_leaf and not left.is_leaf:
+        return _linear_order(left) + [right]
+    if left.is_leaf and not right.is_leaf:
+        return _linear_order(right) + [left]
+    # Two leaves: deterministic order.
+    return sorted(
+        [left, right], key=lambda leaf: next(iter(leaf.scheme_set.schemes)).sorted()
+    )
+
+
+class TestInputValidation:
+    def test_cyclic_query_graph_rejected(self):
+        rng = random.Random(1)
+        db = generate_database(cycle_scheme(4), rng, WorkloadSpec(size=8, domain=3))
+        with pytest.raises(OptimizerError):
+            ikkbz(db)
+
+    def test_disconnected_rejected(self):
+        db = Database(
+            [
+                relation("AB", [(1, 1)], name="R1"),
+                relation("CD", [(2, 2)], name="R2"),
+            ]
+        )
+        with pytest.raises(OptimizerError):
+            ikkbz(db)
+
+    def test_single_relation(self):
+        db = Database([relation("AB", [(1, 1)], name="R1")])
+        result = ikkbz(db)
+        assert result.cost == 0
+        assert result.strategy.is_leaf
+
+
+class TestRelationToTrueCost:
+    def test_true_tau_never_below_true_linear_optimum(self):
+        from repro.optimizer.dp import optimize_dp
+        from repro.optimizer.spaces import SearchSpace
+        from repro.strategy.cost import tau_cost
+
+        for seed in range(3):
+            rng = random.Random(seed)
+            db = generate_database(
+                chain_scheme(5), rng, WorkloadSpec(size=12, domain=4)
+            )
+            result = ikkbz(db)
+            true_cost = tau_cost(result.strategy)
+            assert true_cost >= optimize_dp(db, SearchSpace.LINEAR).cost

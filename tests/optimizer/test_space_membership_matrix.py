@@ -1,0 +1,68 @@
+"""Cross-validation: SearchSpace.contains vs the subspace generators.
+
+For every small database and every space, the set of strategies the
+generators produce must be exactly the set of enumerated strategies the
+membership predicate accepts -- the two codifications of "the subspace"
+must agree.
+"""
+
+import random
+
+import pytest
+
+from repro.optimizer.spaces import SearchSpace
+from repro.strategy.enumerate import all_strategies, strategies_in_space
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    generate_database,
+    star_scheme,
+)
+from repro.workloads.paper import example1, example3, example5
+
+
+def _databases():
+    yield "ex1", example1()
+    yield "ex3", example3()
+    yield "ex5", example5()
+    rng = random.Random(77)
+    yield "chain4", generate_database(
+        chain_scheme(4), rng, WorkloadSpec(size=5, domain=3)
+    )
+    yield "star4", generate_database(
+        star_scheme(4), rng, WorkloadSpec(size=5, domain=3)
+    )
+
+
+@pytest.mark.parametrize("space", list(SearchSpace))
+def test_generators_match_membership(space):
+    for label, db in _databases():
+        generated = set(
+            strategies_in_space(
+                db,
+                linear=space.linear_only,
+                avoid_cartesian_products=space.avoids_cartesian_products,
+            )
+        )
+        accepted = {s for s in all_strategies(db) if space.contains(s)}
+        assert generated == accepted, (label, space)
+
+
+def test_space_inclusion_lattice():
+    """LINEAR_NOCP ⊆ LINEAR ∩ NOCP ⊆ ALL, as strategy sets."""
+    for label, db in _databases():
+        spaces = {
+            space: set(
+                strategies_in_space(
+                    db,
+                    linear=space.linear_only,
+                    avoid_cartesian_products=space.avoids_cartesian_products,
+                )
+            )
+            for space in SearchSpace
+        }
+        assert spaces[SearchSpace.LINEAR_NOCP] == (
+            spaces[SearchSpace.LINEAR] & spaces[SearchSpace.NOCP]
+        ), label
+        assert spaces[SearchSpace.LINEAR] <= spaces[SearchSpace.ALL], label
+        assert spaces[SearchSpace.NOCP] <= spaces[SearchSpace.ALL], label

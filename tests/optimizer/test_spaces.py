@@ -1,0 +1,54 @@
+"""Tests for search-space definitions and membership."""
+
+from repro.optimizer.spaces import OptimizationResult, SearchSpace
+from repro.strategy.tree import parse_strategy
+
+
+class TestFlags:
+    def test_linear_only(self):
+        assert SearchSpace.LINEAR.linear_only
+        assert SearchSpace.LINEAR_NOCP.linear_only
+        assert not SearchSpace.ALL.linear_only
+        assert not SearchSpace.NOCP.linear_only
+
+    def test_avoids_cartesian_products(self):
+        assert SearchSpace.NOCP.avoids_cartesian_products
+        assert SearchSpace.LINEAR_NOCP.avoids_cartesian_products
+        assert not SearchSpace.ALL.avoids_cartesian_products
+        assert not SearchSpace.LINEAR.avoids_cartesian_products
+
+
+class TestMembership:
+    def test_all_contains_everything(self, ex1):
+        s = parse_strategy(ex1, "((R1 R3) (R2 R4))")
+        assert SearchSpace.ALL.contains(s)
+
+    def test_linear_membership(self, ex1):
+        linear = parse_strategy(ex1, "(((R1 R2) R3) R4)")
+        bushy = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        assert SearchSpace.LINEAR.contains(linear)
+        assert not SearchSpace.LINEAR.contains(bushy)
+
+    def test_nocp_membership(self, ex1):
+        avoiding = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        using = parse_strategy(ex1, "((R1 R3) (R2 R4))")
+        assert SearchSpace.NOCP.contains(avoiding)
+        assert not SearchSpace.NOCP.contains(using)
+
+    def test_linear_nocp_membership(self, ex1):
+        good = parse_strategy(ex1, "(((R1 R2) R3) R4)")
+        bushy = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        assert SearchSpace.LINEAR_NOCP.contains(good)
+        assert not SearchSpace.LINEAR_NOCP.contains(bushy)
+
+
+class TestDescriptions:
+    def test_describe_values(self):
+        assert SearchSpace.ALL.describe() == "all strategies"
+        assert "linear" in SearchSpace.LINEAR_NOCP.describe()
+
+    def test_result_repr(self, ex3):
+        s = parse_strategy(ex3, "((GS SC) CL)")
+        result = OptimizationResult(s, 7, SearchSpace.ALL, "test", 3)
+        assert "tau=7" in repr(result)
+        assert "test" in repr(result)

@@ -1,0 +1,82 @@
+"""Property-based tests for the acyclicity machinery on random
+hypergraphs: Fagin's hierarchy, heredity, GYO confluence surrogates, and
+join-tree existence."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.attributes import AttributeSet
+from repro.schemegraph.acyclicity import (
+    is_alpha_acyclic,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+)
+from repro.schemegraph.jointree import all_join_trees, build_join_tree
+from repro.schemegraph.scheme import DatabaseScheme
+
+_ATTRS = "ABCDEF"
+
+
+@st.composite
+def random_hypergraph(draw, max_edges=4):
+    """A random small database scheme (distinct nonempty edges)."""
+    count = draw(st.integers(1, max_edges))
+    edges = set()
+    for _ in range(count):
+        size = draw(st.integers(1, 3))
+        edge = frozenset(draw(st.permutations(_ATTRS))[:size])
+        edges.add(edge)
+    return DatabaseScheme(AttributeSet(edge) for edge in edges)
+
+
+@settings(max_examples=80, deadline=None)
+@given(scheme=random_hypergraph())
+def test_fagin_hierarchy(scheme):
+    """gamma-acyclic => beta-acyclic => alpha-acyclic."""
+    if is_gamma_acyclic(scheme):
+        assert is_beta_acyclic(scheme)
+    if is_beta_acyclic(scheme):
+        assert is_alpha_acyclic(scheme)
+
+
+@settings(max_examples=80, deadline=None)
+@given(scheme=random_hypergraph(), data=st.data())
+def test_beta_acyclicity_is_hereditary(scheme, data):
+    """beta-acyclicity is closed under subsets (by definition)."""
+    if not is_beta_acyclic(scheme):
+        return
+    subsets = list(scheme.subsets())
+    subset = data.draw(st.sampled_from(subsets))
+    assert is_beta_acyclic(subset)
+    assert is_alpha_acyclic(subset)
+
+
+@settings(max_examples=60, deadline=None)
+@given(scheme=random_hypergraph())
+def test_alpha_acyclic_connected_schemes_have_join_trees(scheme):
+    if not scheme.is_connected():
+        return
+    if is_alpha_acyclic(scheme):
+        tree = build_join_tree(scheme)
+        assert tree.scheme == scheme
+    else:
+        assert list(all_join_trees(scheme)) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(scheme=random_hypergraph())
+def test_every_enumerated_join_tree_validates(scheme):
+    if not scheme.is_connected():
+        return
+    for tree in all_join_trees(scheme):
+        # Construction re-checks running intersection; spot-check subtree
+        # induction for each attribute.
+        for attr in scheme.attributes.sorted():
+            holders = [node for node in scheme.sorted_schemes() if attr in node]
+            assert tree.induces_subtree(holders)
+
+
+@settings(max_examples=60, deadline=None)
+@given(scheme=random_hypergraph())
+def test_two_or_fewer_edges_always_gamma_acyclic(scheme):
+    if len(scheme) <= 2:
+        assert is_gamma_acyclic(scheme)

@@ -1,0 +1,114 @@
+"""Property-based tests for the relational algebra (hypothesis).
+
+These pin the algebraic laws the paper's framework silently relies on:
+commutativity and associativity of the natural join (the order of joins
+does not change the result, only the cost), the sub-multiplicative bound
+``tau(R ⋈ S) <= tau(R) tau(S)`` with equality for Cartesian products, and
+the standard semijoin/projection identities.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.attributes import attrs
+from repro.relational.relation import Relation, Row
+
+
+def _relation_over(scheme: str, max_value: int = 4):
+    """A hypothesis strategy for relations over the given compact scheme."""
+    names = sorted(attrs(scheme))
+    row = st.fixed_dictionaries({a: st.integers(0, max_value) for a in names})
+    return st.lists(row, max_size=8).map(
+        lambda dicts: Relation(scheme, (Row(d) for d in dicts))
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("AB"), s=_relation_over("BC"))
+def test_join_commutative(r, s):
+    assert r.join(s) == s.join(r)
+
+
+@settings(max_examples=40, deadline=None)
+@given(r=_relation_over("AB"), s=_relation_over("BC"), t=_relation_over("CD"))
+def test_join_associative(r, s, t):
+    assert r.join(s).join(t) == r.join(s.join(t))
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("AB"), s=_relation_over("BC"))
+def test_join_submultiplicative(r, s):
+    assert r.join(s).tau <= r.tau * s.tau
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("AB"), s=_relation_over("CD"))
+def test_cartesian_product_attains_the_bound(r, s):
+    # The paper: "equality holds if s uses a Cartesian product".
+    assert r.join(s).tau == r.tau * s.tau
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("AB"))
+def test_join_idempotent(r):
+    assert r.join(r) == r
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("AB"), s=_relation_over("BC"))
+def test_semijoin_is_projection_of_join(r, s):
+    assert r.semijoin(s) == r.join(s).project(r.scheme)
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("AB"), s=_relation_over("BC"))
+def test_semijoin_then_join_preserves_join(r, s):
+    # Reducing one side never changes the final join.
+    assert r.semijoin(s).join(s) == r.join(s)
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("AB"), s=_relation_over("BC"))
+def test_semijoin_antijoin_partition(r, s):
+    semi, anti = r.semijoin(s), r.antijoin(s)
+    assert semi.union(anti) == r
+    assert semi.intersection(anti).tau == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("ABC"))
+def test_projection_monotone_and_idempotent(r):
+    p = r.project("AB")
+    assert p.tau <= r.tau
+    assert p.project("AB") == p
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("AB"), s=_relation_over("AB"), t=_relation_over("AB"))
+def test_set_operation_laws(r, s, t):
+    assert r.union(s) == s.union(r)
+    assert r.intersection(s) == s.intersection(r)
+    assert r.union(s.union(t)) == r.union(s).union(t)
+    # Distributivity of intersection over union.
+    assert r.intersection(s.union(t)) == r.intersection(s).union(r.intersection(t))
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("AB"), s=_relation_over("AB"))
+def test_same_scheme_join_is_intersection(r, s):
+    assert r.join(s) == r.intersection(s)
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("AB"))
+def test_rename_roundtrip(r):
+    there = r.rename({"A": "Z"})
+    back = there.rename({"Z": "A"})
+    assert back == r
+
+
+@settings(max_examples=60, deadline=None)
+@given(r=_relation_over("AB"), s=_relation_over("BC"))
+def test_consistency_iff_equal_projections(r, s):
+    common = r.scheme & s.scheme
+    expected = r.project(common).rows == s.project(common).rows
+    assert r.is_consistent_with(s) == expected

@@ -1,0 +1,109 @@
+"""Definition-literal cross-checks for the condition checkers.
+
+The production checkers enumerate connected subsets with the efficient
+grower and use the memoized subset-join cache; these tests reimplement
+the conditions naively -- straight from the paper's quantifiers, with
+brute-force subset filtering and fresh joins -- and demand agreement on
+random databases.  Disagreement anywhere would mean either the grower,
+the cache, or the checker logic is wrong.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.conditions.checks import check_c1, check_c2, check_c3, check_c4
+from repro.database import Database
+from repro.relational.relation import Relation, Row
+from repro.workloads.generators import chain_scheme, star_scheme
+
+
+@st.composite
+def small_database(draw):
+    shape = draw(st.sampled_from([chain_scheme(3), chain_scheme(4), star_scheme(4)]))
+    relations = []
+    for index, scheme in enumerate(shape):
+        names = sorted(scheme)
+        row = st.fixed_dictionaries({a: st.integers(0, 2) for a in names})
+        dicts = draw(st.lists(row, min_size=1, max_size=4))
+        relations.append(Relation(scheme, (Row(d) for d in dicts), name=f"R{index+1}"))
+    return Database(relations)
+
+
+def _fresh_join(db, subsets):
+    """Join the states of the given schemes without the memo cache."""
+    schemes = [s for subset in subsets for s in subset.sorted_schemes()]
+    result = db.state_for(schemes[0])
+    for scheme in schemes[1:]:
+        result = result.join(db.state_for(scheme))
+    return result
+
+
+def _naive_c1(db, strict=False):
+    subsets = [s for s in db.scheme.subsets() if s.is_connected()]
+    for e in subsets:
+        for e1 in subsets:
+            if e.schemes & e1.schemes or not e.is_linked_to(e1):
+                continue
+            for e2 in subsets:
+                if (e.schemes | e1.schemes) & e2.schemes or e.is_linked_to(e2):
+                    continue
+                lhs = len(_fresh_join(db, [e, e1]))
+                rhs = len(_fresh_join(db, [e, e2]))
+                if strict and not lhs < rhs:
+                    return False
+                if not strict and not lhs <= rhs:
+                    return False
+    return True
+
+
+def _naive_pairwise(db, ok):
+    subsets = [s for s in db.scheme.subsets() if s.is_connected()]
+    for i, e1 in enumerate(subsets):
+        for e2 in subsets[i + 1 :]:
+            if e1.schemes & e2.schemes or not e1.is_linked_to(e2):
+                continue
+            joined = len(_fresh_join(db, [e1, e2]))
+            if not ok(joined, len(_fresh_join(db, [e1])), len(_fresh_join(db, [e2]))):
+                return False
+    return True
+
+
+@settings(max_examples=15, deadline=None)
+@given(db=small_database())
+def test_c1_checker_matches_naive(db):
+    assert check_c1(db).holds == _naive_c1(db)
+
+
+@settings(max_examples=15, deadline=None)
+@given(db=small_database())
+def test_c1_strict_checker_matches_naive(db):
+    from repro.conditions.checks import check_c1_strict
+
+    assert check_c1_strict(db).holds == _naive_c1(db, strict=True)
+
+
+@settings(max_examples=15, deadline=None)
+@given(db=small_database())
+def test_c2_checker_matches_naive(db):
+    naive = _naive_pairwise(db, lambda j, a, b: j <= a or j <= b)
+    assert check_c2(db).holds == naive
+
+
+@settings(max_examples=15, deadline=None)
+@given(db=small_database())
+def test_c3_checker_matches_naive(db):
+    naive = _naive_pairwise(db, lambda j, a, b: j <= a and j <= b)
+    assert check_c3(db).holds == naive
+
+
+@settings(max_examples=15, deadline=None)
+@given(db=small_database())
+def test_c4_checker_matches_naive(db):
+    naive = _naive_pairwise(db, lambda j, a, b: j >= a and j >= b)
+    assert check_c4(db).holds == naive
+
+
+@settings(max_examples=15, deadline=None)
+@given(db=small_database())
+def test_memoized_joins_match_fresh_joins(db):
+    for subset in db.scheme.subsets():
+        assert db.join_of(subset) == _fresh_join(db, [subset])

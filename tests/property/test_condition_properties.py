@@ -1,0 +1,96 @@
+"""Property-based tests for the conditions: heredity and implications."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.conditions.checks import (
+    check_c1,
+    check_c2,
+    check_c3,
+    check_c4,
+)
+from repro.database import Database
+from repro.relational.relation import Relation, Row
+from repro.workloads.generators import (
+    chain_scheme,
+    generate_superkey_join_database,
+    star_scheme,
+)
+
+
+@st.composite
+def small_database(draw):
+    shape = draw(st.sampled_from([chain_scheme(3), chain_scheme(4), star_scheme(4)]))
+    relations = []
+    for index, scheme in enumerate(shape):
+        names = sorted(scheme)
+        row = st.fixed_dictionaries({a: st.integers(0, 2) for a in names})
+        dicts = draw(st.lists(row, min_size=1, max_size=5))
+        relations.append(Relation(scheme, (Row(d) for d in dicts), name=f"R{index+1}"))
+    return Database(relations)
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=small_database(), data=st.data())
+def test_c1_is_hereditary(db, data):
+    """The paper (Section 3): if C1(D) holds, every sub-database satisfies
+    C1 too."""
+    if not check_c1(db).holds:
+        return
+    subsets = [s for s in db.scheme.subsets(min_size=2)]
+    subset = data.draw(st.sampled_from(subsets))
+    assert check_c1(db.restrict(subset)).holds
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=small_database())
+def test_lemma5_c3_implies_c1(db):
+    """Lemma 5: with R_D nonempty, C3 implies C1."""
+    if not db.is_nonnull():
+        return
+    if check_c3(db).holds:
+        assert check_c1(db).holds
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=small_database())
+def test_c3_implies_c2(db):
+    if check_c3(db).holds:
+        assert check_c2(db).holds
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=small_database())
+def test_c3_and_c4_iff_size_preserving_joins(db):
+    """C3 ∧ C4 means every linked connected pair joins to exactly the size
+    of both operands."""
+    if check_c3(db).holds and check_c4(db).holds:
+        connected = list(db.scheme.connected_subsets())
+        for i, e1 in enumerate(connected):
+            for e2 in connected[i + 1 :]:
+                if e1.schemes & e2.schemes or not e1.is_linked_to(e2):
+                    continue
+                joined = db.tau_of(e1.union(e2))
+                assert joined == db.tau_of(e1) == db.tau_of(e2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(3, 9))
+def test_superkey_databases_always_satisfy_c3(seed, size):
+    """Section 4: all joins on superkeys => C3 (and hence C1, C2)."""
+    rng = random.Random(seed)
+    db = generate_superkey_join_database(chain_scheme(3), rng, size=size)
+    assert check_c3(db).holds
+    assert check_c2(db).holds
+    if db.is_nonnull():
+        assert check_c1(db).holds
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=small_database())
+def test_strict_c1_implies_weak_c1(db):
+    from repro.conditions.checks import check_c1_strict
+
+    if check_c1_strict(db).holds:
+        assert check_c1(db).holds

@@ -1,0 +1,99 @@
+"""Property-based tests for the FD machinery: closure laws, cover
+equivalence, and chase consistency."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.attributes import AttributeSet, attrs
+from repro.relational.chase import is_lossless_decomposition
+from repro.relational.dependencies import FDSet, FunctionalDependency
+
+_UNIVERSE = "ABCDE"
+
+
+@st.composite
+def random_fdset(draw, max_fds=5):
+    count = draw(st.integers(0, max_fds))
+    fds = []
+    for _ in range(count):
+        lhs_size = draw(st.integers(1, 2))
+        rhs_size = draw(st.integers(1, 2))
+        lhs = draw(st.permutations(_UNIVERSE))[:lhs_size]
+        rhs = draw(st.permutations(_UNIVERSE))[:rhs_size]
+        fds.append(FunctionalDependency(lhs, rhs))
+    return FDSet(fds)
+
+
+@st.composite
+def attribute_subset(draw):
+    size = draw(st.integers(1, len(_UNIVERSE)))
+    return AttributeSet(draw(st.permutations(_UNIVERSE))[:size])
+
+
+@settings(max_examples=80, deadline=None)
+@given(fds=random_fdset(), x=attribute_subset())
+def test_closure_is_extensive_and_idempotent(fds, x):
+    closure = fds.closure(x)
+    assert x <= closure
+    assert fds.closure(closure) == closure
+
+
+@settings(max_examples=80, deadline=None)
+@given(fds=random_fdset(), x=attribute_subset(), y=attribute_subset())
+def test_closure_is_monotone(fds, x, y):
+    if x <= y:
+        assert fds.closure(x) <= fds.closure(y)
+    union = x | y
+    assert fds.closure(x) <= fds.closure(union)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fds=random_fdset())
+def test_minimal_cover_is_equivalent(fds):
+    cover = fds.minimal_cover()
+    assert fds.is_equivalent_to(cover)
+    # Canonical form: singleton right sides, nothing trivial.
+    for dep in cover:
+        assert len(dep.rhs) == 1
+        assert not dep.is_trivial()
+
+
+@settings(max_examples=60, deadline=None)
+@given(fds=random_fdset())
+def test_every_declared_fd_is_implied(fds):
+    for dep in fds:
+        assert fds.implies(dep)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fds=random_fdset(), x=attribute_subset())
+def test_superkey_iff_closure_covers(fds, x):
+    scheme = attrs(_UNIVERSE)
+    assert fds.is_superkey(x, scheme) == (fds.closure(x) >= scheme)
+
+
+@settings(max_examples=40, deadline=None)
+@given(fds=random_fdset())
+def test_candidate_keys_are_minimal_superkeys(fds):
+    scheme = attrs("ABC")
+    keys = fds.candidate_keys(scheme)
+    assert keys  # the whole scheme is always a superkey
+    for key in keys:
+        assert fds.is_superkey(key, scheme)
+        for attr in key.sorted():
+            if len(key) > 1:
+                assert not fds.is_superkey(key - {attr}, scheme)
+
+
+@settings(max_examples=40, deadline=None)
+@given(fds=random_fdset())
+def test_chase_accepts_decompositions_containing_the_universe(fds):
+    # A decomposition that includes the whole scheme is always lossless.
+    assert is_lossless_decomposition("ABC", ["ABC", "AB"], fds)
+
+
+@settings(max_examples=40, deadline=None)
+@given(fds=random_fdset())
+def test_fd_projection_is_implied_by_original(fds):
+    projected = fds.projected_onto("ABC")
+    for dep in projected:
+        assert fds.implies(dep)

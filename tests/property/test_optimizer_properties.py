@@ -1,0 +1,86 @@
+"""Property-based tests for the optimizers as a family.
+
+Invariants across the whole optimizer surface: every optimizer's output
+is a valid full strategy computing R_D; exact optimizers respect the
+subspace lattice; heuristics never beat exact; the estimate-driven DP's
+believed cost matches the estimator's scoring of its own plan.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.database import Database
+from repro.optimizer.dp import optimize_dp
+from repro.optimizer.estimate import CardinalityEstimator, optimize_with_estimates
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.greedy import greedy_bushy, greedy_linear
+from repro.optimizer.spaces import SearchSpace
+from repro.relational.relation import Relation, Row
+from repro.strategy.cost import tau_cost
+from repro.workloads.generators import chain_scheme, star_scheme
+
+
+@st.composite
+def small_database(draw):
+    shape = draw(st.sampled_from([chain_scheme(3), chain_scheme(4), star_scheme(4)]))
+    relations = []
+    for index, scheme in enumerate(shape):
+        names = sorted(scheme)
+        row = st.fixed_dictionaries({a: st.integers(0, 2) for a in names})
+        dicts = draw(st.lists(row, min_size=1, max_size=4))
+        relations.append(Relation(scheme, (Row(d) for d in dicts), name=f"R{index+1}"))
+    return Database(relations)
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=small_database())
+def test_every_optimizer_computes_the_query(db):
+    final = db.evaluate()
+    plans = [
+        optimize_dp(db).strategy,
+        optimize_exhaustive(db).strategy,
+        greedy_bushy(db).strategy,
+        greedy_linear(db).strategy,
+    ]
+    for plan in plans:
+        assert plan.scheme_set == db.scheme
+        assert plan.state == final
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=small_database())
+def test_subspace_lattice_costs(db):
+    costs = {space: optimize_dp(db, space).cost for space in SearchSpace}
+    assert costs[SearchSpace.ALL] <= costs[SearchSpace.LINEAR]
+    assert costs[SearchSpace.ALL] <= costs[SearchSpace.NOCP]
+    assert costs[SearchSpace.LINEAR] <= costs[SearchSpace.LINEAR_NOCP]
+    assert costs[SearchSpace.NOCP] <= costs[SearchSpace.LINEAR_NOCP]
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=small_database())
+def test_heuristics_never_beat_exact(db):
+    best = optimize_dp(db).cost
+    assert greedy_bushy(db).cost >= best
+    assert greedy_linear(db).cost >= optimize_dp(db, SearchSpace.LINEAR).cost
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=small_database())
+def test_estimate_run_consistency(db):
+    if not db.is_nonnull():
+        return
+    run = optimize_with_estimates(db)
+    assert run.true_cost == tau_cost(run.chosen)
+    assert run.true_cost >= run.optimal_cost
+    estimator = CardinalityEstimator.from_database(db)
+    # The believed cost is the estimator's score of the chosen plan.
+    assert abs(run.estimated_cost - estimator.estimate_strategy(run.chosen)) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=small_database())
+def test_dp_strategies_are_deterministic(db):
+    first = optimize_dp(db)
+    second = optimize_dp(db)
+    assert first.strategy == second.strategy
+    assert first.cost == second.cost

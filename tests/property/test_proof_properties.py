@@ -1,0 +1,115 @@
+"""Property-based tests for the constructive proof machinery.
+
+The guarantees are conditional: on hypothesis-satisfying databases the
+surgeries must behave as proved; on arbitrary databases they must at
+least produce well-formed strategies over the same scheme with the same
+final result.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.conditions.checks import check_c1, check_c2, check_c3
+from repro.database import Database
+from repro.relational.relation import Relation, Row
+from repro.strategy.cost import tau_cost
+from repro.strategy.enumerate import all_strategies, nocp_strategies
+from repro.strategy.proofs import (
+    eliminate_cartesian_products,
+    last_cartesian_product_step,
+    linearize,
+    normalize_components_individually,
+)
+from repro.workloads.generators import chain_scheme, star_scheme
+
+_SHAPES = [chain_scheme(3), chain_scheme(4), star_scheme(4)]
+
+
+@st.composite
+def small_database(draw):
+    shape = draw(st.sampled_from(_SHAPES))
+    relations = []
+    for index, scheme in enumerate(shape):
+        names = sorted(scheme)
+        row = st.fixed_dictionaries({a: st.integers(0, 2) for a in names})
+        dicts = draw(st.lists(row, min_size=1, max_size=4))
+        relations.append(Relation(scheme, (Row(d) for d in dicts), name=f"R{index+1}"))
+    return Database(relations)
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=small_database(), data=st.data())
+def test_normalization_is_wellformed_and_result_preserving(db, data):
+    strategies = list(all_strategies(db))
+    s = data.draw(st.sampled_from(strategies))
+    normalized = normalize_components_individually(s)
+    assert normalized.scheme_set == db.scheme
+    assert normalized.state == db.evaluate()
+    assert normalized.evaluates_components_individually()
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=small_database(), data=st.data())
+def test_normalization_never_increases_tau_under_c1_c2(db, data):
+    if not db.is_nonnull():
+        return
+    if not (check_c1(db).holds and check_c2(db).holds):
+        return
+    strategies = list(all_strategies(db))
+    s = data.draw(st.sampled_from(strategies))
+    assert tau_cost(normalize_components_individually(s)) <= tau_cost(s)
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=small_database(), data=st.data())
+def test_cp_elimination_is_wellformed(db, data):
+    if not db.scheme.is_connected():
+        return
+    strategies = list(all_strategies(db))
+    s = data.draw(st.sampled_from(strategies))
+    cleaned = eliminate_cartesian_products(s)
+    assert last_cartesian_product_step(cleaned) is None
+    assert not cleaned.uses_cartesian_products()
+    assert cleaned.scheme_set == db.scheme
+    assert cleaned.state == db.evaluate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=small_database(), data=st.data())
+def test_cp_elimination_never_increases_tau_under_c1_c2(db, data):
+    if not db.scheme.is_connected() or not db.is_nonnull():
+        return
+    if not (check_c1(db).holds and check_c2(db).holds):
+        return
+    strategies = list(all_strategies(db))
+    s = data.draw(st.sampled_from(strategies))
+    assert tau_cost(eliminate_cartesian_products(s)) <= tau_cost(s)
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=small_database(), data=st.data())
+def test_linearize_is_wellformed(db, data):
+    if not db.scheme.is_connected():
+        return
+    candidates = list(nocp_strategies(db))
+    if not candidates:
+        return
+    s = data.draw(st.sampled_from(candidates))
+    linear = linearize(s)
+    assert linear.is_linear()
+    assert not linear.uses_cartesian_products()
+    assert linear.scheme_set == db.scheme
+    assert linear.state == db.evaluate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=small_database(), data=st.data())
+def test_linearize_preserves_tau_under_c3(db, data):
+    if not db.scheme.is_connected() or not db.is_nonnull():
+        return
+    if not check_c3(db).holds:
+        return
+    candidates = list(nocp_strategies(db))
+    best = min(tau_cost(s) for s in candidates)
+    optimal = [s for s in candidates if tau_cost(s) == best]
+    s = data.draw(st.sampled_from(optimal))
+    assert tau_cost(linearize(s)) == best

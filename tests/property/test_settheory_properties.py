@@ -1,0 +1,80 @@
+"""Property-based tests for Section 5's set-strategy machinery."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.settheory.sets import (
+    SetFamily,
+    SetStrategy,
+    all_set_strategies,
+    best_linear_intersection,
+    intersection_satisfies_c3,
+    optimal_intersection_cost,
+    union_satisfies_c4,
+)
+
+
+@st.composite
+def set_family(draw, op="intersection", max_members=4):
+    members = draw(st.integers(2, max_members))
+    sets = [
+        draw(st.sets(st.integers(0, 12), min_size=0, max_size=10))
+        for _ in range(members)
+    ]
+    return SetFamily(sets, op=op)
+
+
+@settings(max_examples=40, deadline=None)
+@given(family=set_family())
+def test_intersection_always_satisfies_c3(family):
+    assert intersection_satisfies_c3(family)
+
+
+@settings(max_examples=40, deadline=None)
+@given(family=set_family(op="union"))
+def test_union_always_satisfies_c4(family):
+    assert union_satisfies_c4(family)
+
+
+@settings(max_examples=30, deadline=None)
+@given(family=set_family())
+def test_theorem3_corollary_linear_intersection_is_optimal(family):
+    _, linear_cost = best_linear_intersection(family)
+    assert linear_cost == optimal_intersection_cost(family)
+
+
+@settings(max_examples=30, deadline=None)
+@given(family=set_family())
+def test_all_strategies_share_the_final_result(family):
+    results = {s.result for s in all_set_strategies(family)}
+    assert len(results) == 1
+    assert results == {family.evaluate()}
+
+
+@settings(max_examples=30, deadline=None)
+@given(family=set_family())
+def test_tau_is_sum_of_step_sizes(family):
+    for strategy in all_set_strategies(family):
+        assert strategy.tau() == sum(len(step.result) for step in strategy.steps())
+
+
+@settings(max_examples=30, deadline=None)
+@given(family=set_family(op="union"))
+def test_union_strategies_are_monotone_increasing(family):
+    # C4 in action: every union step's output is >= both inputs.
+    for strategy in all_set_strategies(family):
+        for step in strategy.steps():
+            left, right = step._left, step._right
+            assert len(step.result) >= len(left.result)
+            assert len(step.result) >= len(right.result)
+
+
+@settings(max_examples=30, deadline=None)
+@given(family=set_family(max_members=4), data=st.data())
+def test_linear_constructor_matches_manual_chain(family, data):
+    order = data.draw(st.permutations(range(len(family))))
+    built = SetStrategy.linear(family, order)
+    manual = SetStrategy.leaf(family, order[0])
+    for index in order[1:]:
+        manual = SetStrategy.join(manual, SetStrategy.leaf(family, index))
+    assert built.tau() == manual.tau()
+    assert built.result == manual.result

@@ -1,0 +1,112 @@
+"""Property-based tests for strategy trees and enumeration invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.database import Database
+from repro.optimizer.dp import optimize_dp
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.spaces import SearchSpace
+from repro.relational.relation import Relation, Row
+from repro.strategy.cost import tau_cost
+from repro.strategy.enumerate import (
+    all_strategies,
+    count_all_strategies,
+    count_linear_strategies,
+    linear_strategies,
+    nocp_strategies,
+)
+from repro.strategy.transform import graft, pluck
+from repro.workloads.generators import chain_scheme, star_scheme
+
+_SHAPES = {
+    "chain3": chain_scheme(3),
+    "chain4": chain_scheme(4),
+    "star4": star_scheme(4),
+}
+
+
+@st.composite
+def small_database(draw, shapes=("chain3", "chain4", "star4")):
+    """A random nonempty database over one of the fixed small shapes."""
+    shape = _SHAPES[draw(st.sampled_from(list(shapes)))]
+    relations = []
+    for index, scheme in enumerate(shape):
+        names = sorted(scheme)
+        row = st.fixed_dictionaries({a: st.integers(0, 2) for a in names})
+        dicts = draw(st.lists(row, min_size=1, max_size=5))
+        relations.append(
+            Relation(scheme, (Row(d) for d in dicts), name=f"R{index + 1}")
+        )
+    return Database(relations)
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=small_database())
+def test_enumeration_matches_census(db):
+    n = len(db)
+    assert sum(1 for _ in all_strategies(db)) == count_all_strategies(n)
+    assert sum(1 for _ in linear_strategies(db)) == count_linear_strategies(n)
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=small_database())
+def test_every_strategy_is_wellformed(db):
+    for s in all_strategies(db):
+        assert s.scheme_set == db.scheme
+        assert s.step_count() == len(db) - 1
+        assert s.state == db.evaluate()
+        assert tau_cost(s) == sum(step.tau for step in s.steps())
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=small_database())
+def test_nocp_generator_agrees_with_predicate(db):
+    generated = set(nocp_strategies(db))
+    filtered = {s for s in all_strategies(db) if s.avoids_cartesian_products()}
+    assert generated == filtered
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=small_database())
+def test_dp_matches_exhaustive_everywhere(db):
+    if not db.is_nonnull():
+        return
+    for space in (SearchSpace.ALL, SearchSpace.LINEAR, SearchSpace.NOCP):
+        assert optimize_dp(db, space).cost == optimize_exhaustive(db, space).cost
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=small_database(shapes=("chain4", "star4")), data=st.data())
+def test_pluck_graft_roundtrip(db, data):
+    strategies = list(all_strategies(db))
+    s = data.draw(st.sampled_from(strategies))
+    # Pick a non-root internal-or-leaf node to pluck.
+    candidates = [node for node in s.nodes() if node is not s]
+    node = data.draw(st.sampled_from(candidates))
+    remainder = pluck(s, node.scheme_set)
+    assert remainder.scheme_set.schemes == (
+        s.scheme_set.schemes - node.scheme_set.schemes
+    )
+    # Grafting back above the plucked node's former sibling restores a
+    # strategy over the full scheme with the same final state.
+    rebuilt = graft(remainder, node, remainder.scheme_set)
+    assert rebuilt.scheme_set == s.scheme_set
+    assert rebuilt.state == s.state
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=small_database())
+def test_linear_strategies_are_linear_and_unique(db):
+    seen = set()
+    for s in linear_strategies(db):
+        assert s.is_linear()
+        assert s not in seen
+        seen.add(s)
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=small_database())
+def test_cost_is_order_independent_for_the_result(db):
+    # All strategies compute the same final relation (S2 semantics).
+    results = {s.state for s in all_strategies(db)}
+    assert len(results) == 1

@@ -1,0 +1,51 @@
+"""Property-based tests of the theorems themselves: on randomly generated
+databases the hypotheses may or may not hold, but whenever they do the
+conclusions must -- `violated` must never be True.  This is the strongest
+executable statement of the reproduction's correctness."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.database import Database
+from repro.relational.relation import Relation, Row
+from repro.theorems import check_theorem1, check_theorem2, check_theorem3
+from repro.workloads.generators import chain_scheme, star_scheme
+
+
+@st.composite
+def connected_database(draw):
+    shape = draw(st.sampled_from([chain_scheme(3), chain_scheme(4), star_scheme(4)]))
+    relations = []
+    for index, scheme in enumerate(shape):
+        names = sorted(scheme)
+        row = st.fixed_dictionaries({a: st.integers(0, 2) for a in names})
+        dicts = draw(st.lists(row, min_size=1, max_size=4))
+        relations.append(Relation(scheme, (Row(d) for d in dicts), name=f"R{index+1}"))
+    return Database(relations)
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=connected_database())
+def test_theorem1_never_violated(db):
+    assert not check_theorem1(db).violated
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=connected_database())
+def test_theorem2_never_violated(db):
+    assert not check_theorem2(db).violated
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=connected_database())
+def test_theorem3_never_violated(db):
+    assert not check_theorem3(db).violated
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=connected_database())
+def test_theorem3_applicability_implies_theorem2_conclusion(db):
+    """C3 implies C1 and C2, so whenever Theorem 3 applies, Theorem 2's
+    conclusion (a CP-free optimum exists) must also hold."""
+    report3 = check_theorem3(db)
+    if report3.applicable:
+        assert check_theorem2(db).conclusion

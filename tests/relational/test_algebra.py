@@ -1,0 +1,164 @@
+"""Tests for the relational-algebra expression AST."""
+
+import pytest
+
+from repro import Database, relation
+from repro.errors import RelationError, SchemaError
+from repro.relational.algebra import (
+    Difference,
+    Intersection,
+    Join,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    join_order_of,
+    strategy_to_algebra,
+)
+from repro.relational.attributes import attrs
+from repro.strategy.tree import parse_strategy
+
+
+@pytest.fixture
+def db():
+    return Database(
+        [
+            relation("AB", [(1, "x"), (2, "y")], name="R1"),
+            relation("BC", [("x", 10), ("y", 20), ("z", 30)], name="R2"),
+            relation("CD", [(10, 0)], name="R3"),
+        ]
+    )
+
+
+class TestScan:
+    def test_scheme_and_evaluation(self, db):
+        expr = Scan("AB")
+        assert expr.scheme == attrs("AB")
+        assert expr.evaluate(db) == db.state_for("AB")
+
+    def test_depth(self):
+        assert Scan("AB").depth() == 1
+
+    def test_describe(self):
+        assert Scan("BA").describe() == "AB"
+
+
+class TestJoinAndProduct:
+    def test_join_scheme_inference(self):
+        expr = Join(Scan("AB"), Scan("BC"))
+        assert expr.scheme == attrs("ABC")
+
+    def test_join_evaluation(self, db):
+        expr = Join(Scan("AB"), Scan("BC"))
+        assert expr.evaluate(db) == db.join_of(["AB", "BC"])
+
+    def test_product_requires_disjoint(self):
+        with pytest.raises(SchemaError):
+            Product(Scan("AB"), Scan("BC"))
+
+    def test_product_evaluation(self, db):
+        expr = Product(Scan("AB"), Scan("CD"))
+        assert expr.evaluate(db).tau == 2
+
+    def test_nested_depth(self):
+        expr = Join(Join(Scan("AB"), Scan("BC")), Scan("CD"))
+        assert expr.depth() == 3
+
+    def test_children(self):
+        expr = Join(Scan("AB"), Scan("BC"))
+        assert len(expr.children()) == 2
+        assert expr.left.scheme == attrs("AB")
+        assert expr.right.scheme == attrs("BC")
+
+
+class TestProjectSelectRename:
+    def test_project_scheme(self, db):
+        expr = Project(Join(Scan("AB"), Scan("BC")), "AC")
+        assert expr.scheme == attrs("AC")
+        assert expr.evaluate(db) == db.join_of(["AB", "BC"]).project("AC")
+
+    def test_project_outside_scheme_rejected(self):
+        with pytest.raises(SchemaError):
+            Project(Scan("AB"), "AC")
+
+    def test_select(self, db):
+        expr = Select(Scan("AB"), lambda row: row["A"] == 1, label="A=1")
+        assert expr.evaluate(db).tau == 1
+        assert "A=1" in expr.describe()
+
+    def test_select_preserves_scheme(self):
+        expr = Select(Scan("AB"), lambda row: True)
+        assert expr.scheme == attrs("AB")
+
+    def test_rename(self, db):
+        expr = Rename(Scan("AB"), {"A": "Z"})
+        assert expr.scheme == attrs("BZ")
+        assert expr.evaluate(db).tau == 2
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            Rename(Scan("AB"), {"A": "B"})
+
+    def test_rename_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            Rename(Scan("AB"), {"Q": "Z"})
+
+
+class TestSetOperators:
+    def test_union(self, db):
+        left = Project(Scan("AB"), "B")
+        right = Project(Scan("BC"), "B")
+        assert Union(left, right).evaluate(db).tau == 3  # x, y, z
+
+    def test_intersection(self, db):
+        left = Project(Scan("AB"), "B")
+        right = Project(Scan("BC"), "B")
+        assert Intersection(left, right).evaluate(db).tau == 2  # x, y
+
+    def test_difference(self, db):
+        left = Project(Scan("BC"), "B")
+        right = Project(Scan("AB"), "B")
+        assert Difference(left, right).evaluate(db).tau == 1  # z
+
+    def test_scheme_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Union(Scan("AB"), Scan("BC"))
+
+    def test_describe_symbols(self):
+        left = Project(Scan("AB"), "B")
+        right = Project(Scan("BC"), "B")
+        assert "∪" in Union(left, right).describe()
+        assert "∩" in Intersection(left, right).describe()
+        assert "−" in Difference(left, right).describe()
+
+
+class TestStrategyInterop:
+    def test_strategy_to_algebra_roundtrip(self, db):
+        s = parse_strategy(db, "((R1 R2) R3)")
+        expr = strategy_to_algebra(s)
+        assert expr.evaluate(db) == db.evaluate()
+        back = join_order_of(expr, db)
+        assert back == s
+
+    def test_leaf_roundtrip(self, db):
+        from repro.strategy.tree import Strategy
+
+        leaf = Strategy.leaf(db, "AB")
+        expr = strategy_to_algebra(leaf)
+        assert isinstance(expr, Scan)
+        assert join_order_of(expr, db) == leaf
+
+    def test_non_join_expression_rejected(self, db):
+        expr = Project(Join(Scan("AB"), Scan("BC")), "AC")
+        with pytest.raises(RelationError):
+            join_order_of(expr, db)
+
+    def test_optimized_strategy_flows_into_pipeline(self, db):
+        # The intended use: optimize the join core, then project on top.
+        from repro.optimizer.dp import optimize_dp
+
+        core = optimize_dp(db).strategy
+        pipeline = Project(strategy_to_algebra(core), "AD")
+        assert pipeline.evaluate(db) == db.evaluate().project("AD")

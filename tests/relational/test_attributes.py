@@ -1,0 +1,94 @@
+"""Tests for attribute sets and the compact scheme notation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.attributes import AttributeSet, attrs, format_attrs
+
+
+class TestAttrsConstructor:
+    def test_compact_string_is_one_attribute_per_character(self):
+        assert attrs("ABC") == {"A", "B", "C"}
+
+    def test_iterable_of_names(self):
+        assert attrs(["student", "course"]) == {"student", "course"}
+
+    def test_existing_attribute_set_passes_through(self):
+        original = attrs("AB")
+        assert attrs(original) is original
+
+    def test_duplicate_characters_collapse(self):
+        assert attrs("AAB") == {"A", "B"}
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(SchemaError):
+            attrs("")
+
+    def test_empty_iterable_rejected(self):
+        with pytest.raises(SchemaError):
+            attrs([])
+
+    def test_non_string_names_rejected(self):
+        with pytest.raises(SchemaError):
+            attrs([1, 2])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            attrs([""])
+
+
+class TestSetAlgebra:
+    def test_union_preserves_type(self):
+        result = attrs("AB") | attrs("BC")
+        assert isinstance(result, AttributeSet)
+        assert result == {"A", "B", "C"}
+
+    def test_intersection_preserves_type(self):
+        result = attrs("ABC") & attrs("BCD")
+        assert isinstance(result, AttributeSet)
+        assert result == {"B", "C"}
+
+    def test_difference_preserves_type(self):
+        result = attrs("ABC") - attrs("B")
+        assert isinstance(result, AttributeSet)
+        assert result == {"A", "C"}
+
+    def test_symmetric_difference_preserves_type(self):
+        result = attrs("AB") ^ attrs("BC")
+        assert isinstance(result, AttributeSet)
+        assert result == {"A", "C"}
+
+    def test_named_method_aliases(self):
+        assert attrs("AB").union(attrs("BC")) == attrs("ABC")
+        assert attrs("ABC").intersection(attrs("BC")) == attrs("BC")
+        assert attrs("ABC").difference(attrs("C")) == attrs("AB")
+
+    def test_subset_comparisons_still_work(self):
+        assert attrs("AB") <= attrs("ABC")
+        assert not attrs("AD") <= attrs("ABC")
+
+
+class TestLinked:
+    def test_shared_attribute_means_linked(self):
+        assert attrs("AB").is_linked_to(attrs("BC"))
+
+    def test_disjoint_attributes_not_linked(self):
+        assert not attrs("AB").is_linked_to(attrs("CD"))
+
+    def test_linked_is_symmetric(self):
+        left, right = attrs("ABC"), attrs("CDE")
+        assert left.is_linked_to(right) == right.is_linked_to(left)
+
+
+class TestFormatting:
+    def test_single_letter_attrs_render_compactly(self):
+        assert format_attrs(attrs("CAB")) == "ABC"
+
+    def test_multi_character_names_render_braced(self):
+        assert format_attrs(attrs(["course", "student"])) == "{course, student}"
+
+    def test_str_uses_format(self):
+        assert str(attrs("BA")) == "AB"
+
+    def test_sorted_returns_lexicographic_tuple(self):
+        assert attrs("CBA").sorted() == ("A", "B", "C")

@@ -1,0 +1,84 @@
+"""Tests for the tableau chase and lossless-join decisions."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.relational.chase import (
+    Tableau,
+    chase_decomposition,
+    is_lossless_decomposition,
+    state_satisfies_join_dependency,
+)
+from repro.relational.dependencies import FDSet, fd
+from repro.relational.relation import relation
+
+
+class TestLosslessDecomposition:
+    def test_textbook_lossless_pair(self):
+        # R(ABC), A -> B: {AB, AC} is lossless (shared A determines AB side).
+        assert is_lossless_decomposition("ABC", ["AB", "AC"], FDSet([fd("A", "B")]))
+
+    def test_textbook_lossy_pair(self):
+        # No FDs: {AB, BC} loses information about ABC.
+        assert not is_lossless_decomposition("ABC", ["AB", "BC"], FDSet())
+
+    def test_shared_key_makes_pair_lossless(self):
+        assert is_lossless_decomposition("ABC", ["AB", "BC"], FDSet([fd("B", "C")]))
+        assert is_lossless_decomposition("ABC", ["AB", "BC"], FDSet([fd("B", "A")]))
+
+    def test_three_way_chain_with_keys(self):
+        fds = FDSet([fd("B", "A"), fd("C", "B")])
+        assert is_lossless_decomposition("ABCD", ["AB", "BC", "CD"], fds)
+
+    def test_three_way_chain_without_keys_is_lossy(self):
+        assert not is_lossless_decomposition("ABCD", ["AB", "BC", "CD"], FDSet())
+
+    def test_decomposition_covering_whole_scheme_is_lossless(self):
+        assert is_lossless_decomposition("AB", ["AB", "A"], FDSet())
+
+    def test_scheme_outside_universe_rejected(self):
+        with pytest.raises(DependencyError):
+            is_lossless_decomposition("AB", ["AC"], FDSet())
+
+
+class TestTableauMechanics:
+    def test_initial_tableau_shape(self):
+        tableau = Tableau.for_decomposition("ABC", ["AB", "BC"])
+        assert len(tableau.rows) == 2
+        assert tableau.rows[0]["A"] == ("a", "A")
+        assert tableau.rows[0]["C"][0] == "b"
+
+    def test_chase_equates_toward_distinguished(self):
+        tableau = chase_decomposition("ABC", ["AB", "BC"], FDSet([fd("B", "C")]))
+        # Row 0 (distinguished on AB) gains distinguished C via B -> C.
+        assert tableau.rows[0]["C"] == ("a", "C")
+
+    def test_chase_without_fds_changes_nothing(self):
+        before = Tableau.for_decomposition("ABC", ["AB", "BC"])
+        after = chase_decomposition("ABC", ["AB", "BC"], FDSet())
+        assert before.rows == after.rows
+
+    def test_has_distinguished_row_reports_losslessness(self):
+        tableau = chase_decomposition("ABC", ["AB", "AC"], FDSet([fd("A", "B")]))
+        assert tableau.has_distinguished_row()
+
+    def test_rows_must_cover_universe(self):
+        with pytest.raises(DependencyError):
+            Tableau("AB", [{"A": ("a", "A")}])
+
+
+class TestStateJoinDependency:
+    def test_state_satisfying_jd(self):
+        state = relation("ABC", [(1, 1, 1), (2, 2, 2)])
+        assert state_satisfies_join_dependency(state, ["AB", "BC"])
+
+    def test_state_violating_jd(self):
+        # (1,1,2) and (2,1,1) project to AB={11,21}, BC={12,11}; the join
+        # regenerates the spurious (1,1,1).
+        state = relation("ABC", [(1, 1, 2), (2, 1, 1)])
+        assert not state_satisfies_join_dependency(state, ["AB", "BC"])
+
+    def test_schemes_must_cover_state(self):
+        state = relation("ABC", [(1, 1, 1)])
+        with pytest.raises(DependencyError):
+            state_satisfies_join_dependency(state, ["AB"])

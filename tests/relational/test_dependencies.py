@@ -1,0 +1,134 @@
+"""Tests for functional dependencies: closure, keys, covers, projection."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.relational.attributes import attrs
+from repro.relational.dependencies import FDSet, FunctionalDependency, fd
+
+
+class TestFunctionalDependency:
+    def test_fd_shorthand(self):
+        dep = fd("AB", "C")
+        assert dep.lhs == attrs("AB")
+        assert dep.rhs == attrs("C")
+
+    def test_trivial_detection(self):
+        assert fd("AB", "A").is_trivial()
+        assert not fd("A", "B").is_trivial()
+
+    def test_equality_and_hash(self):
+        assert fd("AB", "C") == fd("BA", "C")
+        assert hash(fd("AB", "C")) == hash(fd("BA", "C"))
+
+    def test_restrict_to_subscheme(self):
+        assert fd("A", "BC").restrict_to("AB") == fd("A", "B")
+
+    def test_restrict_drops_fd_when_lhs_leaves(self):
+        assert fd("AB", "C").restrict_to("AC") is None
+
+    def test_restrict_drops_fd_when_rhs_vanishes(self):
+        assert fd("A", "B").restrict_to("AC") is None
+
+    def test_str_rendering(self):
+        assert str(fd("AB", "C")) == "AB -> C"
+
+
+class TestClosure:
+    def test_reflexive_closure(self):
+        assert FDSet().closure("AB") == attrs("AB")
+
+    def test_single_step(self):
+        fds = FDSet([fd("A", "B")])
+        assert fds.closure("A") == attrs("AB")
+
+    def test_transitive_chain(self):
+        fds = FDSet([fd("A", "B"), fd("B", "C"), fd("C", "D")])
+        assert fds.closure("A") == attrs("ABCD")
+
+    def test_composite_lhs_fires_only_when_covered(self):
+        fds = FDSet([fd("AB", "C")])
+        assert fds.closure("A") == attrs("A")
+        assert fds.closure("AB") == attrs("ABC")
+
+    def test_implies(self):
+        fds = FDSet([fd("A", "B"), fd("B", "C")])
+        assert fds.implies(fd("A", "C"))
+        assert not fds.implies(fd("C", "A"))
+
+    def test_equivalence(self):
+        left = FDSet([fd("A", "B"), fd("B", "C")])
+        right = FDSet([fd("A", "BC"), fd("B", "C")])
+        assert left.is_equivalent_to(right)
+
+
+class TestKeys:
+    def test_superkey(self):
+        fds = FDSet([fd("A", "BC")])
+        assert fds.is_superkey("A", "ABC")
+        assert not fds.is_superkey("B", "ABC")
+
+    def test_candidate_key_minimality(self):
+        fds = FDSet([fd("A", "BC")])
+        assert fds.is_candidate_key("A", "ABC")
+        assert not fds.is_candidate_key("AB", "ABC")
+
+    def test_candidate_keys_enumeration(self):
+        # Classic: R(ABC) with A->B, B->C and C->A: every attribute is a key.
+        fds = FDSet([fd("A", "B"), fd("B", "C"), fd("C", "A")])
+        keys = fds.candidate_keys("ABC")
+        assert keys == [attrs("A"), attrs("B"), attrs("C")]
+
+    def test_composite_candidate_key(self):
+        fds = FDSet([fd("AB", "C")])
+        assert fds.candidate_keys("ABC") == [attrs("AB")]
+
+
+class TestMinimalCover:
+    def test_splits_right_sides(self):
+        cover = FDSet([fd("A", "BC")]).minimal_cover()
+        assert fd("A", "B") in cover
+        assert fd("A", "C") in cover
+
+    def test_removes_redundant_fd(self):
+        cover = FDSet([fd("A", "B"), fd("B", "C"), fd("A", "C")]).minimal_cover()
+        assert fd("A", "C") not in cover
+        assert cover.implies(fd("A", "C"))
+
+    def test_trims_extraneous_lhs(self):
+        cover = FDSet([fd("A", "B"), fd("AB", "C")]).minimal_cover()
+        assert fd("A", "C") in cover
+
+    def test_cover_is_equivalent(self):
+        original = FDSet([fd("A", "BC"), fd("B", "C"), fd("AB", "D")])
+        assert original.is_equivalent_to(original.minimal_cover())
+
+
+class TestProjection:
+    def test_projection_keeps_implied_fds(self):
+        fds = FDSet([fd("A", "B"), fd("B", "C")])
+        projected = fds.projected_onto("AC")
+        assert projected.implies(fd("A", "C"))
+
+    def test_projection_drops_outside_attributes(self):
+        fds = FDSet([fd("A", "B")])
+        projected = fds.projected_onto("AC")
+        assert all(dep.attributes <= attrs("AC") for dep in projected)
+
+
+class TestFDSetBasics:
+    def test_rejects_non_fd_members(self):
+        with pytest.raises(DependencyError):
+            FDSet(["A -> B"])
+
+    def test_iteration_is_deterministic(self):
+        fds = FDSet([fd("B", "C"), fd("A", "B")])
+        assert [str(d) for d in fds] == ["A -> B", "B -> C"]
+
+    def test_union_and_add(self):
+        fds = FDSet([fd("A", "B")]) | FDSet([fd("B", "C")])
+        assert len(fds) == 2
+        assert len(fds.add(fd("C", "D"))) == 3
+
+    def test_attributes_property(self):
+        assert FDSet([fd("A", "B"), fd("C", "D")]).attributes == attrs("ABCD")

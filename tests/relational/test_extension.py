@@ -1,0 +1,173 @@
+"""Tests for extension joins and Osborn's lossless strategies."""
+
+import pytest
+
+from repro import Database, relation
+from repro.relational.attributes import attrs
+from repro.relational.dependencies import FDSet, fd
+from repro.relational.extension import (
+    is_extension_join,
+    is_superkey_step,
+    osborn_strategy,
+    strategy_is_lossless,
+)
+
+
+@pytest.fixture
+def keyed_chain():
+    """AB-BC-CD with B key of BC and C key of CD (FK-style)."""
+    return Database(
+        [
+            relation("AB", [(1, 10), (2, 20), (3, 10)], name="R1"),
+            relation("BC", [(10, 100), (20, 200)], name="R2"),
+            relation("CD", [(100, 7), (200, 8)], name="R3"),
+        ]
+    )
+
+
+@pytest.fixture
+def keyed_fds():
+    return FDSet([fd("B", "C"), fd("C", "D")])
+
+
+class TestSuperkeyStep:
+    def test_keyed_side_accepted(self, keyed_fds):
+        assert is_superkey_step(attrs("AB"), attrs("BC"), keyed_fds)
+
+    def test_unkeyed_join_rejected(self):
+        assert not is_superkey_step(attrs("AB"), attrs("BC"), FDSet())
+
+    def test_no_shared_attributes_rejected(self, keyed_fds):
+        assert not is_superkey_step(attrs("AB"), attrs("CD"), keyed_fds)
+
+    def test_either_side_may_be_keyed(self):
+        fds = FDSet([fd("B", "A")])
+        assert is_superkey_step(attrs("AB"), attrs("BC"), fds)
+
+
+class TestExtensionJoin:
+    def test_extension_toward_keyed_side(self, keyed_fds):
+        # B determines C: joining AB with BC extends AB tuples.
+        assert is_extension_join(attrs("AB"), attrs("BC"), keyed_fds)
+
+    def test_no_determined_private_attribute(self):
+        assert not is_extension_join(attrs("AB"), attrs("BC"), FDSet())
+
+    def test_requires_shared_attributes(self, keyed_fds):
+        assert not is_extension_join(attrs("AB"), attrs("CD"), keyed_fds)
+
+    def test_partial_extension_counts(self):
+        # B determines only C, not E: still an extension join (Y = {C}).
+        fds = FDSet([fd("B", "C")])
+        assert is_extension_join(attrs("AB"), attrs("BCE"), fds)
+
+
+class TestOsbornStrategy:
+    def test_constructs_on_keyed_chain(self, keyed_chain, keyed_fds):
+        strategy = osborn_strategy(keyed_chain, keyed_fds)
+        assert strategy is not None
+        assert strategy.scheme_set == keyed_chain.scheme
+        assert strategy_is_lossless(strategy, keyed_fds)
+
+    def test_none_without_keys(self, keyed_chain):
+        assert osborn_strategy(keyed_chain, FDSet()) is None
+
+    def test_single_relation_is_trivially_lossless(self):
+        db = Database([relation("AB", [(1, 1)], name="R1")])
+        strategy = osborn_strategy(db, FDSet())
+        assert strategy is not None
+        assert strategy.is_leaf
+
+    def test_needs_backtracking_order(self):
+        # Only the CD end is keyed; strategy must start from the right.
+        db = Database(
+            [
+                relation("AB", [(1, 10), (2, 20)], name="R1"),
+                relation("BC", [(10, 100), (20, 100)], name="R2"),
+                relation("CD", [(100, 7)], name="R3"),
+            ]
+        )
+        fds = FDSet([fd("C", "D"), fd("B", "C")])
+        strategy = osborn_strategy(db, fds)
+        assert strategy is not None
+        assert strategy_is_lossless(strategy, fds)
+
+    def test_steps_satisfy_c2_comparison(self, keyed_chain, keyed_fds):
+        # Section 5: each Osborn step also satisfies the C2 inequality on
+        # actual states satisfying the FDs.
+        strategy = osborn_strategy(keyed_chain, keyed_fds)
+        for step in strategy.steps():
+            out = step.tau
+            assert out <= step.left.tau or out <= step.right.tau
+
+
+class TestStrategyIsLossless:
+    def test_detects_lossy_step(self, keyed_chain):
+        from repro.strategy.tree import parse_strategy
+
+        s = parse_strategy(keyed_chain, "((R1 R2) R3)")
+        assert not strategy_is_lossless(s, FDSet())
+
+    def test_accepts_keyed_strategy(self, keyed_chain, keyed_fds):
+        from repro.strategy.tree import parse_strategy
+
+        s = parse_strategy(keyed_chain, "((R1 R2) R3)")
+        assert strategy_is_lossless(s, keyed_fds)
+
+
+class TestHoneymanStrategy:
+    def test_constructs_on_keyed_chain(self, keyed_chain, keyed_fds):
+        from repro.relational.extension import (
+            honeyman_strategy,
+            strategy_is_extension_only,
+        )
+
+        strategy = honeyman_strategy(keyed_chain, keyed_fds)
+        assert strategy is not None
+        assert strategy_is_extension_only(strategy, keyed_fds)
+
+    def test_osborn_implies_honeyman_on_these_schemes(self, keyed_chain, keyed_fds):
+        from repro.relational.extension import honeyman_strategy, osborn_strategy
+
+        assert osborn_strategy(keyed_chain, keyed_fds) is not None
+        assert honeyman_strategy(keyed_chain, keyed_fds) is not None
+
+    def test_partial_determination_is_enough(self):
+        # B determines C but not E: no Osborn step between AB and BCE,
+        # but an extension join exists (Y = {C}).
+        from repro.relational.extension import honeyman_strategy, osborn_strategy
+        from repro.relational.dependencies import FDSet, fd
+        from repro import Database, relation
+
+        db = Database(
+            [
+                relation("AB", [(1, 10), (2, 20)], name="R1"),
+                relation("BCE", [(10, 100, 7), (20, 200, 8), (10, 100, 9)], name="R2"),
+            ]
+        )
+        fds = FDSet([fd("B", "C")])
+        assert osborn_strategy(db, fds) is None
+        assert honeyman_strategy(db, fds) is not None
+
+    def test_none_without_fds(self, keyed_chain):
+        from repro.relational.extension import honeyman_strategy
+        from repro.relational.dependencies import FDSet
+
+        assert honeyman_strategy(keyed_chain, FDSet()) is None
+
+    def test_single_relation(self):
+        from repro.relational.extension import honeyman_strategy
+        from repro.relational.dependencies import FDSet
+        from repro import Database, relation
+
+        db = Database([relation("AB", [(1, 1)], name="R1")])
+        strategy = honeyman_strategy(db, FDSet())
+        assert strategy is not None and strategy.is_leaf
+
+    def test_extension_only_predicate_rejects(self, keyed_chain):
+        from repro.relational.extension import strategy_is_extension_only
+        from repro.relational.dependencies import FDSet
+        from repro.strategy.tree import parse_strategy
+
+        s = parse_strategy(keyed_chain, "((R1 R2) R3)")
+        assert not strategy_is_extension_only(s, FDSet())

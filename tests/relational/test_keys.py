@@ -1,0 +1,77 @@
+"""Tests for state-level key/FD discovery."""
+
+from repro.relational.attributes import attrs
+from repro.relational.dependencies import fd
+from repro.relational.keys import (
+    candidate_keys,
+    is_superkey_of_relation,
+    satisfied_fds,
+    satisfies_fd,
+)
+from repro.relational.relation import relation
+
+
+class TestSatisfiesFD:
+    def test_satisfied_fd(self):
+        state = relation("AB", [(1, "x"), (2, "x"), (3, "y")])
+        assert satisfies_fd(state, fd("A", "B"))
+
+    def test_violated_fd(self):
+        state = relation("AB", [(1, "x"), (1, "y")])
+        assert not satisfies_fd(state, fd("A", "B"))
+
+    def test_fd_outside_scheme_not_satisfied(self):
+        state = relation("AB", [(1, 2)])
+        assert not satisfies_fd(state, fd("A", "C"))
+
+    def test_empty_state_satisfies_everything_in_scheme(self):
+        state = relation("AB", [])
+        assert satisfies_fd(state, fd("A", "B"))
+
+
+class TestSuperkeyOfRelation:
+    def test_unique_column_is_superkey(self):
+        state = relation("AB", [(1, "x"), (2, "x")])
+        assert is_superkey_of_relation(state, "A")
+        assert not is_superkey_of_relation(state, "B")
+
+    def test_whole_scheme_is_always_superkey(self):
+        state = relation("AB", [(1, "x"), (2, "x"), (2, "y")])
+        assert is_superkey_of_relation(state, "AB")
+
+    def test_attributes_outside_scheme_rejected(self):
+        state = relation("AB", [(1, 2)])
+        assert not is_superkey_of_relation(state, "C")
+
+
+class TestCandidateKeys:
+    def test_single_minimal_key(self):
+        state = relation("AB", [(1, "x"), (2, "x")])
+        assert candidate_keys(state) == [attrs("A")]
+
+    def test_two_singleton_keys(self):
+        state = relation("AB", [(1, "x"), (2, "y")])
+        assert candidate_keys(state) == [attrs("A"), attrs("B")]
+
+    def test_composite_key_when_no_column_unique(self):
+        state = relation("AB", [(1, "x"), (1, "y"), (2, "x")])
+        assert candidate_keys(state) == [attrs("AB")]
+
+    def test_supersets_of_keys_pruned(self):
+        state = relation("ABC", [(1, 1, 1), (2, 1, 2)])
+        keys = candidate_keys(state)
+        assert attrs("A") in keys
+        assert all(not attrs("A") < key for key in keys)
+
+
+class TestSatisfiedFDs:
+    def test_mined_fds_hold_on_the_state(self):
+        state = relation("ABC", [(1, "x", 9), (2, "x", 9), (3, "y", 8)])
+        mined = satisfied_fds(state)
+        for dep in mined:
+            assert satisfies_fd(state, dep)
+
+    def test_key_column_determines_everything(self):
+        state = relation("AB", [(1, "x"), (2, "y")])
+        mined = satisfied_fds(state)
+        assert any(dep.lhs == attrs("A") and dep.rhs == attrs("B") for dep in mined)

@@ -1,0 +1,209 @@
+"""Tests for the relational algebra: joins, projections, set operations."""
+
+import pytest
+
+from repro.errors import RelationError, SchemaError
+from repro.relational.attributes import attrs
+from repro.relational.relation import Relation, Row, relation
+
+
+@pytest.fixture
+def r_ab():
+    return relation("AB", [(1, "x"), (2, "x"), (3, "y")], name="R")
+
+
+@pytest.fixture
+def s_bc():
+    return relation("BC", [("x", 10), ("y", 20), ("z", 30)], name="S")
+
+
+class TestConstruction:
+    def test_positional_tuples_bind_sorted_attributes(self):
+        rel = relation("BA", [(1, 2)])
+        (row,) = rel.rows
+        assert row["A"] == 1 and row["B"] == 2
+
+    def test_explicit_order(self):
+        rel = Relation.from_tuples("AB", [(1, 2)], order=["B", "A"])
+        (row,) = rel.rows
+        assert row["B"] == 1 and row["A"] == 2
+
+    def test_order_must_cover_scheme(self):
+        with pytest.raises(SchemaError):
+            Relation.from_tuples("AB", [(1, 2)], order=["A", "A"])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(RelationError):
+            relation("AB", [(1, 2, 3)])
+
+    def test_row_scheme_mismatch_rejected(self):
+        with pytest.raises(RelationError):
+            Relation("AB", [Row({"A": 1})])
+
+    def test_from_dicts(self):
+        rel = Relation.from_dicts("AB", [{"A": 1, "B": 2}])
+        assert rel.tau == 1
+
+    def test_duplicates_collapse_under_set_semantics(self):
+        rel = relation("AB", [(1, 2), (1, 2)])
+        assert rel.tau == 1
+
+    def test_name_is_display_only(self):
+        a = relation("AB", [(1, 2)], name="first")
+        b = relation("AB", [(1, 2)], name="second")
+        assert a == b
+
+
+class TestNaturalJoin:
+    def test_join_on_common_attribute(self, r_ab, s_bc):
+        joined = r_ab.join(s_bc)
+        assert joined.scheme == attrs("ABC")
+        # B="x" pairs (1,2) with 10; B="y" pairs 3 with 20; "z" dangles.
+        assert joined.tau == 3
+
+    def test_join_is_commutative(self, r_ab, s_bc):
+        assert r_ab.join(s_bc) == s_bc.join(r_ab)
+
+    def test_join_is_associative(self, r_ab, s_bc):
+        t_cd = relation("CD", [(10, "p"), (20, "q")])
+        assert (r_ab.join(s_bc)).join(t_cd) == r_ab.join(s_bc.join(t_cd))
+
+    def test_disjoint_schemes_give_cartesian_product(self, r_ab):
+        other = relation("CD", [(1, 1), (2, 2)])
+        assert r_ab.join(other).tau == r_ab.tau * other.tau
+
+    def test_join_with_empty_is_empty(self, r_ab):
+        empty = Relation("BC")
+        assert r_ab.join(empty).tau == 0
+
+    def test_self_join_same_scheme_is_intersection(self, r_ab):
+        other = relation("AB", [(1, "x"), (9, "z")])
+        assert r_ab.join(other) == r_ab.intersection(other)
+
+    def test_mul_operator(self, r_ab, s_bc):
+        assert (r_ab * s_bc) == r_ab.join(s_bc)
+
+    def test_paper_example1_count(self):
+        r1 = relation("AB", [("p", 0), ("q", 0), ("r", 0), ("s", 1)])
+        r2 = relation("BC", [(0, "w"), (0, "x"), (0, "y"), (1, "z")])
+        assert r1.join(r2).tau == 10
+
+    def test_submultiplicative_bound(self, r_ab, s_bc):
+        assert r_ab.join(s_bc).tau <= r_ab.tau * s_bc.tau
+
+
+class TestCross:
+    def test_cross_requires_disjoint_schemes(self, r_ab):
+        with pytest.raises(RelationError):
+            r_ab.cross(relation("BC", [("x", 1)]))
+
+    def test_cross_counts_multiply(self, r_ab):
+        other = relation("CD", [(1, 1), (2, 2)])
+        assert r_ab.cross(other).tau == 6
+
+
+class TestProjectSelectRename:
+    def test_project_deduplicates(self, r_ab):
+        assert r_ab.project("B").tau == 2
+
+    def test_project_outside_scheme_rejected(self, r_ab):
+        with pytest.raises(RelationError):
+            r_ab.project("C")
+
+    def test_select(self, r_ab):
+        assert r_ab.select(lambda row: row["A"] > 1).tau == 2
+
+    def test_rename(self, r_ab):
+        renamed = r_ab.rename({"A": "X"})
+        assert renamed.scheme == attrs("BX")
+        assert renamed.tau == r_ab.tau
+
+    def test_rename_unknown_attribute_rejected(self, r_ab):
+        with pytest.raises(RelationError):
+            r_ab.rename({"Z": "Y"})
+
+    def test_rename_collision_rejected(self, r_ab):
+        with pytest.raises(RelationError):
+            r_ab.rename({"A": "B"})
+
+
+class TestSemijoinAntijoin:
+    def test_semijoin_keeps_matching_rows(self, r_ab, s_bc):
+        reduced = r_ab.semijoin(s_bc)
+        assert reduced.tau == 3  # all of r_ab matches on B in {x, y}
+
+    def test_semijoin_filters_dangling(self, r_ab):
+        other = relation("BC", [("x", 1)])
+        assert r_ab.semijoin(other).tau == 2
+
+    def test_semijoin_disjoint_nonempty_keeps_all(self, r_ab):
+        assert r_ab.semijoin(relation("CD", [(1, 1)])) == r_ab
+
+    def test_semijoin_disjoint_empty_drops_all(self, r_ab):
+        assert r_ab.semijoin(Relation("CD")).tau == 0
+
+    def test_antijoin_complements_semijoin(self, r_ab):
+        other = relation("BC", [("x", 1)])
+        semi = r_ab.semijoin(other)
+        anti = r_ab.antijoin(other)
+        assert semi.union(anti) == r_ab
+        assert semi.intersection(anti).tau == 0
+
+    def test_semijoin_equals_projection_of_join(self, r_ab, s_bc):
+        assert r_ab.semijoin(s_bc) == r_ab.join(s_bc).project(r_ab.scheme)
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = relation("AB", [(1, 1)])
+        b = relation("AB", [(2, 2)])
+        assert a.union(b).tau == 2
+
+    def test_union_requires_same_scheme(self, r_ab, s_bc):
+        with pytest.raises(RelationError):
+            r_ab.union(s_bc)
+
+    def test_intersection_and_difference(self):
+        a = relation("AB", [(1, 1), (2, 2)])
+        b = relation("AB", [(2, 2), (3, 3)])
+        assert a.intersection(b).tau == 1
+        assert a.difference(b).tau == 1
+
+    def test_operators(self):
+        a = relation("AB", [(1, 1), (2, 2)])
+        b = relation("AB", [(2, 2)])
+        assert (a | b).tau == 2
+        assert (a & b).tau == 1
+        assert (a - b).tau == 1
+
+
+class TestConsistency:
+    def test_consistent_pair(self):
+        a = relation("AB", [(1, "x")])
+        b = relation("BC", [("x", 9)])
+        assert a.is_consistent_with(b)
+
+    def test_inconsistent_pair(self):
+        a = relation("AB", [(1, "x"), (2, "y")])
+        b = relation("BC", [("x", 9)])
+        assert not a.is_consistent_with(b)
+
+    def test_disjoint_schemes_vacuously_consistent(self):
+        a = relation("AB", [(1, 1)])
+        b = relation("CD", [(2, 2)])
+        assert a.is_consistent_with(b)
+
+
+class TestPresentation:
+    def test_pretty_renders_header_and_rows(self, r_ab):
+        text = r_ab.pretty()
+        assert "A | B" in text
+        assert "1 | x" in text
+
+    def test_pretty_truncates(self):
+        rel = relation("AB", [(i, i) for i in range(30)])
+        assert "more" in rel.pretty(limit=5)
+
+    def test_repr_mentions_name_and_size(self, r_ab):
+        assert "R" in repr(r_ab)
+        assert "3" in repr(r_ab)

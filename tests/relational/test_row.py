@@ -1,0 +1,101 @@
+"""Tests for tuples (Row): construction, restriction, merge."""
+
+import pytest
+
+from repro.errors import RelationError
+from repro.relational.attributes import attrs
+from repro.relational.relation import Row
+
+
+class TestConstruction:
+    def test_simple_row(self):
+        row = Row({"A": 1, "B": "x"})
+        assert row["A"] == 1
+        assert row["B"] == "x"
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(RelationError):
+            Row({})
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(RelationError):
+            Row({"A": [1, 2]})
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(RelationError):
+            Row({1: "x"})
+
+    def test_missing_attribute_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            Row({"A": 1})["B"]
+
+    def test_get_with_default(self):
+        row = Row({"A": 1})
+        assert row.get("A") == 1
+        assert row.get("B", 42) == 42
+
+
+class TestMappingInterface:
+    def test_keys_is_the_scheme(self):
+        assert Row({"B": 1, "A": 2}).keys() == attrs("AB")
+
+    def test_items_sorted_by_attribute(self):
+        assert Row({"B": 1, "A": 2}).items() == (("A", 2), ("B", 1))
+
+    def test_iteration_yields_attributes(self):
+        assert list(Row({"B": 1, "A": 2})) == ["A", "B"]
+
+    def test_len_and_contains(self):
+        row = Row({"A": 1, "B": 2})
+        assert len(row) == 2
+        assert "A" in row
+        assert "C" not in row
+
+    def test_as_dict_is_a_copy(self):
+        row = Row({"A": 1})
+        d = row.as_dict()
+        d["A"] = 99
+        assert row["A"] == 1
+
+
+class TestEqualityAndHashing:
+    def test_equal_mappings_are_equal(self):
+        assert Row({"A": 1, "B": 2}) == Row({"B": 2, "A": 1})
+
+    def test_different_values_not_equal(self):
+        assert Row({"A": 1}) != Row({"A": 2})
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Row({"A": 1, "B": 2})) == hash(Row({"B": 2, "A": 1}))
+
+    def test_usable_in_sets(self):
+        rows = {Row({"A": 1}), Row({"A": 1}), Row({"A": 2})}
+        assert len(rows) == 2
+
+
+class TestRestriction:
+    def test_project_keeps_requested_attributes(self):
+        row = Row({"A": 1, "B": 2, "C": 3})
+        assert row.project("AC") == Row({"A": 1, "C": 3})
+
+    def test_project_outside_scheme_rejected(self):
+        with pytest.raises(RelationError):
+            Row({"A": 1}).project("AB")
+
+    def test_values_for_respects_order(self):
+        row = Row({"A": 1, "B": 2, "C": 3})
+        assert row.values_for(["C", "A"]) == (3, 1)
+
+
+class TestMerge:
+    def test_merge_disjoint(self):
+        merged = Row({"A": 1}).merge(Row({"B": 2}))
+        assert merged == Row({"A": 1, "B": 2})
+
+    def test_merge_agreeing_overlap(self):
+        merged = Row({"A": 1, "B": 2}).merge(Row({"B": 2, "C": 3}))
+        assert merged == Row({"A": 1, "B": 2, "C": 3})
+
+    def test_merge_conflicting_overlap_rejected(self):
+        with pytest.raises(RelationError):
+            Row({"A": 1, "B": 2}).merge(Row({"B": 3}))

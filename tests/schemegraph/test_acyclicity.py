@@ -1,0 +1,130 @@
+"""Tests for GYO reduction and Fagin's acyclicity degrees.
+
+The classified examples follow Fagin (JACM 1983):
+
+* chains and stars are gamma-acyclic;
+* ``{AB, BC, CA}`` (the triangle) is not even alpha-acyclic;
+* ``{ABC, AB, BC, CA}`` is alpha- but not beta-acyclic (the big edge
+  covers the triangle, but the triangle is a subset);
+* ``{AB, BC, ABC}`` is beta-acyclic but not gamma-acyclic (the classic
+  separator: A connects AB-ABC avoiding BC, C connects ABC-BC avoiding
+  AB, B closes the cycle).
+"""
+
+from repro.schemegraph.acyclicity import (
+    find_gamma_cycle,
+    gyo_reduction,
+    is_alpha_acyclic,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+)
+from repro.schemegraph.scheme import scheme_of
+from repro.workloads.generators import chain_scheme, cycle_scheme, star_scheme
+
+
+class TestGYO:
+    def test_single_relation_is_acyclic(self):
+        assert gyo_reduction(["AB"]) == []
+
+    def test_chain_reduces_to_empty(self):
+        assert is_alpha_acyclic(["AB", "BC", "CD"])
+
+    def test_triangle_leaves_residue(self):
+        residue = gyo_reduction(["AB", "BC", "CA"])
+        assert residue  # nonempty residue = cyclic
+
+    def test_triangle_with_covering_edge_is_alpha_acyclic(self):
+        assert is_alpha_acyclic(["ABC", "AB", "BC", "CA"])
+
+    def test_star_is_alpha_acyclic(self):
+        assert is_alpha_acyclic(star_scheme(5))
+
+    def test_cycle_schemes_are_not_alpha_acyclic(self):
+        for n in (3, 4, 5):
+            assert not is_alpha_acyclic(cycle_scheme(n))
+
+    def test_chain_generator_alpha_acyclic(self):
+        for n in (1, 2, 5, 8):
+            assert is_alpha_acyclic(chain_scheme(n))
+
+    def test_contained_edge_is_harmless(self):
+        assert is_alpha_acyclic(["ABC", "AB"])
+
+
+class TestBeta:
+    def test_chain_is_beta_acyclic(self):
+        assert is_beta_acyclic(["AB", "BC", "CD"])
+
+    def test_covered_triangle_is_not_beta_acyclic(self):
+        assert not is_beta_acyclic(["ABC", "AB", "BC", "CA"])
+
+    def test_beta_implies_alpha(self):
+        schemes = ["AB", "BC", "ABC"]
+        assert is_beta_acyclic(schemes)
+        assert is_alpha_acyclic(schemes)
+
+
+class TestGamma:
+    def test_chain_is_gamma_acyclic(self):
+        assert is_gamma_acyclic(["AB", "BC", "CD", "DE"])
+
+    def test_star_is_gamma_acyclic(self):
+        assert is_gamma_acyclic(["AB", "AC", "AD"])
+
+    def test_two_edges_never_cycle(self):
+        assert is_gamma_acyclic(["ABX", "ABY"])
+
+    def test_beta_but_not_gamma(self):
+        # Fagin's separator example: {AB, BC, ABC}.
+        assert is_beta_acyclic(["AB", "BC", "ABC"])
+        assert not is_gamma_acyclic(["AB", "BC", "ABC"])
+
+    def test_triangle_is_not_gamma_acyclic(self):
+        assert not is_gamma_acyclic(["AB", "BC", "CA"])
+
+    def test_gamma_cycle_witness_is_wellformed(self):
+        witness = find_gamma_cycle(["AB", "BC", "CA"])
+        assert witness is not None
+        assert len(witness) >= 3
+        edges = [edge for edge, _ in witness]
+        attributes = [attr for _, attr in witness]
+        assert len(set(edges)) == len(edges)
+        assert len(set(attributes)) == len(attributes)
+        # x_i in S_i and S_{i+1} (cyclically).
+        for i, (edge, attr) in enumerate(witness):
+            successor = edges[(i + 1) % len(edges)]
+            assert attr in edge and attr in successor
+        # For i < m, x_i appears in no other edge of the cycle.
+        for i, (edge, attr) in enumerate(witness[:-1]):
+            successor = edges[(i + 1) % len(edges)]
+            for other in edges:
+                if other not in (edge, successor):
+                    assert attr not in other
+
+    def test_no_witness_for_acyclic(self):
+        assert find_gamma_cycle(["AB", "BC", "CD"]) is None
+
+    def test_hierarchy_on_generators(self):
+        # gamma implies beta implies alpha on every shape we generate.
+        for schemes in (chain_scheme(5), star_scheme(4), ["AB", "BC", "ABC"]):
+            if is_gamma_acyclic(schemes):
+                assert is_beta_acyclic(schemes)
+            if is_beta_acyclic(schemes):
+                assert is_alpha_acyclic(schemes)
+
+
+class TestGammaAgainstSubsetDefinition:
+    """Spot-check gamma-acyclicity monotonicity: a gamma-acyclic scheme
+    has only gamma-acyclic subsets (Fagin: gamma-acyclicity is
+    hereditary)."""
+
+    def test_hereditary_on_chain(self):
+        db = scheme_of(chain_scheme(5))
+        assert is_gamma_acyclic(db)
+        for subset in db.subsets():
+            assert is_gamma_acyclic(subset)
+
+    def test_hereditary_contrapositive(self):
+        # {AB, BC, ABC} contains itself as the bad subset.
+        db = scheme_of(["AB", "BC", "ABC", "CD"])
+        assert not is_gamma_acyclic(db)

@@ -1,0 +1,138 @@
+"""Tests for pairwise consistency, full reduction, and Yannakakis."""
+
+import random
+
+import pytest
+
+from repro import Database, relation
+from repro.errors import AcyclicityError
+from repro.relational.attributes import attrs
+from repro.schemegraph.consistency import (
+    full_reduce,
+    is_pairwise_consistent,
+    semijoin_program,
+    yannakakis,
+)
+from repro.schemegraph.jointree import build_join_tree
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    generate_database,
+    star_scheme,
+)
+
+
+@pytest.fixture
+def dangling_chain():
+    """AB-BC-CD with dangling tuples in every relation."""
+    return Database(
+        [
+            relation("AB", [(1, 1), (2, 2), (3, 9)], name="R1"),
+            relation("BC", [(1, 5), (2, 6), (8, 8)], name="R2"),
+            relation("CD", [(5, 0), (6, 0), (7, 7)], name="R3"),
+        ]
+    )
+
+
+class TestPairwiseConsistency:
+    def test_inconsistent_before_reduction(self, dangling_chain):
+        assert not is_pairwise_consistent(dangling_chain)
+
+    def test_consistent_after_reduction(self, dangling_chain):
+        assert is_pairwise_consistent(full_reduce(dangling_chain))
+
+    def test_trivially_consistent_single_relation(self):
+        db = Database([relation("AB", [(1, 1)])])
+        assert is_pairwise_consistent(db)
+
+
+class TestSemijoinProgram:
+    def test_program_has_two_sweeps(self):
+        tree = build_join_tree(["AB", "BC", "CD"])
+        program = semijoin_program(tree, attrs("AB"))
+        # n-1 upward + n-1 downward steps.
+        assert len(program) == 4
+
+    def test_program_steps_follow_tree_edges(self):
+        tree = build_join_tree(["AB", "BC", "CD"])
+        for target, source in semijoin_program(tree, attrs("AB")):
+            assert source in tree.neighbors(target)
+
+
+class TestFullReduce:
+    def test_reduction_removes_exactly_the_dangling_tuples(self, dangling_chain):
+        reduced = full_reduce(dangling_chain)
+        final = dangling_chain.evaluate()
+        for rel in reduced.relations():
+            assert rel.rows == final.project(rel.scheme).rows
+
+    def test_reduction_preserves_final_result(self, dangling_chain):
+        assert full_reduce(dangling_chain).evaluate() == dangling_chain.evaluate()
+
+    def test_reduction_idempotent(self, dangling_chain):
+        once = full_reduce(dangling_chain)
+        twice = full_reduce(once)
+        for scheme in once.scheme.sorted_schemes():
+            assert once.state_for(scheme) == twice.state_for(scheme)
+
+    def test_cyclic_scheme_falls_back_to_fixpoint(self):
+        db = Database(
+            [
+                relation("AB", [(1, 1), (2, 9)], name="R1"),
+                relation("BC", [(1, 1), (9, 3)], name="R2"),
+                relation("CA", [(1, 1), (3, 5)], name="R3"),
+            ]
+        )
+        reduced = full_reduce(db)
+        # The fixpoint keeps only tuples surviving all pairwise semijoins.
+        assert reduced.evaluate() == db.evaluate()
+        assert all(len(reduced.state_for(s)) <= len(db.state_for(s))
+                   for s in db.scheme.sorted_schemes())
+
+    def test_random_acyclic_databases_consistent_after_reduce(self):
+        rng = random.Random(7)
+        for shape in (chain_scheme(4), star_scheme(4)):
+            db = generate_database(shape, rng, WorkloadSpec(size=15, domain=4))
+            assert is_pairwise_consistent(full_reduce(db))
+
+
+class TestYannakakis:
+    def test_result_matches_direct_evaluation(self, dangling_chain):
+        trace = yannakakis(dangling_chain)
+        assert trace.result == dangling_chain.evaluate()
+
+    def test_monotone_increasing_after_reduction(self, dangling_chain):
+        assert yannakakis(dangling_chain).is_monotone_increasing()
+
+    def test_steps_count_tree_edges(self, dangling_chain):
+        trace = yannakakis(dangling_chain)
+        assert len(trace.steps) == len(dangling_chain) - 1
+
+    def test_total_tuples_generated(self, dangling_chain):
+        trace = yannakakis(dangling_chain)
+        assert trace.total_tuples_generated == sum(out for _, _, out in trace.steps)
+
+    def test_rejects_cyclic_schemes(self):
+        db = Database(
+            [
+                relation("AB", [(1, 1)]),
+                relation("BC", [(1, 1)]),
+                relation("CA", [(1, 1)]),
+            ]
+        )
+        with pytest.raises(AcyclicityError):
+            yannakakis(db)
+
+    def test_custom_root(self, dangling_chain):
+        trace = yannakakis(dangling_chain, root=attrs("CD"))
+        assert trace.result == dangling_chain.evaluate()
+
+    def test_random_acyclic_monotone(self):
+        rng = random.Random(11)
+        for seed in range(5):
+            db = generate_database(
+                chain_scheme(4), rng, WorkloadSpec(size=12, domain=3)
+            )
+            trace = yannakakis(db)
+            assert trace.result == db.evaluate()
+            assert trace.is_monotone_increasing()

@@ -1,0 +1,118 @@
+"""Tests for join trees and the Section 5 connectedness redefinition."""
+
+import pytest
+
+from repro.errors import AcyclicityError
+from repro.relational.attributes import attrs
+from repro.schemegraph.jointree import (
+    JoinTree,
+    all_join_trees,
+    build_join_tree,
+    connected_in_some_join_tree,
+    linked_in_join_tree_sense,
+)
+from repro.schemegraph.scheme import scheme_of
+from repro.workloads.generators import chain_scheme, star_scheme
+
+
+class TestBuildJoinTree:
+    def test_chain_join_tree_is_the_chain(self):
+        tree = build_join_tree(["AB", "BC", "CD"])
+        assert (attrs("AB"), attrs("BC")) in tree.edges
+        assert (attrs("BC"), attrs("CD")) in tree.edges
+        assert len(tree.edges) == 2
+
+    def test_star_join_tree_hangs_satellites_on_hub(self):
+        schemes = star_scheme(4)
+        tree = build_join_tree(schemes)
+        hub = schemes[0]
+        for satellite in schemes[1:]:
+            assert tree.neighbors(satellite) == (hub,)
+
+    def test_single_relation_tree(self):
+        tree = build_join_tree(["AB"])
+        assert tree.edges == frozenset()
+
+    def test_cyclic_scheme_rejected(self):
+        with pytest.raises(AcyclicityError):
+            build_join_tree(["AB", "BC", "CA"])
+
+    def test_unconnected_scheme_rejected(self):
+        with pytest.raises(AcyclicityError):
+            build_join_tree(["AB", "CD"])
+
+    def test_running_intersection_validated(self):
+        # AB-CD-BC as a path violates running intersection for B.
+        scheme = scheme_of(["AB", "CD", "BC"])
+        with pytest.raises(AcyclicityError):
+            JoinTree(scheme, [(attrs("AB"), attrs("CD")), (attrs("CD"), attrs("BC"))])
+
+    def test_wrong_edge_count_rejected(self):
+        scheme = scheme_of(["AB", "BC", "CD"])
+        with pytest.raises(AcyclicityError):
+            JoinTree(scheme, [(attrs("AB"), attrs("BC"))])
+
+
+class TestRootedTraversal:
+    def test_rooted_order_starts_at_root(self):
+        tree = build_join_tree(["AB", "BC", "CD"])
+        order = tree.rooted_at(attrs("AB"))
+        assert order[0] == (attrs("AB"), None)
+        assert len(order) == 3
+
+    def test_parents_are_earlier_in_order(self):
+        tree = build_join_tree(chain_scheme(5))
+        order = tree.rooted_at(tree.scheme.sorted_schemes()[0])
+        seen = set()
+        for node, parent in order:
+            if parent is not None:
+                assert parent in seen
+            seen.add(node)
+
+    def test_unknown_root_rejected(self):
+        tree = build_join_tree(["AB", "BC"])
+        with pytest.raises(AcyclicityError):
+            tree.rooted_at(attrs("XY"))
+
+
+class TestAllJoinTrees:
+    def test_chain_has_exactly_one_join_tree(self):
+        trees = list(all_join_trees(["AB", "BC", "CD"]))
+        assert len(trees) == 1
+
+    def test_shared_attribute_star_has_multiple_join_trees(self):
+        # {AX, AY, AZ}: any tree on the three nodes works (all share A).
+        trees = list(all_join_trees(["AX", "AY", "AZ"]))
+        assert len(trees) == 3  # the three spanning trees of a triangle
+
+    def test_every_enumerated_tree_is_valid(self):
+        for tree in all_join_trees(star_scheme(4)):
+            assert isinstance(tree, JoinTree)
+
+    def test_cyclic_scheme_yields_nothing(self):
+        assert list(all_join_trees(["AB", "BC", "CA"])) == []
+
+
+class TestSection5Connectedness:
+    def test_adjacent_pair_is_connected(self):
+        db = ["AB", "BC", "CD"]
+        assert connected_in_some_join_tree(db, ["AB", "BC"])
+
+    def test_chain_endpoints_are_not_connected_alone(self):
+        db = ["AB", "BC", "CD"]
+        assert not connected_in_some_join_tree(db, ["AB", "CD"])
+
+    def test_whole_scheme_connected(self):
+        db = ["AB", "BC", "CD"]
+        assert connected_in_some_join_tree(db, db)
+
+    def test_some_quantifier_matters(self):
+        # {AX, AY, AZ}: {AX, AZ} is a subtree of the tree AX-AZ-AY.
+        db = ["AX", "AY", "AZ"]
+        assert connected_in_some_join_tree(db, ["AX", "AZ"])
+
+    def test_linked_in_join_tree_sense(self):
+        db = ["AB", "BC", "CD"]
+        assert linked_in_join_tree_sense(db, ["AB"], ["BC", "CD"])
+        # {AB} and {CD} are not linked: no F1 ∪ F2 induces a subtree.
+        assert not linked_in_join_tree_sense(db, ["AB"], ["CD"])

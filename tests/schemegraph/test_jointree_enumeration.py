@@ -1,0 +1,73 @@
+"""Deeper join-tree enumeration tests: counts and the Section 5 semantics
+on schemes with shared separators (where "some join tree" matters)."""
+
+from repro.relational.attributes import attrs
+from repro.schemegraph.jointree import (
+    all_join_trees,
+    build_join_tree,
+    connected_in_some_join_tree,
+)
+from repro.schemegraph.scheme import scheme_of
+from repro.workloads.generators import chain_scheme
+
+
+class TestEnumerationCounts:
+    def test_four_chain_unique_tree(self):
+        assert len(list(all_join_trees(chain_scheme(4)))) == 1
+
+    def test_shared_separator_star_counts(self):
+        # {AX, AY, AZ, AW}: every spanning tree of K4 is a join tree
+        # (all pairwise separators equal {A}); Cayley: 4^2 = 16.
+        trees = list(all_join_trees(["AX", "AY", "AZ", "AW"]))
+        assert len(trees) == 16
+
+    def test_mixed_scheme(self):
+        # {AB, BC, BD}: B is the shared separator of all three; any tree
+        # on three nodes where ... all pairs intersect in {B}: 3 trees.
+        assert len(list(all_join_trees(["AB", "BC", "BD"]))) == 3
+
+    def test_build_returns_a_member_of_all(self):
+        schemes = ["AX", "AY", "AZ"]
+        built = build_join_tree(schemes)
+        assert built in list(all_join_trees(schemes))
+
+
+class TestSection5Semantics:
+    def test_every_singleton_connected(self):
+        db = chain_scheme(4)
+        for scheme in db:
+            assert connected_in_some_join_tree(db, [scheme])
+
+    def test_separator_sharing_makes_distant_pairs_connected(self):
+        # In {AX, AY, AZ}, every pair is connected in some join tree.
+        db = ["AX", "AY", "AZ"]
+        assert connected_in_some_join_tree(db, ["AX", "AY"])
+        assert connected_in_some_join_tree(db, ["AX", "AZ"])
+        assert connected_in_some_join_tree(db, ["AY", "AZ"])
+
+    def test_chain_distant_pairs_not_connected(self):
+        db = chain_scheme(4)
+        ordered = scheme_of(db).sorted_schemes()
+        assert not connected_in_some_join_tree(db, [ordered[0], ordered[3]])
+
+    def test_subtree_induction_on_built_tree(self):
+        tree = build_join_tree(chain_scheme(5))
+        ordered = tree.scheme.sorted_schemes()
+        assert tree.induces_subtree(ordered[:3])
+        assert not tree.induces_subtree([ordered[0], ordered[4]])
+
+    def test_neighbors_are_symmetric(self):
+        tree = build_join_tree(chain_scheme(4))
+        for node in tree.scheme.sorted_schemes():
+            for neighbor in tree.neighbors(node):
+                assert node in tree.neighbors(neighbor)
+
+    def test_equality_and_hash(self):
+        a = build_join_tree(chain_scheme(3))
+        b = build_join_tree(chain_scheme(3))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_lists_edges(self):
+        tree = build_join_tree(["AB", "BC"])
+        assert "AB-BC" in repr(tree)

@@ -1,0 +1,175 @@
+"""Tests for Section 5's union/intersection strategies."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError, StrategyError
+from repro.settheory.sets import (
+    SetFamily,
+    SetStrategy,
+    all_set_strategies,
+    best_linear_intersection,
+    intersection_satisfies_c3,
+    optimal_intersection_cost,
+    union_satisfies_c4,
+)
+
+
+def _random_family(rng, members=4, universe=12, op="intersection"):
+    sets = []
+    for _ in range(members):
+        size = rng.randint(3, universe)
+        sets.append(rng.sample(range(universe), size))
+    return SetFamily(sets, op=op)
+
+
+class TestSetFamily:
+    def test_construction_and_sizes(self):
+        family = SetFamily([[1, 2], [2, 3]], op="union")
+        assert len(family) == 2
+        assert family.members[0] == frozenset({1, 2})
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ReproError):
+            SetFamily([[1]], op="xor")
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ReproError):
+            SetFamily([])
+
+    def test_evaluate_intersection(self):
+        family = SetFamily([[1, 2, 3], [2, 3], [3, 4]])
+        assert family.evaluate() == frozenset({3})
+
+    def test_evaluate_union(self):
+        family = SetFamily([[1], [2], [3]], op="union")
+        assert family.evaluate() == frozenset({1, 2, 3})
+
+    def test_evaluate_subset(self):
+        family = SetFamily([[1, 2], [2, 3], [9]])
+        assert family.evaluate([0, 1]) == frozenset({2})
+
+    def test_duplicate_members_are_kept_positionally(self):
+        family = SetFamily([[1, 2], [1, 2]], op="union")
+        assert len(family) == 2
+
+
+class TestSetStrategy:
+    def test_linear_construction(self):
+        family = SetFamily([[1, 2, 3], [2, 3], [3]])
+        s = SetStrategy.linear(family, [0, 1, 2])
+        assert s.is_linear()
+        assert s.result == frozenset({3})
+
+    def test_linear_requires_permutation(self):
+        family = SetFamily([[1], [2]])
+        with pytest.raises(StrategyError):
+            SetStrategy.linear(family, [0, 0])
+
+    def test_tau_sums_step_sizes(self):
+        family = SetFamily([[1, 2, 3], [2, 3], [3]])
+        s = SetStrategy.linear(family, [0, 1, 2])
+        # Steps: {1,2,3} ∩ {2,3} = 2 elements; then ∩ {3} = 1 element.
+        assert s.tau() == 3
+
+    def test_children_must_be_disjoint(self):
+        family = SetFamily([[1], [2]])
+        leaf = SetStrategy.leaf(family, 0)
+        with pytest.raises(StrategyError):
+            SetStrategy.join(leaf, SetStrategy.leaf(family, 0))
+
+    def test_describe(self):
+        family = SetFamily([[1], [2]])
+        s = SetStrategy.join(SetStrategy.leaf(family, 0), SetStrategy.leaf(family, 1))
+        assert s.describe() == "(X0 ∩ X1)"
+
+    def test_bushy_strategy_not_linear(self):
+        family = SetFamily([[1, 2], [2, 3], [3, 4], [4, 5]])
+        left = SetStrategy.join(SetStrategy.leaf(family, 0), SetStrategy.leaf(family, 1))
+        right = SetStrategy.join(SetStrategy.leaf(family, 2), SetStrategy.leaf(family, 3))
+        assert not SetStrategy.join(left, right).is_linear()
+
+
+class TestSection5Claims:
+    def test_intersection_satisfies_c3(self, rng):
+        for _ in range(5):
+            family = _random_family(rng)
+            assert intersection_satisfies_c3(family)
+
+    def test_union_satisfies_c4(self, rng):
+        for _ in range(5):
+            family = _random_family(rng, op="union")
+            assert union_satisfies_c4(family)
+
+    def test_c3_check_rejects_union_family(self):
+        with pytest.raises(ReproError):
+            intersection_satisfies_c3(SetFamily([[1]], op="union"))
+
+    def test_c4_check_rejects_intersection_family(self):
+        with pytest.raises(ReproError):
+            union_satisfies_c4(SetFamily([[1]]))
+
+    def test_theorem3_for_intersections(self, rng):
+        # Section 5's corollary of Theorem 3: a linear strategy attains the
+        # global optimum for intersections.
+        for _ in range(5):
+            family = _random_family(rng, members=4)
+            _, linear_cost = best_linear_intersection(family)
+            assert linear_cost == optimal_intersection_cost(family)
+
+    def test_linear_search_returns_linear_strategy(self, rng):
+        family = _random_family(rng)
+        strategy, _ = best_linear_intersection(family)
+        assert strategy.is_linear()
+
+    def test_all_set_strategies_count(self):
+        family = SetFamily([[1], [2], [3], [4]])
+        assert sum(1 for _ in all_set_strategies(family)) == 15
+
+    def test_best_linear_rejects_union(self):
+        with pytest.raises(ReproError):
+            best_linear_intersection(SetFamily([[1]], op="union"))
+
+
+class TestUnionStrategies:
+    def test_best_linear_union_returns_linear(self, rng):
+        from repro.settheory.sets import best_linear_union
+
+        family = _random_family(rng, op="union")
+        strategy, cost = best_linear_union(family)
+        assert strategy.is_linear()
+        assert cost == strategy.tau()
+
+    def test_linear_union_bounded_below_by_optimum(self, rng):
+        from repro.settheory.sets import best_linear_union, optimal_union_cost
+
+        for _ in range(5):
+            family = _random_family(rng, op="union")
+            _, linear_cost = best_linear_union(family)
+            assert linear_cost >= optimal_union_cost(family)
+
+    def test_linear_union_can_be_suboptimal(self):
+        # The E-UNION finding, pinned on a fixed counterexample family
+        # (seed 13 of the benchmark's generator).
+        from repro.settheory.sets import best_linear_union, optimal_union_cost
+
+        family = SetFamily(
+            [
+                [4, 5, 7, 9, 10, 17],
+                [2, 4, 6, 17],
+                [0, 4, 8, 13, 18, 19],
+                [2, 8, 13, 14],
+            ],
+            op="union",
+        )
+        _, linear_cost = best_linear_union(family)
+        assert optimal_union_cost(family) < linear_cost
+
+    def test_union_helpers_reject_intersections(self):
+        from repro.settheory.sets import best_linear_union, optimal_union_cost
+
+        with pytest.raises(ReproError):
+            best_linear_union(SetFamily([[1]]))
+        with pytest.raises(ReproError):
+            optimal_union_cost(SetFamily([[1]]))

@@ -1,0 +1,73 @@
+"""Tests for the tau cost measure and its variants, against the paper's
+published arithmetic."""
+
+from repro.strategy.cost import (
+    max_intermediate_cost,
+    step_costs,
+    tau_cost,
+    tau_cost_excluding_root,
+)
+from repro.strategy.tree import Strategy, parse_strategy
+
+
+class TestPaperArithmetic:
+    def test_example1_570(self, ex1):
+        # tau(S1) = 10 + 70 + 490 = 570.
+        s = parse_strategy(ex1, "(((R1 R2) R3) R4)")
+        assert [cost for _, cost in step_costs(s)] == [10, 70, 490]
+        assert tau_cost(s) == 570
+
+    def test_example1_549(self, ex1):
+        # tau(S3) = 10 + 49 + 490 = 549.
+        s = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        assert sorted(cost for _, cost in step_costs(s)) == [10, 49, 490]
+        assert tau_cost(s) == 549
+
+    def test_example1_546(self, ex1):
+        # tau(S4) = 28 + 28 + 490 = 546.
+        s = parse_strategy(ex1, "((R1 R3) (R2 R4))")
+        assert tau_cost(s) == 546
+
+    def test_example4_values(self, ex4):
+        assert tau_cost(parse_strategy(ex4, "((GS SC) CL)")) == 14
+        assert tau_cost(parse_strategy(ex4, "(GS (SC CL))")) == 12
+        assert tau_cost(parse_strategy(ex4, "((GS CL) SC)")) == 11
+
+
+class TestCostVariants:
+    def test_trivial_strategy_costs_zero(self, ex1):
+        leaf = Strategy.leaf(ex1, "AB")
+        assert tau_cost(leaf) == 0
+        assert tau_cost_excluding_root(leaf) == 0
+        assert max_intermediate_cost(leaf) == 0
+
+    def test_excluding_root_subtracts_final_size(self, ex1):
+        s = parse_strategy(ex1, "(((R1 R2) R3) R4)")
+        assert tau_cost_excluding_root(s) == 570 - 490
+
+    def test_excluding_root_preserves_ranking(self, ex1):
+        strategies = [
+            parse_strategy(ex1, "(((R1 R2) R3) R4)"),
+            parse_strategy(ex1, "((R1 R2) (R3 R4))"),
+            parse_strategy(ex1, "((R1 R3) (R2 R4))"),
+        ]
+        full = sorted(strategies, key=tau_cost)
+        reduced = sorted(strategies, key=tau_cost_excluding_root)
+        assert [s.describe() for s in full] == [s.describe() for s in reduced]
+
+    def test_max_intermediate(self, ex1):
+        s = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        assert max_intermediate_cost(s) == 490
+
+    def test_step_costs_descriptions(self, ex4):
+        trace = step_costs(parse_strategy(ex4, "((GS SC) CL)"))
+        assert trace[0][0] == "(GS ⋈ SC)"
+        assert trace[0][1] == 9
+
+    def test_cost_measures_can_disagree(self, ex1):
+        # tau prefers S4 (546) but its largest step (490) ties S3's; use a
+        # case where max-intermediate picks a different winner than tau.
+        s3 = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        s4 = parse_strategy(ex1, "((R1 R3) (R2 R4))")
+        assert tau_cost(s4) < tau_cost(s3)
+        assert max_intermediate_cost(s4) == max_intermediate_cost(s3)

@@ -1,0 +1,139 @@
+"""Tests for strategy-space enumeration and the census formulas."""
+
+import pytest
+
+from repro import Database, relation
+from repro.errors import StrategyError
+from repro.strategy.enumerate import (
+    all_strategies,
+    count_all_strategies,
+    count_linear_strategies,
+    linear_nocp_strategies,
+    linear_strategies,
+    nocp_strategies,
+    strategies_in_space,
+)
+
+
+class TestCensusFormulas:
+    def test_paper_intro_counts_for_four_relations(self):
+        # "3 orderings of the form (R1R2)(R3R4) and 12 of the form
+        # ((R1R2)R3)R4 ... 15 possible orderings".
+        assert count_all_strategies(4) == 15
+        assert count_linear_strategies(4) == 12
+        assert count_all_strategies(4) - count_linear_strategies(4) == 3
+
+    def test_double_factorial_sequence(self):
+        assert [count_all_strategies(n) for n in range(1, 7)] == [
+            1,
+            1,
+            3,
+            15,
+            105,
+            945,
+        ]
+
+    def test_linear_counts(self):
+        assert [count_linear_strategies(n) for n in range(1, 6)] == [1, 1, 3, 12, 60]
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(StrategyError):
+            count_all_strategies(0)
+        with pytest.raises(StrategyError):
+            count_linear_strategies(0)
+
+
+class TestEnumerationMatchesFormulas:
+    def test_all_strategies_count(self, ex1):
+        strategies = list(all_strategies(ex1))
+        assert len(strategies) == 15
+        assert len(set(strategies)) == 15  # no duplicates
+
+    def test_linear_strategies_count(self, ex1):
+        strategies = list(linear_strategies(ex1))
+        assert len(strategies) == 12
+        assert len(set(strategies)) == 12
+        assert all(s.is_linear() for s in strategies)
+
+    def test_linear_is_subset_of_all(self, ex1):
+        linear = set(linear_strategies(ex1))
+        everything = set(all_strategies(ex1))
+        assert linear <= everything
+
+    def test_three_relation_counts(self, ex3):
+        assert len(list(all_strategies(ex3))) == 3
+        assert len(list(linear_strategies(ex3))) == 3
+
+    def test_subset_enumeration(self, ex1):
+        sub = list(all_strategies(ex1, subset=["AB", "BC", "DE"]))
+        assert len(sub) == 3
+
+    def test_all_strategies_have_full_scheme(self, ex1):
+        for s in all_strategies(ex1):
+            assert s.scheme_set == ex1.scheme
+
+
+class TestNoCPEnumeration:
+    def test_example1_exactly_three_avoiding_strategies(self, ex1):
+        # The paper: "There are three strategies that avoid Cartesian
+        # products" for Example 1's unconnected scheme.
+        strategies = list(nocp_strategies(ex1))
+        assert len(strategies) == 3
+        assert all(s.avoids_cartesian_products() for s in strategies)
+
+    def test_connected_chain_nocp(self, chain3):
+        strategies = list(nocp_strategies(chain3))
+        # Chain AB-BC-CD: splits must be connected; 2 strategies
+        # (((AB BC) CD) and (AB (BC CD))) -- (AB CD) is not connected.
+        assert len(strategies) == 2
+        assert all(not s.uses_cartesian_products() for s in strategies)
+
+    def test_nocp_matches_predicate_filter(self, ex1):
+        by_generator = set(nocp_strategies(ex1))
+        by_filter = {
+            s for s in all_strategies(ex1) if s.avoids_cartesian_products()
+        }
+        assert by_generator == by_filter
+
+    def test_nocp_matches_filter_on_connected_db(self, ex5):
+        by_generator = set(nocp_strategies(ex5))
+        by_filter = {
+            s for s in all_strategies(ex5) if s.avoids_cartesian_products()
+        }
+        assert by_generator == by_filter
+
+    def test_linear_nocp(self, ex5):
+        strategies = list(linear_nocp_strategies(ex5))
+        assert all(s.is_linear() for s in strategies)
+        assert all(s.avoids_cartesian_products() for s in strategies)
+        # Chain of 4: orders starting anywhere but contiguous; count > 0.
+        assert strategies
+
+    def test_linear_nocp_empty_for_two_big_components(self):
+        db = Database(
+            [
+                relation("AB", [(1, 1)], name="R1"),
+                relation("BC", [(1, 1)], name="R2"),
+                relation("DE", [(1, 1)], name="R3"),
+                relation("EF", [(1, 1)], name="R4"),
+            ]
+        )
+        # Two multi-relation components: no linear strategy can evaluate
+        # both individually.
+        assert list(linear_nocp_strategies(db)) == []
+        # But bushy CP-avoiding strategies exist.
+        assert list(nocp_strategies(db))
+
+
+class TestStrategiesInSpace:
+    def test_flags_compose(self, ex5):
+        both = set(strategies_in_space(ex5, linear=True, avoid_cartesian_products=True))
+        assert both == set(linear_nocp_strategies(ex5))
+
+    def test_no_flags_is_everything(self, ex3):
+        assert set(strategies_in_space(ex3)) == set(all_strategies(ex3))
+
+    def test_linear_flag(self, ex3):
+        assert set(strategies_in_space(ex3, linear=True)) == set(
+            linear_strategies(ex3)
+        )

@@ -1,0 +1,123 @@
+"""Tests for Section 5's monotone-strategy machinery."""
+
+import random
+
+import pytest
+
+from repro import Database, relation
+from repro.strategy.cost import tau_cost
+from repro.strategy.monotone import (
+    best_monotone,
+    monotone_decreasing_possible,
+    monotone_increasing_possible,
+    monotone_strategies,
+    probe_monotone_optimality,
+)
+from repro.workloads.generators import (
+    chain_scheme,
+    generate_consistent_acyclic_database,
+    generate_superkey_join_database,
+)
+
+
+@pytest.fixture
+def shrinking_db():
+    """A chain whose joins strictly filter: monotone decreasing territory."""
+    return Database(
+        [
+            relation("AB", [(i, i) for i in range(6)], name="R1"),
+            relation("BC", [(0, 0), (1, 1), (2, 2)], name="R2"),
+            relation("CD", [(0, 9), (2, 9)], name="R3"),
+        ]
+    )
+
+
+class TestNecessaryConditions:
+    def test_decreasing_possible_on_filtering_chain(self, shrinking_db):
+        assert monotone_decreasing_possible(shrinking_db)
+
+    def test_increasing_impossible_on_filtering_chain(self, shrinking_db):
+        assert not monotone_increasing_possible(shrinking_db)
+
+    def test_increasing_possible_on_consistent_acyclic(self, rng):
+        db = generate_consistent_acyclic_database(3, rng)
+        assert monotone_increasing_possible(db)
+
+    def test_conditions_are_about_the_final_size(self, shrinking_db):
+        final = shrinking_db.tau_of()
+        sizes = [len(r) for r in shrinking_db.relations()]
+        assert monotone_decreasing_possible(shrinking_db) == all(
+            final <= s for s in sizes
+        )
+
+
+class TestEnumeration:
+    def test_direction_validated(self, shrinking_db):
+        with pytest.raises(ValueError):
+            list(monotone_strategies(shrinking_db, "sideways"))
+
+    def test_all_yielded_strategies_are_monotone(self, shrinking_db):
+        for s in monotone_strategies(shrinking_db, "decreasing"):
+            assert s.is_monotone_decreasing()
+
+    def test_increasing_strategies_on_consistent_database(self, rng):
+        db = generate_consistent_acyclic_database(3, rng)
+        found = list(monotone_strategies(db, "increasing"))
+        assert found
+        assert all(s.is_monotone_increasing() for s in found)
+
+
+class TestBestMonotone:
+    def test_best_is_cheapest_among_monotone(self, shrinking_db):
+        result = best_monotone(shrinking_db, "decreasing")
+        assert result is not None
+        strategy, cost = result
+        assert cost == min(
+            tau_cost(s) for s in monotone_strategies(shrinking_db, "decreasing")
+        )
+
+    def test_none_when_subspace_empty(self):
+        # A growing join: no decreasing strategy exists.
+        db = Database(
+            [
+                relation("AB", [(1, 0), (2, 0)], name="R1"),
+                relation("BC", [(0, 5), (0, 6)], name="R2"),
+            ]
+        )
+        assert best_monotone(db, "decreasing") is None
+
+
+class TestProbe:
+    def test_c3_databases_have_optimal_decreasing_strategy(self):
+        # Section 5: by Theorem 3, under C3 there is a linear tau-optimal
+        # monotone decreasing strategy.
+        for seed in range(4):
+            rng = random.Random(seed)
+            db = generate_superkey_join_database(chain_scheme(4), rng, size=7)
+            probe = probe_monotone_optimality(db, "decreasing")
+            assert probe.exists
+            assert probe.optimal
+            assert probe.gap == 0
+
+    def test_c4_databases_probe_increasing(self, rng):
+        db = generate_consistent_acyclic_database(4, rng)
+        probe = probe_monotone_optimality(db, "increasing")
+        assert probe.exists  # C4 data always admits an increasing strategy
+
+    def test_probe_reports_gap(self, shrinking_db):
+        probe = probe_monotone_optimality(shrinking_db, "decreasing")
+        assert probe.gap is not None
+        assert probe.gap >= 0
+        assert probe.optimal == (probe.gap == 0)
+
+    def test_probe_nonexistent_direction_reports_absence(self):
+        db = Database(
+            [
+                relation("AB", [(1, 0), (2, 0)], name="R1"),
+                relation("BC", [(0, 5), (0, 6)], name="R2"),
+            ]
+        )
+        probe = probe_monotone_optimality(db, "decreasing")
+        assert not probe.exists
+        assert probe.gap is None
+        assert not probe.optimal

@@ -1,0 +1,72 @@
+"""Tests for the parenthesized strategy parser."""
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.strategy.tree import Strategy, parse_strategy
+
+
+class TestParsing:
+    def test_simple_pair(self, ex1):
+        assert parse_strategy(ex1, "(R1 R2)") == Strategy.from_spec(ex1, ("R1", "R2"))
+
+    def test_nested_linear(self, ex1):
+        parsed = parse_strategy(ex1, "(((R1 R2) R3) R4)")
+        assert parsed == Strategy.from_spec(ex1, ((("R1", "R2"), "R3"), "R4"))
+
+    def test_bushy(self, ex1):
+        parsed = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        assert parsed == Strategy.from_spec(ex1, (("R1", "R2"), ("R3", "R4")))
+
+    def test_join_symbol_accepted(self, ex1):
+        assert parse_strategy(ex1, "(R1 ⋈ R2)") == parse_strategy(ex1, "(R1 R2)")
+
+    def test_star_symbol_accepted(self, ex1):
+        assert parse_strategy(ex1, "(R1 * R2)") == parse_strategy(ex1, "(R1 R2)")
+
+    def test_scheme_spellings(self, ex1):
+        assert parse_strategy(ex1, "(AB BC)") == parse_strategy(ex1, "(R1 R2)")
+
+    def test_single_leaf(self, ex1):
+        parsed = parse_strategy(ex1, "R1")
+        assert parsed.is_leaf
+
+
+class TestParseErrors:
+    def test_unbalanced_open(self, ex1):
+        with pytest.raises(StrategyError):
+            parse_strategy(ex1, "((R1 R2)")
+
+    def test_unbalanced_close(self, ex1):
+        with pytest.raises(StrategyError):
+            parse_strategy(ex1, "(R1 R2))")
+
+    def test_three_children_rejected(self, ex1):
+        with pytest.raises(StrategyError):
+            parse_strategy(ex1, "(R1 R2 R3)")
+
+    def test_one_child_rejected(self, ex1):
+        with pytest.raises(StrategyError):
+            parse_strategy(ex1, "((R1) R2)")
+
+    def test_unknown_relation(self, ex1):
+        with pytest.raises(StrategyError):
+            parse_strategy(ex1, "(R1 R9)")
+
+    def test_trailing_tokens(self, ex1):
+        with pytest.raises(StrategyError):
+            parse_strategy(ex1, "(R1 R2) R3")
+
+    def test_empty_string(self, ex1):
+        with pytest.raises(StrategyError):
+            parse_strategy(ex1, "")
+
+
+class TestRoundTrip:
+    def test_parse_of_describe_is_identity(self, ex1):
+        original = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        assert parse_strategy(ex1, original.describe()) == original
+
+    def test_roundtrip_linear(self, ex5):
+        original = parse_strategy(ex5, "(((MS SC) CI) ID)")
+        assert parse_strategy(ex5, original.describe()) == original

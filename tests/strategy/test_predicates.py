@@ -1,0 +1,168 @@
+"""Tests for the paper's strategy predicates: linear, Cartesian products,
+components individually, avoids CP, monotonicity -- against the paper's
+own Section 2 examples."""
+
+from repro import Database, relation
+from repro.strategy.tree import parse_strategy
+from repro.workloads.paper import example1
+
+
+def _components_db():
+    """The paper's {ABC, BE, DF} with small states, plus {CG, GH} variant
+    databases built on demand."""
+    return Database(
+        [
+            relation("ABC", [(1, 1, 1), (2, 1, 2)], name="ABC"),
+            relation("BE", [(1, 5)], name="BE"),
+            relation("DF", [(0, 0), (1, 1)], name="DF"),
+        ]
+    )
+
+
+def _five_scheme_db():
+    """The paper's {ABC, BE, DF, CG, GH} example database scheme."""
+    return Database(
+        [
+            relation("ABC", [(1, 1, 1), (2, 1, 2)], name="ABC"),
+            relation("BE", [(1, 5)], name="BE"),
+            relation("DF", [(0, 0)], name="DF"),
+            relation("CG", [(1, 7), (2, 7)], name="CG"),
+            relation("GH", [(7, 4)], name="GH"),
+        ]
+    )
+
+
+class TestLinearity:
+    def test_left_deep_is_linear(self, ex1):
+        assert parse_strategy(ex1, "(((R1 R2) R3) R4)").is_linear()
+
+    def test_balanced_is_not_linear(self, ex1):
+        assert not parse_strategy(ex1, "((R1 R2) (R3 R4))").is_linear()
+
+    def test_pair_is_linear(self, ex1):
+        assert parse_strategy(ex1, "(R1 R2)").is_linear()
+
+    def test_leaf_is_linear(self, ex1):
+        assert parse_strategy(ex1, "R1").is_linear()
+
+    def test_deep_right_chain_is_linear(self, ex1):
+        # Linearity does not care which side the leaf is on.
+        assert parse_strategy(ex1, "(R4 (R3 (R2 R1)))").is_linear()
+
+
+class TestCartesianProducts:
+    def test_paper_example_uses_cp(self):
+        # "(ABC ⋈ DF) ⋈ BCD" in spirit: here (ABC ⋈ DF) ⋈ BE.
+        db = _components_db()
+        s = parse_strategy(db, "((ABC DF) BE)")
+        assert s.uses_cartesian_products()
+
+    def test_linked_steps_do_not_use_cp(self):
+        db = _components_db()
+        s = parse_strategy(db, "((ABC BE) DF)")
+        steps = list(s.steps())
+        assert not steps[0].step_uses_cartesian_product()
+        assert steps[-1].step_uses_cartesian_product()  # joining DF is a CP
+
+    def test_cartesian_product_steps_list(self):
+        # (ABC x DF) is a Cartesian product; the outer step joins BE to
+        # ABCDF, which is linked via B -- so exactly one CP step.
+        db = _components_db()
+        s = parse_strategy(db, "((ABC DF) BE)")
+        assert len(s.cartesian_product_steps()) == 1
+
+    def test_connected_strategy(self, ex3):
+        assert parse_strategy(ex3, "((GS SC) CL)").is_connected_strategy()
+        assert not parse_strategy(ex3, "((GS CL) SC)").is_connected_strategy()
+
+
+class TestComponentsIndividually:
+    def test_paper_positive_example(self):
+        # (ABC ⋈ BE) ⋈ DF evaluates the components of {ABC, BE, DF}
+        # individually.
+        db = _components_db()
+        assert parse_strategy(db, "((ABC BE) DF)").evaluates_components_individually()
+
+    def test_paper_negative_example(self):
+        # (ABC ⋈ DF) ⋈ BE does not.
+        db = _components_db()
+        s = parse_strategy(db, "((ABC DF) BE)")
+        assert not s.evaluates_components_individually()
+
+    def test_connected_scheme_always_evaluates_individually(self, ex3):
+        for text in ("((GS SC) CL)", "((GS CL) SC)", "(GS (SC CL))"):
+            assert parse_strategy(ex3, text).evaluates_components_individually()
+
+
+class TestAvoidsCartesianProducts:
+    def test_paper_avoiding_strategy(self):
+        # ((ABC ⋈ BE) ⋈ (CG ⋈ GH)) ⋈ DF avoids Cartesian products.
+        db = _five_scheme_db()
+        s = parse_strategy(db, "(((ABC BE) (CG GH)) DF)")
+        assert s.avoids_cartesian_products()
+
+    def test_paper_non_avoiding_strategy(self):
+        # ((ABC ⋈ CG) ⋈ (BE ⋈ GH)) ⋈ DF evaluates components individually?
+        # No: it does not even do that -- and it uses too many CPs.
+        db = _five_scheme_db()
+        s = parse_strategy(db, "(((ABC CG) (BE GH)) DF)")
+        assert not s.avoids_cartesian_products()
+
+    def test_exactly_comp_minus_one_cps_required(self):
+        db = _components_db()  # components {ABC, BE} and {DF}
+        good = parse_strategy(db, "((ABC BE) DF)")
+        assert good.avoids_cartesian_products()
+        assert len(good.cartesian_product_steps()) == 1
+
+    def test_connected_db_avoiding_means_no_cp(self, ex3):
+        s = parse_strategy(ex3, "((GS CL) SC)")
+        assert not s.avoids_cartesian_products()
+        s2 = parse_strategy(ex3, "((GS SC) CL)")
+        assert s2.avoids_cartesian_products()
+
+    def test_example1_cp_avoiding_strategies(self):
+        db = example1()
+        for text in (
+            "(((R1 R2) R3) R4)",
+            "(((R1 R2) R4) R3)",
+            "((R1 R2) (R3 R4))",
+        ):
+            assert parse_strategy(db, text).avoids_cartesian_products()
+        assert not parse_strategy(db, "((R1 R3) (R2 R4))").avoids_cartesian_products()
+
+
+class TestMonotonicity:
+    def test_monotone_decreasing(self):
+        # R1 has 6 tuples, R2 has 3; only B=0 matches, giving 3 tuples:
+        # no larger than either input, strictly smaller than R1.
+        db = Database(
+            [
+                relation("AB", [(i, i % 2) for i in range(6)], name="R1"),
+                relation("BC", [(0, 9), (2, 8), (3, 7)], name="R2"),
+            ]
+        )
+        s = parse_strategy(db, "(R1 R2)")
+        assert s.is_monotone_decreasing()
+        assert not s.is_monotone_increasing()
+
+    def test_monotone_increasing(self):
+        db = Database(
+            [
+                relation("AB", [(1, 0), (2, 0)], name="R1"),
+                relation("BC", [(0, 5), (0, 6)], name="R2"),
+            ]
+        )
+        s = parse_strategy(db, "(R1 R2)")
+        assert s.is_monotone_increasing()
+        assert not s.is_monotone_decreasing()
+
+    def test_both_hold_on_size_preserving_join(self):
+        db = Database(
+            [
+                relation("AB", [(1, 0)], name="R1"),
+                relation("BC", [(0, 5)], name="R2"),
+            ]
+        )
+        s = parse_strategy(db, "(R1 R2)")
+        assert s.is_monotone_decreasing()
+        assert s.is_monotone_increasing()

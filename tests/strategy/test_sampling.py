@@ -1,0 +1,80 @@
+"""Tests for uniform strategy sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.strategy.enumerate import all_strategies, count_all_strategies
+from repro.strategy.sampling import (
+    cost_distribution,
+    sample_linear_strategy,
+    sample_strategy,
+)
+
+
+class TestValidity:
+    def test_sampled_strategy_is_wellformed(self, ex1):
+        rng = random.Random(1)
+        for _ in range(20):
+            s = sample_strategy(ex1, rng)
+            assert s.scheme_set == ex1.scheme
+            assert s.step_count() == len(ex1) - 1
+
+    def test_subset_sampling(self, ex1):
+        rng = random.Random(2)
+        s = sample_strategy(ex1, rng, subset=["AB", "BC", "DE"])
+        assert len(s.scheme_set) == 3
+
+    def test_linear_sampling_is_linear(self, ex1):
+        rng = random.Random(3)
+        for _ in range(10):
+            assert sample_linear_strategy(ex1, rng).is_linear()
+
+    def test_single_relation(self, ex1):
+        rng = random.Random(4)
+        s = sample_strategy(ex1, rng, subset=["AB"])
+        assert s.is_leaf
+
+
+class TestUniformity:
+    def test_four_relation_space_covered_uniformly(self, ex1):
+        # 15 trees; 3000 samples => expected 200 each.  A loose band
+        # catches systematic bias without flaking.
+        rng = random.Random(20260704)
+        counts = Counter(sample_strategy(ex1, rng) for _ in range(3000))
+        assert len(counts) == count_all_strategies(4)
+        assert set(counts) == set(all_strategies(ex1))
+        for value in counts.values():
+            assert 120 <= value <= 300
+
+    def test_three_relation_space_covered(self, ex3):
+        rng = random.Random(5)
+        counts = Counter(sample_strategy(ex3, rng) for _ in range(600))
+        assert len(counts) == 3
+        for value in counts.values():
+            assert 120 <= value <= 280
+
+
+class TestCostDistribution:
+    def test_summary_fields(self, ex1):
+        rng = random.Random(6)
+        summary = cost_distribution(ex1, rng, samples=100)
+        assert summary["samples"] == 100
+        assert summary["min"] <= summary["median"] <= summary["max"]
+        assert 0.0 <= summary["within_2x_of_min"] <= 1.0
+
+    def test_min_bounded_by_true_optimum(self, ex1):
+        from repro.optimizer.dp import optimize_dp
+
+        rng = random.Random(7)
+        summary = cost_distribution(ex1, rng, samples=300)
+        assert summary["min"] >= optimize_dp(ex1).cost
+
+    def test_linear_sampler_plugs_in(self, ex1):
+        rng = random.Random(8)
+        summary = cost_distribution(
+            ex1, rng, samples=50, sampler=sample_linear_strategy
+        )
+        assert summary["samples"] == 50

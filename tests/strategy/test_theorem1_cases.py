@@ -1,0 +1,89 @@
+"""Explicit coverage of Theorem 1's two proof cases.
+
+The proof distinguishes Case 1 (``R'`` linked to ``R''``: pluck/graft,
+leaving the linear space) and Case 2 (``E`` linked to ``R''``: leaf
+exchange, staying linear).  These tests construct databases where only
+one case applies and verify the machinery picks it.
+"""
+
+import pytest
+
+from repro import Database, relation
+from repro.strategy.proofs import last_cartesian_product_step, theorem1_improvement
+from repro.strategy.tree import parse_strategy
+
+
+@pytest.fixture
+def case1_only_db():
+    """Schemes AB, CD, BE: strategy ((AB CD) BE)?  We need the last CP
+    step s = [E] x [R'] with parent joining R'' where only R'-R'' are
+    linked.  Take E = {AB}, R' = {CD}, R'' = {DE}: R' and R'' share D;
+    E = AB shares nothing with DE."""
+    return Database(
+        [
+            relation("AB", [(1, 1), (2, 2)], name="RAB"),
+            relation("CD", [(5, 5)], name="RCD"),
+            relation("DE", [(5, 9), (6, 9)], name="RDE"),
+            relation("EF", [(9, 0)], name="REF"),
+        ]
+    )
+
+
+@pytest.fixture
+def case2_only_db():
+    """E = {AB}, R' = {CD}, R'' = {BE}: E and R'' share B; R' = CD shares
+    nothing with BE."""
+    return Database(
+        [
+            relation("AB", [(1, 1), (2, 2)], name="RAB"),
+            relation("CD", [(5, 5)], name="RCD"),
+            relation("BE", [(1, 9)], name="RBE"),
+            relation("DE", [(5, 9)], name="RDE"),
+        ]
+    )
+
+
+class TestCase1:
+    def test_pluck_graft_move_applies(self, case1_only_db):
+        # ((RAB x RCD) ⋈ RDE) ⋈ REF: the CP step joins AB with CD; the
+        # parent joins RDE.  CD-DE are linked, AB-DE are not -> Case 1.
+        s = parse_strategy(case1_only_db, "(((RAB RCD) RDE) REF)")
+        step = last_cartesian_product_step(s)
+        assert step is not None
+        improved = theorem1_improvement(s)
+        assert improved is not None
+        # Case 1 builds (RDE ⋈ RCD) under AB -- the move leaves the linear
+        # space but removes the treated Cartesian product.
+        assert improved != s
+        node = improved.find(["CD", "DE"])
+        assert node is not None  # R' grafted above R''
+
+    def test_resulting_strategy_still_evaluates_correctly(self, case1_only_db):
+        s = parse_strategy(case1_only_db, "(((RAB RCD) RDE) REF)")
+        improved = theorem1_improvement(s)
+        assert improved.state == case1_only_db.evaluate()
+
+
+class TestCase2:
+    def test_exchange_move_applies(self, case2_only_db):
+        # ((RAB x RCD) ⋈ RBE) ⋈ RDE: the CP joins AB-CD; parent joins RBE.
+        # CD-BE are not linked, AB-BE are -> Case 2 (exchange CD and BE).
+        s = parse_strategy(case2_only_db, "(((RAB RCD) RBE) RDE)")
+        improved = theorem1_improvement(s)
+        assert improved is not None
+        assert improved.is_linear()  # Case 2 preserves linearity
+        assert improved == parse_strategy(case2_only_db, "(((RAB RBE) RCD) RDE)")
+
+    def test_exchange_preserves_result(self, case2_only_db):
+        s = parse_strategy(case2_only_db, "(((RAB RCD) RBE) RDE)")
+        improved = theorem1_improvement(s)
+        assert improved.state == case2_only_db.evaluate()
+
+
+class TestBottomStep:
+    def test_two_leaf_cp_step_is_treatable(self, case2_only_db):
+        # The very first step is a CP of two leaves (both children
+        # trivial); the context must still resolve.
+        s = parse_strategy(case2_only_db, "(((RCD RAB) RBE) RDE)")
+        improved = theorem1_improvement(s)
+        assert improved is not None

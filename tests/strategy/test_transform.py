@@ -1,0 +1,135 @@
+"""Tests for pluck/graft/exchange -- the paper's proof surgeries."""
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.schemegraph.scheme import scheme_of
+from repro.strategy.cost import tau_cost
+from repro.strategy.transform import exchange_leaves, graft, pluck, pluck_and_graft
+from repro.strategy.tree import parse_strategy
+
+
+class TestPluck:
+    def test_pluck_leaf(self, ex1):
+        s = parse_strategy(ex1, "(((R1 R2) R3) R4)")
+        plucked = pluck(s, ["DE"])  # remove R3
+        assert plucked.scheme_set == scheme_of(["AB", "BC", "FG"])
+        assert plucked == parse_strategy(ex1, "((R1 R2) R4)")
+
+    def test_pluck_subtree(self, ex1):
+        s = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        plucked = pluck(s, ["DE", "FG"])
+        assert plucked == parse_strategy(ex1, "(R1 R2)")
+
+    def test_pluck_rebuilds_ancestors(self, ex1):
+        # Removing R4 from (((R1 R2) R3) R4) must shrink the root scheme.
+        s = parse_strategy(ex1, "(((R1 R2) R3) R4)")
+        plucked = pluck(s, ["FG"])
+        assert plucked.scheme_set == scheme_of(["AB", "BC", "DE"])
+
+    def test_pluck_root_rejected(self, ex1):
+        s = parse_strategy(ex1, "(R1 R2)")
+        with pytest.raises(StrategyError):
+            pluck(s, s.scheme_set)
+
+    def test_pluck_missing_subtree_rejected(self, ex1):
+        s = parse_strategy(ex1, "(((R1 R2) R3) R4)")
+        with pytest.raises(StrategyError):
+            pluck(s, ["AB", "DE"])  # not a node of s
+
+    def test_pluck_accepts_strategy_argument(self, ex1):
+        s = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        subtree = s.find(scheme_of(["DE", "FG"]))
+        assert pluck(s, subtree) == parse_strategy(ex1, "(R1 R2)")
+
+
+class TestGraft:
+    def test_graft_above_leaf(self, ex1):
+        host = parse_strategy(ex1, "(R1 R2)")
+        donor = parse_strategy(ex1, "(R3 R4)")
+        combined = graft(host, donor, ["AB"])
+        assert combined == parse_strategy(ex1, "((R1 (R3 R4)) R2)")
+
+    def test_graft_above_root(self, ex1):
+        host = parse_strategy(ex1, "(R1 R2)")
+        donor = parse_strategy(ex1, "(R3 R4)")
+        combined = graft(host, donor, host.scheme_set)
+        assert combined == parse_strategy(ex1, "((R1 R2) (R3 R4))")
+
+    def test_graft_overlapping_schemes_rejected(self, ex1):
+        host = parse_strategy(ex1, "(R1 R2)")
+        donor = parse_strategy(ex1, "(R2 R3)")
+        with pytest.raises(StrategyError):
+            graft(host, donor, ["AB"])
+
+    def test_graft_unknown_position_rejected(self, ex1):
+        host = parse_strategy(ex1, "(R1 R2)")
+        donor = parse_strategy(ex1, "(R3 R4)")
+        with pytest.raises(StrategyError):
+            graft(host, donor, ["DE"])
+
+    def test_graft_different_database_rejected(self, ex1, ex3):
+        host = parse_strategy(ex1, "(R1 R2)")
+        donor = parse_strategy(ex3, "(GS SC)")
+        with pytest.raises(StrategyError):
+            graft(host, donor, ["AB"])
+
+    def test_pluck_then_graft_roundtrip(self, ex1):
+        s = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        donor = s.find(scheme_of(["DE", "FG"]))
+        rebuilt = graft(pluck(s, donor), donor, ["AB", "BC"])
+        assert rebuilt == s
+
+
+class TestPluckAndGraft:
+    def test_lemma_style_move(self, ex1):
+        # Move R3 from below the root to above (R1 R2): the Lemma 2 move.
+        s = parse_strategy(ex1, "(((R1 R2) R3) R4)")
+        moved = pluck_and_graft(s, ["DE"], ["AB", "BC"])
+        assert moved == parse_strategy(ex1, "(((R1 R2) R3) R4)")
+
+    def test_move_changes_cost(self, ex1):
+        # Moving R4 from the chain to sit above R3 turns S2 (570) into the
+        # cheaper CP-avoiding S3 (549) -- exactly Example 1's comparison.
+        s = parse_strategy(ex1, "(((R1 R2) R4) R3)")
+        moved = pluck_and_graft(s, ["FG"], ["DE"])
+        assert moved == parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        assert tau_cost(s) == 570
+        assert tau_cost(moved) == 549
+
+    def test_overlapping_positions_rejected(self, ex1):
+        s = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        with pytest.raises(StrategyError):
+            pluck_and_graft(s, ["DE", "FG"], ["FG"])
+
+    def test_missing_subtree_rejected(self, ex1):
+        s = parse_strategy(ex1, "(((R1 R2) R3) R4)")
+        with pytest.raises(StrategyError):
+            pluck_and_graft(s, ["AB", "DE"], ["FG"])
+
+
+class TestExchangeLeaves:
+    def test_theorem1_t2_move(self, ex1):
+        s = parse_strategy(ex1, "(((R1 R3) R2) R4)")
+        swapped = exchange_leaves(s, ["BC"], ["DE"])
+        assert swapped == parse_strategy(ex1, "(((R1 R2) R3) R4)")
+
+    def test_swap_is_involutive(self, ex1):
+        s = parse_strategy(ex1, "(((R1 R3) R2) R4)")
+        twice = exchange_leaves(exchange_leaves(s, ["BC"], ["DE"]), ["BC"], ["DE"])
+        assert twice == s
+
+    def test_non_leaf_rejected(self, ex1):
+        s = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        with pytest.raises(StrategyError):
+            exchange_leaves(s, ["AB", "BC"], ["DE"])
+
+    def test_same_leaf_rejected(self, ex1):
+        s = parse_strategy(ex1, "(R1 R2)")
+        with pytest.raises(StrategyError):
+            exchange_leaves(s, ["AB"], ["AB"])
+
+    def test_absent_leaf_rejected(self, ex1):
+        s = parse_strategy(ex1, "(R1 R2)")
+        with pytest.raises(StrategyError):
+            exchange_leaves(s, ["AB"], ["FG"])

@@ -1,0 +1,146 @@
+"""Tests for strategy-tree construction and the S1-S4 rules."""
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.relational.attributes import attrs
+from repro.schemegraph.scheme import scheme_of
+from repro.strategy.tree import Strategy
+from repro.workloads.paper import example1
+
+
+class TestLeaves:
+    def test_leaf_carries_single_scheme(self, chain3):
+        leaf = Strategy.leaf(chain3, "AB")
+        assert leaf.is_leaf
+        assert leaf.scheme_set == scheme_of(["AB"])
+
+    def test_leaf_state_is_the_relation(self, chain3):
+        leaf = Strategy.leaf(chain3, "AB")
+        assert leaf.state == chain3.state_for("AB")
+        assert leaf.tau == 3
+
+    def test_leaf_requires_known_scheme(self, chain3):
+        with pytest.raises(StrategyError):
+            Strategy.leaf(chain3, "XY")
+
+    def test_trivial_alias(self, chain3):
+        assert Strategy.leaf(chain3, "AB").is_trivial
+
+
+class TestJoinNodes:
+    def test_join_unions_schemes(self, chain3):
+        node = Strategy.join(
+            Strategy.leaf(chain3, "AB"), Strategy.leaf(chain3, "BC")
+        )
+        assert node.scheme_set == scheme_of(["AB", "BC"])
+        assert node.tau == 5
+
+    def test_rule_s3_disjointness_enforced(self, chain3):
+        left = Strategy.join(
+            Strategy.leaf(chain3, "AB"), Strategy.leaf(chain3, "BC")
+        )
+        with pytest.raises(StrategyError):
+            Strategy.join(left, Strategy.leaf(chain3, "AB"))
+
+    def test_children_must_share_database(self, chain3, disconnected_db):
+        with pytest.raises(StrategyError):
+            Strategy.join(
+                Strategy.leaf(chain3, "AB"), Strategy.leaf(disconnected_db, "DE")
+            )
+
+    def test_state_derives_from_database_cache(self, chain3):
+        a = Strategy.join(Strategy.leaf(chain3, "AB"), Strategy.leaf(chain3, "BC"))
+        b = Strategy.join(Strategy.leaf(chain3, "BC"), Strategy.leaf(chain3, "AB"))
+        assert a.state is b.state  # same memoized join
+
+    def test_step_count(self, chain3):
+        full = Strategy.from_spec(chain3, (("R1", "R2"), "R3"))
+        assert full.step_count() == 2
+
+
+class TestEqualityUnorderedChildren:
+    def test_commuted_children_are_equal(self, chain3):
+        a = Strategy.join(Strategy.leaf(chain3, "AB"), Strategy.leaf(chain3, "BC"))
+        b = Strategy.join(Strategy.leaf(chain3, "BC"), Strategy.leaf(chain3, "AB"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_shapes_differ(self, ex1):
+        s_linear = Strategy.from_spec(ex1, ((("R1", "R2"), "R3"), "R4"))
+        s_bushy = Strategy.from_spec(ex1, (("R1", "R2"), ("R3", "R4")))
+        assert s_linear != s_bushy
+
+    def test_strategies_over_different_databases_differ(self):
+        first, second = example1(), example1()
+        a = Strategy.from_spec(first, ("R1", "R2"))
+        b = Strategy.from_spec(second, ("R1", "R2"))
+        assert a != b  # identity of the database matters
+
+
+class TestTraversal:
+    def test_nodes_postorder_children_before_parents(self, ex1):
+        s = Strategy.from_spec(ex1, ((("R1", "R2"), "R3"), "R4"))
+        nodes = list(s.nodes())
+        assert nodes[-1] is s
+        seen = set()
+        for node in nodes:
+            for child in node.children():
+                assert child in seen
+            seen.add(node)
+
+    def test_steps_are_internal_nodes(self, ex1):
+        s = Strategy.from_spec(ex1, ((("R1", "R2"), "R3"), "R4"))
+        assert sum(1 for _ in s.steps()) == 3
+        assert all(not step.is_leaf for step in s.steps())
+
+    def test_leaves(self, ex1):
+        s = Strategy.from_spec(ex1, (("R1", "R2"), ("R3", "R4")))
+        assert sum(1 for _ in s.leaves()) == 4
+
+    def test_find_locates_node(self, ex1):
+        s = Strategy.from_spec(ex1, (("R1", "R2"), ("R3", "R4")))
+        node = s.find(["AB", "BC"])
+        assert node is not None
+        assert node.scheme_set == scheme_of(["AB", "BC"])
+
+    def test_find_missing_returns_none(self, ex1):
+        s = Strategy.from_spec(ex1, (("R1", "R2"), ("R3", "R4")))
+        assert s.find(["AB", "DE"]) is None
+
+
+class TestFromSpec:
+    def test_by_relation_names(self, ex1):
+        s = Strategy.from_spec(ex1, ("R1", "R2"))
+        assert s.scheme_set == scheme_of(["AB", "BC"])
+
+    def test_by_scheme_strings(self, ex1):
+        s = Strategy.from_spec(ex1, ("AB", "BC"))
+        assert s.scheme_set == scheme_of(["AB", "BC"])
+
+    def test_unknown_token_rejected(self, ex1):
+        with pytest.raises(StrategyError):
+            Strategy.from_spec(ex1, ("R1", "R9"))
+
+    def test_non_binary_spec_rejected(self, ex1):
+        with pytest.raises(StrategyError):
+            Strategy.from_spec(ex1, ("R1", "R2", "R3"))
+
+    def test_attribute_set_leaf(self, ex1):
+        s = Strategy.from_spec(ex1, (attrs("AB"), "R2"))
+        assert s.scheme_set == scheme_of(["AB", "BC"])
+
+    def test_unknown_attribute_set_rejected(self, ex1):
+        with pytest.raises(StrategyError):
+            Strategy.from_spec(ex1, (attrs("XY"), "R2"))
+
+
+class TestDescribe:
+    def test_describe_uses_names(self, ex1):
+        s = Strategy.from_spec(ex1, ("R1", "R2"))
+        assert s.describe() == "(R1 ⋈ R2)"
+
+    def test_describe_deterministic_under_commutation(self, ex1):
+        a = Strategy.from_spec(ex1, ("R1", "R2"))
+        b = Strategy.from_spec(ex1, ("R2", "R1"))
+        assert a.describe() == b.describe()

@@ -1,0 +1,51 @@
+"""Tests for ASCII strategy rendering."""
+
+from repro.strategy.tree import Strategy, parse_strategy
+from repro.strategy.visualize import render_steps, render_tree
+
+
+class TestRenderTree:
+    def test_root_is_first_line(self, ex1):
+        s = parse_strategy(ex1, "((R1 R2) (R3 R4))")
+        lines = render_tree(s).splitlines()
+        assert lines[0].startswith("⋈")
+        assert "tau=" in lines[0]
+
+    def test_all_leaves_present(self, ex1):
+        text = render_tree(parse_strategy(ex1, "((R1 R2) (R3 R4))"))
+        for name in ("R1", "R2", "R3", "R4"):
+            assert name in text
+
+    def test_cartesian_product_marker(self, ex1):
+        with_cp = render_tree(parse_strategy(ex1, "((R1 R3) (R2 R4))"))
+        without_cp = render_tree(parse_strategy(ex1, "(R1 R2)"))
+        assert "[×]" in with_cp
+        assert "[×]" not in without_cp
+
+    def test_tau_can_be_hidden(self, ex1):
+        text = render_tree(parse_strategy(ex1, "(R1 R2)"), show_tau=False)
+        assert "tau=" not in text
+
+    def test_box_drawing_structure(self, ex1):
+        text = render_tree(parse_strategy(ex1, "(((R1 R2) R3) R4)"))
+        assert "├──" in text
+        assert "└──" in text
+
+    def test_leaf_rendering(self, ex1):
+        leaf = Strategy.leaf(ex1, "AB")
+        text = render_tree(leaf)
+        assert text.startswith("R1")
+
+
+class TestRenderSteps:
+    def test_example1_arithmetic(self, ex1):
+        s = parse_strategy(ex1, "(((R1 R2) R3) R4)")
+        assert render_steps(s) == "10 + 70 + 490 = 570"
+
+    def test_example4_arithmetic(self, ex4):
+        # The paper: tau(S3) = 6 + 5 = 11.
+        s = parse_strategy(ex4, "((GS CL) SC)")
+        assert render_steps(s) == "6 + 5 = 11"
+
+    def test_trivial_strategy(self, ex1):
+        assert "trivial" in render_steps(Strategy.leaf(ex1, "AB"))

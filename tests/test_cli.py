@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_examples_command(self):
+        args = build_parser().parse_args(["examples"])
+        assert args.command == "examples"
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize"])
+        assert args.shape == "chain"
+        assert args.relations == 5
+        assert args.space == "all"
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize", "--shape", "blob"])
+
+    def test_conditions_requires_example(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["conditions"])
+
+
+class TestExamplesCommand:
+    def test_replays_all_five(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        for lesson in ("Theorem 1", "Theorem 2", "Theorem 3"):
+            assert lesson in out
+        assert "optimum tau=11" in out  # Examples 4 and 5
+
+
+class TestCensusCommand:
+    def test_prints_paper_counts(self, capsys):
+        assert main(["census", "--max-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "15" in out and "12" in out
+
+    def test_respects_max_n(self, capsys):
+        main(["census", "--max-n", "5"])
+        out = capsys.readouterr().out
+        assert "105" in out
+        assert "945" not in out
+
+
+class TestOptimizeCommand:
+    def test_explains_a_plan(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--shape",
+                "chain",
+                "--relations",
+                "4",
+                "--seed",
+                "3",
+                "--size",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "scan R1" in out
+        assert "safe[all]" in out
+
+    def test_space_restriction(self, capsys):
+        main(
+            [
+                "optimize",
+                "--shape",
+                "chain",
+                "--relations",
+                "4",
+                "--space",
+                "linear",
+                "--size",
+                "8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "space: linear" in out
+
+
+class TestConditionsCommand:
+    def test_example5_verdicts(self, capsys):
+        assert main(["conditions", "--example", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "C3  : no" in out
+        assert "C1  : yes" in out
+
+    def test_example4_verdicts(self, capsys):
+        main(["conditions", "--example", "4"])
+        out = capsys.readouterr().out
+        assert "C1  : no" in out
+        assert "C2  : yes" in out
+
+
+class TestSampleCommand:
+    def test_sample_summary(self, capsys):
+        assert main(["sample", "--relations", "4", "--samples", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "within_2x_of_min" in out
+        assert "true optimum" in out
+
+    def test_linear_flag(self, capsys):
+        assert (
+            main(["sample", "--relations", "4", "--samples", "30", "--linear"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "median" in out

@@ -1,0 +1,46 @@
+"""Run the doctest examples embedded in module docstrings.
+
+The docstrings are part of the documentation deliverable; this keeps
+their examples honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.relational.attributes
+
+MODULES_WITH_DOCTESTS = [
+    repro.relational.attributes,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    failures, tested = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert failures == 0
+    assert tested > 0
+
+
+def test_package_quickstart_docstring_runs():
+    """The `repro` package docstring's quickstart block must execute."""
+    import repro
+
+    namespace: dict = {}
+    code_lines = []
+    in_block = False
+    for line in repro.__doc__.splitlines():
+        if line.strip().startswith("from repro import"):
+            in_block = True
+        if in_block:
+            stripped = line.strip()
+            if stripped:
+                code_lines.append(stripped)
+            if stripped.startswith("print("):
+                break
+    source = "\n".join(code_lines)
+    exec(source, namespace)  # noqa: S102 - executing our own documentation
+    assert "db" in namespace
+    assert "s" in namespace

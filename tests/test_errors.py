@@ -1,0 +1,60 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AcyclicityError,
+    DependencyError,
+    OptimizerError,
+    RelationError,
+    ReproError,
+    SchemaError,
+    StrategyError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SchemaError,
+            RelationError,
+            StrategyError,
+            DependencyError,
+            AcyclicityError,
+            OptimizerError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catching_base_catches_subclasses(self):
+        with pytest.raises(ReproError):
+            raise SchemaError("boom")
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_from_docstring(self):
+        # The package docstring's quickstart must actually run.
+        from repro import database, parse_strategy, relation, tau_cost
+
+        db = database(
+            relation("AB", [("p", 0), ("q", 0)], name="R1"),
+            relation("BC", [(0, "w"), (1, "x")], name="R2"),
+            relation("CD", [("w", 7)], name="R3"),
+        )
+        s = parse_strategy(db, "((R1 R2) R3)")
+        assert tau_cost(s) >= 0
+        assert s.is_linear()
+        assert not s.uses_cartesian_products()

@@ -1,0 +1,94 @@
+"""Tests for the plain-text table renderer."""
+
+import pytest
+
+from repro.report import Table, format_bool, render_kv
+
+
+class TestFormatBool:
+    def test_values(self):
+        assert format_bool(True) == "yes"
+        assert format_bool(False) == "no"
+
+
+class TestTable:
+    def test_header_and_rows(self):
+        table = Table(["name", "tau"])
+        table.add_row("S1", 570)
+        table.add_row("S4", 546)
+        text = table.render()
+        assert "name" in text and "tau" in text
+        assert "570" in text and "546" in text
+
+    def test_numeric_columns_right_aligned(self):
+        table = Table(["name", "tau"])
+        table.add_row("x", 5)
+        table.add_row("y", 12345)
+        lines = table.render().splitlines()
+        assert lines[-1].endswith("12345")
+        assert lines[-2].endswith("    5")
+
+    def test_bool_cells_render_yes_no(self):
+        table = Table(["name", "linear"])
+        table.add_row("s", True)
+        assert "yes" in table.render()
+
+    def test_float_formatting(self):
+        table = Table(["ratio"])
+        table.add_row(1.23456)
+        assert "1.235" in table.render()
+
+    def test_none_renders_empty(self):
+        table = Table(["a", "b"])
+        table.add_row("x", None)
+        assert table.render()  # no crash
+
+    def test_title(self):
+        table = Table(["a"], title="Example 1")
+        table.add_row(1)
+        text = table.render()
+        assert text.startswith("Example 1\n=========")
+
+    def test_cell_count_mismatch_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_table_renders_header(self):
+        table = Table(["only"])
+        assert "only" in table.render()
+
+    def test_print_writes_to_stdout(self, capsys):
+        table = Table(["a"])
+        table.add_row(1)
+        table.print()
+        assert "1" in capsys.readouterr().out
+
+
+class TestRenderKV:
+    def test_alignment(self):
+        text = render_kv([("short", 1), ("much longer key", 2)])
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert render_kv([]) == ""
+
+    def test_bool_value(self):
+        assert "yes" in render_kv([("flag", True)])
+
+
+class TestToMarkdown:
+    def test_markdown_structure(self):
+        table = Table(["name", "tau"], title="T")
+        table.add_row("S1", 570)
+        md = table.to_markdown()
+        assert "**T**" in md
+        assert "| name | tau |" in md
+        assert "| --- | --- |" in md
+        assert "| S1 | 570 |" in md
+
+    def test_markdown_without_title(self):
+        table = Table(["a"])
+        table.add_row(1)
+        assert table.to_markdown().startswith("| a |")

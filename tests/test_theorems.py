@@ -1,0 +1,135 @@
+"""Tests for the executable theorem statements.
+
+The paper's examples map exactly onto the reports:
+
+* Example 3 -- Theorem 1 *not applicable* (C1' fails) and the conclusion
+  indeed fails: a tau-optimum linear strategy uses a Cartesian product;
+* Example 4 -- Theorem 2 not applicable (C1 fails) and the conclusion
+  fails: no CP-free strategy is optimum;
+* Example 5 -- Theorem 3 not applicable (C3 fails) and the conclusion
+  fails: no linear strategy is optimum -- while Theorem 2 *is* applicable
+  (C1 and C2 hold) and its conclusion holds.
+"""
+
+import random
+
+from repro.theorems import check_theorem1, check_theorem2, check_theorem3
+from repro.workloads.generators import (
+    chain_scheme,
+    generate_superkey_join_database,
+    star_scheme,
+)
+
+
+class TestTheorem1:
+    def test_example3_shows_necessity_of_strictness(self, ex3):
+        report = check_theorem1(ex3)
+        assert report.hypotheses["connected"]
+        assert report.hypotheses["nonnull"]
+        assert not report.hypotheses["C1'"]
+        assert not report.conclusion  # an optimal linear strategy uses a CP
+        assert not report.violated  # hypotheses fail, so no violation
+
+    def test_superkey_databases_satisfy_and_conclude(self, rng):
+        db = generate_superkey_join_database(chain_scheme(4), rng, size=7)
+        report = check_theorem1(db)
+        # C3 holds on superkey databases; C1' is not implied, so only the
+        # conclusion is guaranteed when C1' happens to hold.
+        if report.applicable:
+            assert report.conclusion
+        assert not report.violated
+
+    def test_report_details(self, ex3):
+        report = check_theorem1(ex3)
+        assert report.details["linear_optimum_cost"] == 7
+        assert report.details["offending"]
+
+
+class TestTheorem2:
+    def test_example4_shows_necessity_of_c1(self, ex4):
+        report = check_theorem2(ex4)
+        assert not report.hypotheses["C1"]
+        assert report.hypotheses["C2"]
+        assert not report.conclusion
+        assert not report.violated
+
+    def test_example5_applicable_and_true(self, ex5):
+        report = check_theorem2(ex5)
+        assert report.applicable
+        assert report.conclusion
+        assert not report.violated
+        assert report.details["optimum_cost"] == 11
+
+    def test_example3_applicable_and_true(self, ex3):
+        # Example 3 satisfies C1; C2 also holds there, and indeed a CP-free
+        # strategy ties the optimum.
+        report = check_theorem2(ex3)
+        if report.applicable:
+            assert report.conclusion
+        assert not report.violated
+
+
+class TestTheorem3:
+    def test_example5_shows_necessity_of_c3(self, ex5):
+        report = check_theorem3(ex5)
+        assert not report.hypotheses["C3"]
+        assert not report.conclusion  # unique optimum is bushy
+        assert not report.violated
+
+    def test_superkey_databases_apply_and_conclude(self):
+        for seed in range(4):
+            rng = random.Random(seed)
+            shape = chain_scheme(4) if seed % 2 == 0 else star_scheme(4)
+            db = generate_superkey_join_database(shape, rng, size=6)
+            report = check_theorem3(db)
+            assert report.hypotheses["C3"], seed
+            assert report.applicable
+            assert report.conclusion
+            assert not report.violated
+
+    def test_witness_is_reported(self, ex5):
+        report = check_theorem3(ex5)
+        assert "⋈" in report.details["witness"]
+
+
+class TestReportMechanics:
+    def test_applicable_is_conjunction(self, ex4):
+        report = check_theorem2(ex4)
+        assert report.applicable == all(report.hypotheses.values())
+
+    def test_repr(self, ex5):
+        text = repr(check_theorem3(ex5))
+        assert "Theorem 3" in text
+        assert "violated=False" in text
+
+    def test_no_theorem_is_ever_violated_on_paper_examples(self, ex1, ex3, ex4, ex5):
+        for db in (ex3, ex4, ex5):  # connected databases
+            for check in (check_theorem1, check_theorem2, check_theorem3):
+                assert not check(db).violated
+
+
+class TestReportDetails:
+    def test_theorem1_details_fields(self, ex3):
+        details = check_theorem1(ex3).details
+        assert set(details) == {
+            "linear_optimum_cost",
+            "optimal_linear_count",
+            "offending",
+        }
+        assert details["optimal_linear_count"] >= 1
+
+    def test_theorem2_details_fields(self, ex5):
+        details = check_theorem2(ex5).details
+        assert details["optimum_cost"] == 11
+        assert "⋈" in details["witness"]
+
+    def test_unconnected_database_fails_connected_hypothesis(self, ex1):
+        report = check_theorem2(ex1)
+        assert report.hypotheses["connected"] is False
+        assert not report.violated
+
+    def test_hypotheses_are_plain_booleans(self, ex4):
+        for check in (check_theorem1, check_theorem2, check_theorem3):
+            report = check(ex4)
+            for value in report.hypotheses.values():
+                assert isinstance(value, bool)

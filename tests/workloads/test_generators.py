@@ -1,0 +1,197 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.relational.attributes import attrs
+from repro.schemegraph.acyclicity import is_alpha_acyclic, is_gamma_acyclic
+from repro.schemegraph.scheme import scheme_of
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    clique_scheme,
+    cycle_scheme,
+    generate_consistent_acyclic_database,
+    generate_database,
+    generate_superkey_join_database,
+    generate_until,
+    random_tree_scheme,
+    star_scheme,
+)
+
+
+class TestSchemeShapes:
+    def test_chain_structure(self):
+        schemes = chain_scheme(3)
+        assert schemes == [attrs("AB"), attrs("BC"), attrs("CD")]
+        assert scheme_of(schemes).is_connected()
+
+    def test_chain_minimum(self):
+        with pytest.raises(ReproError):
+            chain_scheme(0)
+
+    def test_star_structure(self):
+        schemes = star_scheme(4)
+        hub = schemes[0]
+        for satellite in schemes[1:]:
+            assert hub & satellite
+        # Satellites are pairwise unlinked.
+        for i, a in enumerate(schemes[1:]):
+            for b in schemes[i + 2 :]:
+                assert not a & b
+
+    def test_cycle_not_acyclic(self):
+        assert not is_alpha_acyclic(cycle_scheme(4))
+
+    def test_clique_every_pair_linked(self):
+        schemes = clique_scheme(4)
+        for i, a in enumerate(schemes):
+            for b in schemes[i + 1 :]:
+                assert a & b
+
+    def test_random_tree_connected_and_gamma_acyclic(self):
+        rng = random.Random(9)
+        for _ in range(5):
+            schemes = random_tree_scheme(5, rng)
+            assert scheme_of(schemes).is_connected()
+            assert is_gamma_acyclic(schemes)
+
+    def test_shapes_have_distinct_schemes(self):
+        for schemes in (chain_scheme(6), star_scheme(5), cycle_scheme(5), clique_scheme(4)):
+            assert len({frozenset(s) for s in schemes}) == len(schemes)
+
+
+class TestWorkloadSpec:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            WorkloadSpec(size=0)
+        with pytest.raises(ReproError):
+            WorkloadSpec(domain=0)
+        with pytest.raises(ReproError):
+            WorkloadSpec(skew=-1)
+
+    def test_uniform_draws_stay_in_domain(self):
+        spec = WorkloadSpec(domain=5)
+        rng = random.Random(1)
+        values = {spec.draw_value(rng) for _ in range(200)}
+        assert values <= set(range(1, 6))
+
+    def test_zipf_skews_toward_small_values(self):
+        spec = WorkloadSpec(domain=10, skew=1.5)
+        rng = random.Random(2)
+        draws = [spec.draw_value(rng) for _ in range(2000)]
+        assert draws.count(1) > draws.count(10)
+        assert min(draws) >= 1 and max(draws) <= 10
+
+
+class TestGenerateDatabase:
+    def test_respects_scheme(self):
+        rng = random.Random(3)
+        db = generate_database(chain_scheme(3), rng)
+        assert db.scheme == scheme_of(chain_scheme(3))
+
+    def test_sizes_bounded_by_spec(self):
+        rng = random.Random(4)
+        db = generate_database(chain_scheme(3), rng, WorkloadSpec(size=5, domain=100))
+        for rel in db.relations():
+            assert 1 <= rel.tau <= 5
+
+    def test_deterministic_under_seed(self):
+        a = generate_database(chain_scheme(3), random.Random(42))
+        b = generate_database(chain_scheme(3), random.Random(42))
+        for scheme in a.scheme.sorted_schemes():
+            assert a.state_for(scheme) == b.state_for(scheme)
+
+    def test_per_relation_override(self):
+        schemes = chain_scheme(2)
+        rng = random.Random(5)
+        db = generate_database(
+            schemes,
+            rng,
+            WorkloadSpec(size=4, domain=50),
+            per_relation={schemes[0]: WorkloadSpec(size=40, domain=50)},
+        )
+        assert db.state_for(schemes[0]).tau > db.state_for(schemes[1]).tau
+
+
+class TestSuperkeyGenerator:
+    def test_every_column_is_a_key(self):
+        rng = random.Random(6)
+        db = generate_superkey_join_database(chain_scheme(4), rng, size=9)
+        for rel in db.relations():
+            assert rel.tau == 9
+            for attr in rel.scheme.sorted():
+                assert len(rel.project([attr])) == 9
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ReproError):
+            generate_superkey_join_database(chain_scheme(2), random.Random(0), size=0)
+
+
+class TestForeignKeyChain:
+    def test_key_side_columns_are_unique(self):
+        from repro.workloads.generators import generate_foreign_key_chain
+
+        rng = random.Random(11)
+        db = generate_foreign_key_chain(4, rng, size=8)
+        schemes = chain_scheme(4)
+        for scheme in schemes[1:]:
+            rel = db.state_for(scheme)
+            key_attr = sorted(scheme)[0]
+            assert len(rel.project([key_attr])) == len(rel)
+
+    def test_satisfies_c2(self):
+        from repro.conditions.checks import check_c2
+        from repro.workloads.generators import generate_foreign_key_chain
+
+        for seed in range(5):
+            db = generate_foreign_key_chain(4, random.Random(seed), size=8)
+            assert check_c2(db).holds
+
+    def test_left_to_right_joins_never_grow(self):
+        from repro.workloads.generators import generate_foreign_key_chain
+
+        rng = random.Random(12)
+        db = generate_foreign_key_chain(4, rng, size=8)
+        schemes = chain_scheme(4)
+        prefix = [schemes[0]]
+        for scheme in schemes[1:]:
+            before = db.tau_of(prefix)
+            prefix.append(scheme)
+            assert db.tau_of(prefix) <= before
+
+    def test_minimum_length_rejected(self):
+        from repro.workloads.generators import generate_foreign_key_chain
+
+        with pytest.raises(ReproError):
+            generate_foreign_key_chain(0, random.Random(0))
+
+
+class TestConsistentAcyclicGenerator:
+    def test_result_is_nonnull(self, rng):
+        db = generate_consistent_acyclic_database(4, rng)
+        assert db.is_nonnull()
+
+    def test_unsupported_shape_rejected(self, rng):
+        with pytest.raises(ReproError):
+            generate_consistent_acyclic_database(4, rng, shape="cycle")
+
+
+class TestGenerateUntil:
+    def test_accepts_first_try_when_trivial(self, rng):
+        value, tries = generate_until(lambda r: 7, lambda v: True, rng)
+        assert value == 7 and tries == 1
+
+    def test_counts_rejections(self):
+        rng = random.Random(8)
+        value, tries = generate_until(
+            lambda r: r.randint(0, 9), lambda v: v == 3, rng, max_tries=500
+        )
+        assert value == 3
+        assert tries >= 1
+
+    def test_gives_up_after_max_tries(self, rng):
+        with pytest.raises(ReproError):
+            generate_until(lambda r: 0, lambda v: False, rng, max_tries=5)

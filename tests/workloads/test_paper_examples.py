@@ -1,0 +1,162 @@
+"""Every numeric and logical claim the paper makes about Examples 1-5,
+asserted against the shipped databases.  This file is the reproduction's
+core correctness record: each test cites the claim it checks."""
+
+from repro.conditions.checks import (
+    check_c1,
+    check_c1_strict,
+    check_c2,
+    check_c3,
+)
+from repro.optimizer.exhaustive import optimize_exhaustive
+from repro.optimizer.spaces import SearchSpace
+from repro.strategy.cost import step_costs, tau_cost
+from repro.strategy.enumerate import all_strategies, nocp_strategies
+from repro.strategy.tree import parse_strategy
+
+
+class TestExample1:
+    """Section 3, Example 1."""
+
+    def test_relation_sizes(self, ex1):
+        assert ex1.state_for("AB").tau == 4
+        assert ex1.state_for("BC").tau == 4
+        assert ex1.state_for("DE").tau == 7
+        assert ex1.state_for("FG").tau == 7
+
+    def test_r1_join_r2_is_10(self, ex1):
+        assert ex1.tau_of(["AB", "BC"]) == 10
+
+    def test_database_satisfies_c1(self, ex1):
+        assert check_c1(ex1).holds
+
+    def test_exactly_three_cp_avoiding_strategies(self, ex1):
+        assert len(list(nocp_strategies(ex1))) == 3
+
+    def test_published_costs(self, ex1):
+        assert tau_cost(parse_strategy(ex1, "(((R1 R2) R3) R4)")) == 570
+        assert tau_cost(parse_strategy(ex1, "(((R1 R2) R4) R3)")) == 570
+        assert tau_cost(parse_strategy(ex1, "((R1 R2) (R3 R4))")) == 549
+        assert tau_cost(parse_strategy(ex1, "((R1 R3) (R2 R4))")) == 546
+
+    def test_s4_beats_every_cp_avoiding_strategy(self, ex1):
+        s4_cost = tau_cost(parse_strategy(ex1, "((R1 R3) (R2 R4))"))
+        for s in nocp_strategies(ex1):
+            assert s4_cost < tau_cost(s)
+
+    def test_no_cp_avoiding_strategy_is_optimum(self, ex1):
+        optimum = optimize_exhaustive(ex1).cost
+        assert all(tau_cost(s) > optimum for s in nocp_strategies(ex1))
+
+
+class TestExample2:
+    """Section 3, Example 2: C1 and C2 are independent."""
+
+    def test_first_half_c1_without_c2(self, ex1):
+        # tau(R1 ⋈ R2) = 10 > tau(R1) = tau(R2) = 4.
+        assert check_c1(ex1).holds
+        assert not check_c2(ex1).holds
+
+    def test_second_half_sizes(self, ex2):
+        assert ex2.relation_named("R1'").tau == 8
+        assert ex2.relation_named("R2'").tau == 3
+        assert ex2.relation_named("R3'").tau == 2
+
+    def test_second_half_join_counts(self, ex2):
+        # tau(R1' ⋈ R2') = 7 and tau(R2' ⋈ R3') = 6.
+        assert ex2.tau_of(["AB", "BC"]) == 7
+        assert ex2.tau_of(["BC", "DE"]) == 6
+
+    def test_second_half_c2_without_c1(self, ex2):
+        assert check_c2(ex2).holds
+        assert not check_c1(ex2).holds
+
+
+class TestExample3:
+    """Section 4, Example 3: Theorem 1's C1' cannot be relaxed to C1."""
+
+    def test_all_three_first_steps_generate_4_tuples(self, ex3):
+        assert ex3.tau_of(["game student".split(), "student course".split()]) == 4
+        assert ex3.tau_of(["student course".split(), "course laboratory".split()]) == 4
+        assert ex3.tau_of(["game student".split(), "course laboratory".split()]) == 4
+
+    def test_all_three_strategies_tie(self, ex3):
+        costs = {tau_cost(s) for s in all_strategies(ex3)}
+        assert len(costs) == 1
+
+    def test_linear_optimum_with_cartesian_product_exists(self, ex3):
+        s = parse_strategy(ex3, "((GS CL) SC)")
+        assert s.is_linear()
+        assert s.uses_cartesian_products()
+        assert tau_cost(s) == optimize_exhaustive(ex3).cost
+
+    def test_c1_holds_c1_strict_fails(self, ex3):
+        assert check_c1(ex3).holds
+        assert not check_c1_strict(ex3).holds
+
+    def test_nonnull(self, ex3):
+        assert ex3.is_nonnull()
+
+
+class TestExample4:
+    """Section 4, Example 4: Theorem 2 needs C1."""
+
+    def test_published_strategy_costs(self, ex4):
+        s1 = parse_strategy(ex4, "((GS SC) CL)")
+        s2 = parse_strategy(ex4, "(GS (SC CL))")
+        s3 = parse_strategy(ex4, "((GS CL) SC)")
+        assert [c for _, c in step_costs(s1)] == [9, 5]
+        assert [c for _, c in step_costs(s2)] == [7, 5]
+        assert [c for _, c in step_costs(s3)] == [6, 5]
+        assert tau_cost(s1) == 14
+        assert tau_cost(s2) == 12
+        assert tau_cost(s3) == 11
+
+    def test_optimum_uses_cartesian_product(self, ex4):
+        result = optimize_exhaustive(ex4)
+        assert result.cost == 11
+        assert result.strategy.uses_cartesian_products()
+
+    def test_c2_holds_c1_fails(self, ex4):
+        assert check_c2(ex4).holds
+        assert not check_c1(ex4).holds
+
+    def test_cp_free_search_misses_the_optimum(self, ex4):
+        restricted = optimize_exhaustive(ex4, SearchSpace.NOCP)
+        assert restricted.cost > optimize_exhaustive(ex4).cost
+
+
+class TestExample5:
+    """Section 4, Example 5: Theorem 3 needs C3."""
+
+    def test_c3_violation_witness(self, ex5):
+        # tau(CI ⋈ ID) > tau(ID).
+        ci_id = ex5.tau_of(["course instructor".split(), "instructor department".split()])
+        assert ci_id == 4
+        assert ex5.relation_named("ID").tau == 3
+
+    def test_unique_optimum_is_the_bushy_strategy(self, ex5):
+        target = parse_strategy(ex5, "((MS SC) (CI ID))")
+        optimum = optimize_exhaustive(ex5).cost
+        assert tau_cost(target) == optimum == 11
+        ties = [s for s in all_strategies(ex5) if tau_cost(s) == optimum]
+        assert ties == [target]
+
+    def test_optimum_is_nonlinear_and_cp_free(self, ex5):
+        result = optimize_exhaustive(ex5)
+        assert not result.strategy.is_linear()
+        assert not result.strategy.uses_cartesian_products()
+
+    def test_linear_search_misses_the_optimum(self, ex5):
+        linear = optimize_exhaustive(ex5, SearchSpace.LINEAR)
+        assert linear.cost > optimize_exhaustive(ex5).cost
+
+    def test_c1_c2_hold_c3_fails(self, ex5):
+        assert check_c1(ex5).holds
+        assert check_c2(ex5).holds
+        assert not check_c3(ex5).holds
+
+    def test_c1_c2_do_not_imply_c3(self, ex5):
+        # This is the paper's closing observation in Example 5.
+        assert check_c1(ex5).holds and check_c2(ex5).holds
+        assert not check_c3(ex5).holds

@@ -1,0 +1,74 @@
+"""Tests for the paper's Section 2 five-scheme example
+{ABC, BE, DF, CG, GH} -- the running example for components, linkage,
+and the avoids-Cartesian-products definition."""
+
+import pytest
+
+from repro import Database, relation
+from repro.strategy.enumerate import nocp_strategies
+from repro.strategy.tree import parse_strategy
+from repro.workloads.paper import example2_c1_only, example1
+
+
+@pytest.fixture
+def five():
+    return Database(
+        [
+            relation("ABC", [(1, 1, 1), (2, 1, 2)], name="ABC"),
+            relation("BE", [(1, 5), (1, 6)], name="BE"),
+            relation("DF", [(0, 0)], name="DF"),
+            relation("CG", [(1, 7), (2, 7)], name="CG"),
+            relation("GH", [(7, 4)], name="GH"),
+        ]
+    )
+
+
+class TestFiveSchemeStructure:
+    def test_two_components(self, five):
+        components = five.scheme.components()
+        assert len(components) == 2
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 4]
+
+    def test_df_is_isolated(self, five):
+        component = five.scheme.component_of("DF")
+        assert len(component) == 1
+
+    def test_abc_component_spans_cg_gh(self, five):
+        component = five.scheme.component_of("ABC")
+        assert len(component) == 4  # ABC, BE, CG, GH
+
+
+class TestAvoidingStrategiesOnFiveScheme:
+    def test_paper_avoiding_strategy(self, five):
+        s = parse_strategy(five, "(((ABC BE) (CG GH)) DF)")
+        assert s.avoids_cartesian_products()
+        assert len(s.cartesian_product_steps()) == 1
+
+    def test_paper_non_avoiding_strategy(self, five):
+        s = parse_strategy(five, "(((ABC CG) (BE GH)) DF)")
+        assert s.evaluates_components_individually()
+        assert not s.avoids_cartesian_products()
+        assert len(s.cartesian_product_steps()) > 1
+
+    def test_generator_agrees_with_predicate(self, five):
+        from repro.strategy.enumerate import all_strategies
+
+        generated = set(nocp_strategies(five))
+        filtered = {
+            s for s in all_strategies(five) if s.avoids_cartesian_products()
+        }
+        assert generated == filtered
+        assert generated  # nonempty
+
+    def test_every_avoiding_strategy_has_one_cp(self, five):
+        for s in nocp_strategies(five):
+            assert len(s.cartesian_product_steps()) == 1
+
+
+class TestExample2FirstHalfAlias:
+    def test_alias_returns_example1(self):
+        a = example2_c1_only()
+        b = example1()
+        for scheme in a.scheme.sorted_schemes():
+            assert a.state_for(scheme) == b.state_for(scheme)

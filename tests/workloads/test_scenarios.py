@@ -1,0 +1,108 @@
+"""Tests for the scaled university scenarios."""
+
+from repro.schemegraph.acyclicity import is_gamma_acyclic
+from repro.schemegraph.scheme import scheme_of
+from repro.workloads.scenarios import (
+    registrar_database,
+    retail_star_database,
+    university_database,
+)
+
+
+class TestUniversityDatabase:
+    def test_chain_shape(self):
+        db = university_database()
+        assert db.scheme.is_connected()
+        assert is_gamma_acyclic(db.scheme)
+        assert len(db) == 4
+
+    def test_relation_names(self):
+        db = university_database()
+        for name in ("MS", "SC", "CI", "ID"):
+            assert db.relation_named(name)
+
+    def test_deterministic_under_seed(self):
+        a = university_database(seed=5)
+        b = university_database(seed=5)
+        for scheme in a.scheme.sorted_schemes():
+            assert a.state_for(scheme) == b.state_for(scheme)
+
+    def test_different_seeds_differ(self):
+        a = university_database(seed=1)
+        b = university_database(seed=2)
+        assert any(
+            a.state_for(s) != b.state_for(s) for s in a.scheme.sorted_schemes()
+        )
+
+    def test_default_scale_is_nonnull(self):
+        assert university_database().is_nonnull()
+
+    def test_sizes_scale_with_parameters(self):
+        small = university_database(enrollments=10)
+        large = university_database(enrollments=120)
+        assert small.relation_named("SC").tau < large.relation_named("SC").tau
+
+
+class TestRegistrarDatabase:
+    def test_chain_shape(self):
+        db = registrar_database()
+        assert db.scheme.is_connected()
+        assert len(db) == 3
+
+    def test_relation_names(self):
+        db = registrar_database()
+        for name in ("GS", "SC", "CL"):
+            assert db.relation_named(name)
+
+    def test_deterministic_under_seed(self):
+        a = registrar_database(seed=3)
+        b = registrar_database(seed=3)
+        for scheme in a.scheme.sorted_schemes():
+            assert a.state_for(scheme) == b.state_for(scheme)
+
+    def test_every_instructor_scenario_counts(self):
+        db = registrar_database(athletes=8, enrollments=30, lab_courses=5)
+        assert db.relation_named("GS").tau <= 8
+        assert db.relation_named("CL").tau <= 5
+
+
+class TestRetailStarDatabase:
+    def test_star_shape(self):
+        db = retail_star_database()
+        assert db.scheme.is_connected()
+        assert len(db) == 4
+        fact = db.relation_named("SALES").scheme
+        for name in ("PRODUCT", "STORE", "CUSTOMER"):
+            assert db.relation_named(name).scheme & fact
+
+    def test_dimensions_are_keyed(self):
+        from repro.relational.keys import is_superkey_of_relation
+
+        db = retail_star_database()
+        assert is_superkey_of_relation(db.relation_named("PRODUCT"), ["product"])
+        assert is_superkey_of_relation(db.relation_named("STORE"), ["store"])
+        assert is_superkey_of_relation(db.relation_named("CUSTOMER"), ["customer"])
+
+    def test_nonnull_by_construction(self):
+        # Every fact row references existing dimension keys.
+        db = retail_star_database()
+        assert db.is_nonnull()
+        assert db.tau_of() == db.relation_named("SALES").tau
+
+    def test_skew_concentrates_popular_products(self):
+        db = retail_star_database(sales=200, skew=1.5, seed=3)
+        fact = db.relation_named("SALES")
+        counts = {}
+        for row in fact:
+            counts[row["product"]] = counts.get(row["product"], 0) + 1
+        assert max(counts.values()) > min(counts.values())
+
+    def test_deterministic_under_seed(self):
+        a = retail_star_database(seed=9)
+        b = retail_star_database(seed=9)
+        for scheme in a.scheme.sorted_schemes():
+            assert a.state_for(scheme) == b.state_for(scheme)
+
+    def test_zero_skew_supported(self):
+        db = retail_star_database(skew=0.0, seed=4)
+        assert db.is_nonnull()
