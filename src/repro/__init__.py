@@ -18,7 +18,10 @@ The library implements the paper end to end:
 * executable statements of Theorems 1-3 (:mod:`repro.theorems`);
 * the paper's example databases and synthetic workload generators
   (:mod:`repro.workloads`);
-* Section 5's union/intersection strategies (:mod:`repro.settheory`).
+* Section 5's union/intersection strategies (:mod:`repro.settheory`);
+* execution tracing and metrics -- per-step tau spans, optimizer search
+  counters, estimator Q-error telemetry (:mod:`repro.obs`, off by
+  default and free when off).
 
 Quickstart::
 
@@ -81,7 +84,7 @@ from repro.strategy import (
 from repro.query import JoinQuery, Plan
 from repro.theorems import check_theorem1, check_theorem2, check_theorem3
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database",

@@ -6,7 +6,10 @@ Four commands, each a small window onto the reproduction:
 * ``census [--max-n N]`` -- the strategy-space counts of Section 1;
 * ``optimize --shape chain --relations 5 [--seed S] [--space all]`` --
   generate a synthetic database, plan it in a subspace, explain the plan,
-  and print the paper's safety analysis;
+  and print the paper's safety analysis; with ``--trace`` (and optionally
+  ``--trace-json PATH``) the run is recorded through :mod:`repro.obs` and
+  a ``stats`` section, the span tree, and the metric counters are printed
+  (see docs/observability.md);
 * ``conditions --example N`` -- the C1/C1'/C2/C3 verdicts for a paper
   example.
 """
@@ -18,6 +21,8 @@ import random
 import sys
 from typing import List, Optional
 
+import repro.obs as obs
+from repro import __version__
 from repro.conditions.checks import check_condition
 from repro.optimizer.spaces import SearchSpace
 from repro.query import JoinQuery
@@ -64,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of Tay's 'On the Optimality of "
         "Strategies for Multiple Joins'",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("examples", help="replay the paper's Examples 1-5")
@@ -82,6 +90,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--space",
         choices=[s.value for s in SearchSpace],
         default=SearchSpace.ALL.value,
+    )
+    optimize.add_argument(
+        "--trace",
+        action="store_true",
+        help="record the run through repro.obs and print the stats "
+        "section, span tree, and metrics",
+    )
+    optimize.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="write the recorded spans and metrics as JSONL to PATH "
+        "(implies --trace)",
     )
 
     conditions = sub.add_parser(
@@ -137,17 +158,82 @@ def _cmd_census(max_n: int) -> int:
     return 0
 
 
+def _render_stats(plan, profile) -> str:
+    """The ``stats`` summary section of a traced ``optimize`` run."""
+    from repro.optimizer.estimate import aggregate_qerror
+
+    table = Table(
+        ["step", "estimated", "actual", "q-error"],
+        title="stats: estimator Q-error per step",
+    )
+    for entry in profile:
+        table.add_row(entry.step, entry.estimated, entry.actual, entry.q_error)
+    aggregates = aggregate_qerror(profile)
+    lines = [
+        table.render(),
+        "",
+        render_kv(
+            [
+                ("q-error max", aggregates["max"]),
+                ("q-error mean", aggregates["mean"]),
+                ("q-error geometric mean", aggregates["geometric_mean"]),
+                ("plan tau", plan.cost),
+            ]
+        ),
+    ]
+    return "\n".join(lines)
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
+    tracing = args.trace or args.trace_json is not None
     rng = random.Random(args.seed)
     schemes = _SHAPES[args.shape](args.relations)
     db = generate_database(
         schemes, rng, WorkloadSpec(size=args.size, domain=args.domain, skew=args.skew)
     )
     query = JoinQuery(db)
-    plan = query.optimize(SearchSpace(args.space))
-    print(plan.explain())
-    print()
-    print(render_kv(sorted(query.safety_report().items())))
+    if not tracing:
+        plan = query.optimize(SearchSpace(args.space))
+        print(plan.explain())
+        print()
+        print(render_kv(sorted(query.safety_report().items())))
+        return 0
+
+    from repro.optimizer.estimate import qerror_profile
+
+    obs.reset()
+    obs.enable()
+    try:
+        tracer = obs.get_tracer()
+        with tracer.span(
+            "cli.optimize",
+            shape=args.shape,
+            relations=args.relations,
+            space=args.space,
+        ):
+            plan = query.optimize(SearchSpace(args.space))
+            # The paper's per-step accounting, as join.step events ...
+            obs.record_strategy_steps(plan.strategy)
+            # ... and where classical estimation goes wrong on this plan.
+            profile = qerror_profile(db, plan.strategy)
+            safety = query.safety_report()
+        print(plan.explain())
+        print()
+        print(render_kv(sorted(safety.items())))
+        print()
+        print(_render_stats(plan, profile))
+        print()
+        print("trace")
+        print("=====")
+        print(obs.render_span_tree())
+        print()
+        print(obs.render_metrics())
+        if args.trace_json is not None:
+            lines = obs.write_jsonl(args.trace_json)
+            print()
+            print(f"wrote {lines} JSONL records to {args.trace_json}")
+    finally:
+        obs.disable()
     return 0
 
 

@@ -23,6 +23,8 @@ from typing import Callable, List, Tuple
 
 from repro.database import Database
 from repro.errors import ReproError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.schemegraph.scheme import DatabaseScheme
 
 __all__ = [
@@ -86,6 +88,29 @@ class ConditionReport:
         )
 
 
+# Checker telemetry (docs/observability.md): how many quantifier
+# instances each condition actually tested, labeled by condition.
+_TRACER = get_tracer()
+_METRICS = get_registry()
+_PAIRS_TESTED = _METRICS.counter(
+    "conditions.pairs_tested", "quantifier instances tested by the checkers"
+)
+
+
+def _published(report: "ConditionReport") -> "ConditionReport":
+    """Record a finished check as an event + counter when observability
+    is on; always returns the report unchanged."""
+    if _TRACER.enabled:
+        _TRACER.event(
+            "conditions.check",
+            condition=report.condition,
+            instances=report.instances_checked,
+            holds=report.holds,
+        )
+        _PAIRS_TESTED.inc(report.instances_checked, condition=report.condition)
+    return report
+
+
 def _connected_subsets(db: Database) -> List[DatabaseScheme]:
     return list(db.scheme.connected_subsets())
 
@@ -130,8 +155,10 @@ def _check_c1_like(
                 if not ok(lhs, rhs):
                     violations.append(Witness((e, e1, e2), lhs, rhs))
                     if stop_at_first:
-                        return ConditionReport(condition, False, checked, violations)
-    return ConditionReport(condition, not violations, checked, violations)
+                        return _published(
+                            ConditionReport(condition, False, checked, violations)
+                        )
+    return _published(ConditionReport(condition, not violations, checked, violations))
 
 
 def check_c1(db: Database, all_witnesses: bool = False) -> ConditionReport:
@@ -173,8 +200,10 @@ def _check_pairwise(
             if not ok(joined, tau1, tau2):
                 violations.append(Witness((e1, e2, None), joined, (tau1, tau2)))
                 if stop_at_first:
-                    return ConditionReport(condition, False, checked, violations)
-    return ConditionReport(condition, not violations, checked, violations)
+                    return _published(
+                        ConditionReport(condition, False, checked, violations)
+                    )
+    return _published(ConditionReport(condition, not violations, checked, violations))
 
 
 def check_c2(db: Database, all_witnesses: bool = False) -> ConditionReport:

@@ -20,11 +20,23 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.errors import SchemaError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.relational.attributes import AttributeSet, AttrsLike, attrs, format_attrs
 from repro.relational.relation import Relation
 from repro.schemegraph.scheme import DatabaseScheme
 
 __all__ = ["Database", "database"]
+
+# Subset-join cache telemetry (see docs/observability.md).
+_TRACER = get_tracer()
+_METRICS = get_registry()
+_CACHE_HITS = _METRICS.counter(
+    "db.subset_join.cache_hits", "memoized subset joins served from cache"
+)
+_CACHE_MISSES = _METRICS.counter(
+    "db.subset_join.computed", "subset joins actually computed"
+)
 
 
 class Database:
@@ -138,7 +150,21 @@ class Database:
         """
         cached = self._join_cache.get(chosen)
         if cached is not None:
+            if _METRICS.enabled:
+                _CACHE_HITS.inc()
             return cached
+        if _TRACER.enabled:
+            with _TRACER.span("db.join", relations=len(chosen)) as span:
+                result = self._compute_join(chosen)
+                span.set_attribute("tau", len(result))
+            _CACHE_MISSES.inc()
+            self._join_cache[chosen] = result
+            return result
+        result = self._compute_join(chosen)
+        self._join_cache[chosen] = result
+        return result
+
+    def _compute_join(self, chosen: FrozenSet[AttributeSet]) -> Relation:
         if len(chosen) == 1:
             (only,) = chosen
             result = self._relations[only]
@@ -157,7 +183,6 @@ class Database:
                 result = self._join_memo(chosen - {leaf}).join(
                     self._relations[leaf]
                 )
-        self._join_cache[chosen] = result
         return result
 
     @staticmethod

@@ -1,0 +1,113 @@
+"""Observability: execution tracing, metrics, and telemetry export.
+
+The subsystem has three small parts:
+
+* :mod:`repro.obs.trace` -- a nested span tracer with a context-manager
+  API, per-span attributes, and monotonic timings;
+* :mod:`repro.obs.metrics` -- a process-wide registry of counters,
+  gauges, and histograms with label support;
+* :mod:`repro.obs.export` -- JSONL export and human-readable rendering.
+
+Everything is **off by default and free when off**: the singletons are
+created disabled, instrumented hot paths guard on a single flag, and the
+regression tests assert that a default run records nothing.  Turn the
+whole layer on and off together::
+
+    import repro.obs as obs
+
+    obs.enable()
+    ...             # optimizers, joins, checkers now record
+    print(obs.render_span_tree())
+    print(obs.render_metrics())
+    obs.write_jsonl("trace.jsonl")
+    obs.disable()
+
+or scoped::
+
+    with obs.observed():
+        plan = query.optimize()
+
+See docs/observability.md for the span model, metric names, and the
+JSONL schema.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.export import (
+    metrics_to_jsonl,
+    read_jsonl,
+    record_strategy_steps,
+    render_metrics,
+    render_span_tree,
+    spans_to_jsonl,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import Span, Tracer, get_tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "spans_to_jsonl",
+    "metrics_to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "render_span_tree",
+    "render_metrics",
+    "record_strategy_steps",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "observed",
+]
+
+
+def enable() -> None:
+    """Turn on span recording *and* metric collection."""
+    get_tracer().enabled = True
+    get_registry().enabled = True
+
+
+def disable() -> None:
+    """Turn off span recording and metric collection."""
+    get_tracer().enabled = False
+    get_registry().enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether the observability layer is recording (tracer flag)."""
+    return get_tracer().enabled
+
+
+def reset() -> None:
+    """Clear all recorded spans and metric series (flags untouched)."""
+    get_tracer().clear()
+    get_registry().reset()
+
+
+@contextmanager
+def observed():
+    """Enable observability for a ``with`` block, restoring the previous
+    state afterwards (spans/metrics recorded inside are kept)."""
+    tracer, registry = get_tracer(), get_registry()
+    before = (tracer.enabled, registry.enabled)
+    enable()
+    try:
+        yield tracer
+    finally:
+        tracer.enabled, registry.enabled = before

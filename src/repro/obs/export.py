@@ -1,0 +1,169 @@
+"""Exporting and rendering spans and metrics.
+
+Two consumers, two formats:
+
+* machines get **JSONL** -- one JSON object per line, spans first (in
+  completion order) then metric rows, each self-describing via a
+  ``"type"`` field (see docs/observability.md for the schema);
+* humans get plain text -- the span forest indented by parentage with
+  millisecond durations, and metrics through the same
+  :class:`repro.report.Table` every benchmark uses.
+
+:func:`record_strategy_steps` is the bridge from plans to traces: it
+replays a strategy's steps as ``join.step`` events carrying each step's
+tau -- the per-step quantity the paper's whole argument is about.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Span, Tracer, get_tracer
+from repro.report import Table
+
+__all__ = [
+    "spans_to_jsonl",
+    "metrics_to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "render_span_tree",
+    "render_metrics",
+    "record_strategy_steps",
+]
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """Spans as JSONL (one ``{"type": "span", ...}`` object per line)."""
+    return "\n".join(json.dumps(span.to_dict(), sort_keys=True) for span in spans)
+
+
+def metrics_to_jsonl(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry snapshot as JSONL (``{"type": "metric", ...}`` lines)."""
+    chosen = registry if registry is not None else get_registry()
+    return "\n".join(json.dumps(row, sort_keys=True) for row in chosen.snapshot())
+
+
+def write_jsonl(
+    path: str,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> int:
+    """Write all finished spans and metric rows to ``path``; returns the
+    number of lines written."""
+    tracer = tracer if tracer is not None else get_tracer()
+    registry = registry if registry is not None else get_registry()
+    chunks = [
+        text
+        for text in (spans_to_jsonl(tracer.finished_spans()), metrics_to_jsonl(registry))
+        if text
+    ]
+    body = "\n".join(chunks)
+    lines = body.count("\n") + 1 if body else 0
+    with open(path, "w", encoding="utf-8") as handle:
+        if body:
+            handle.write(body + "\n")
+    return lines
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a file written by :func:`write_jsonl` back into dicts."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _format_attributes(attributes: Dict[str, Any]) -> str:
+    parts = []
+    for key in sorted(attributes):
+        value = attributes[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.3f}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_span_tree(spans: Optional[Sequence[Span]] = None) -> str:
+    """The span forest as indented text, children under parents::
+
+        cli.optimize [2.310ms] relations=5 shape=chain
+          optimize.dp [1.920ms] space=all states=31
+            db.join [0.410ms] relations=2 tau=38
+
+    Spans are ordered by start time within each level.
+    """
+    chosen = list(spans if spans is not None else get_tracer().finished_spans())
+    by_parent: Dict[Optional[int], List[Span]] = {}
+    for span in chosen:
+        by_parent.setdefault(span.parent_id, []).append(span)
+    known_ids = {span.span_id for span in chosen}
+    lines: List[str] = []
+
+    def walk(parent_id: Optional[int], depth: int) -> None:
+        for span in sorted(by_parent.get(parent_id, ()), key=lambda s: s.start_ns):
+            attrs_text = _format_attributes(span.attributes)
+            suffix = f" {attrs_text}" if attrs_text else ""
+            lines.append(
+                f"{'  ' * depth}{span.name} "
+                f"[{span.duration_ns / 1e6:.3f}ms]{suffix}"
+            )
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    # Orphans (parent finished in a cleared tracer, etc.) still render.
+    for parent_id in sorted(
+        (p for p in by_parent if p is not None and p not in known_ids),
+        key=lambda p: -1 if p is None else p,
+    ):
+        walk(parent_id, 0)
+    return "\n".join(lines)
+
+
+def render_metrics(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry snapshot as a :class:`repro.report.Table` rendering."""
+    chosen = registry if registry is not None else get_registry()
+    table = Table(["metric", "labels", "value"], title="Metrics")
+    for row in chosen.snapshot():
+        labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+        value = row["value"]
+        if isinstance(value, dict):  # histogram summary
+            value = (
+                f"n={value['count']} mean={value['mean']:.3f} "
+                f"min={value['min']} max={value['max']}"
+            )
+        table.add_row(row["name"], labels, value)
+    return table.render()
+
+
+def record_strategy_steps(strategy, tracer: Optional[Tracer] = None) -> int:
+    """Replay a strategy's steps as ``join.step`` events.
+
+    Each event carries the step's rendering, its output tau, both input
+    taus, and whether the step is a Cartesian product -- the paper's
+    per-step accounting (``tau(S) = sum tau(s_i)``), as a trace.  Accepts
+    any object with the :class:`~repro.strategy.tree.Strategy` traversal
+    surface (``steps()``, ``describe()``, ``tau`` -- duck-typed to keep
+    this package free of strategy imports).  Returns the number of steps
+    recorded (0 when tracing is disabled).
+    """
+    chosen = tracer if tracer is not None else get_tracer()
+    if not chosen.enabled:
+        return 0
+    recorded = 0
+    for step in strategy.steps():
+        chosen.event(
+            "join.step",
+            step=step.describe(),
+            tau=step.tau,
+            left_tau=step.left.tau,
+            right_tau=step.right.tau,
+            cartesian=step.step_uses_cartesian_product(),
+        )
+        recorded += 1
+    return recorded

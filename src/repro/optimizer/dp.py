@@ -29,12 +29,26 @@ from typing import Dict, FrozenSet, Iterator, Optional, Tuple
 
 from repro.database import Database
 from repro.errors import OptimizerError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.optimizer.spaces import OptimizationResult, SearchSpace
 from repro.relational.attributes import AttributeSet
 from repro.schemegraph.scheme import DatabaseScheme
 from repro.strategy.tree import Strategy
 
 __all__ = ["optimize_dp"]
+
+# Search-effort telemetry (docs/observability.md).  The DP keeps its
+# counters as local ints regardless (they cost nothing) and publishes
+# them to the span/registry only when observability is on.
+_TRACER = get_tracer()
+_METRICS = get_registry()
+_STATES = _METRICS.counter("optimizer.dp.states", "DP subproblems expanded")
+_MEMO_HITS = _METRICS.counter("optimizer.dp.memo_hits", "DP memo-table hits")
+_SPLITS = _METRICS.counter("optimizer.dp.splits", "candidate splits evaluated")
+_PRUNED = _METRICS.counter(
+    "optimizer.dp.plans_pruned", "split candidates beaten by a cheaper plan"
+)
 
 SchemeKey = FrozenSet[AttributeSet]
 Entry = Tuple[int, Strategy]  # (cost, strategy)
@@ -110,6 +124,9 @@ def optimize_dp(
         subset_cost = db.tau_of
     memo: Dict[SchemeKey, Optional[Entry]] = {}
     states_solved = 0
+    memo_hits = 0
+    splits_considered = 0
+    plans_pruned = 0
 
     def splits(key: SchemeKey) -> Iterator[Tuple[SchemeKey, SchemeKey]]:
         base = _linear_splits(key) if space.linear_only else _all_splits(key)
@@ -118,8 +135,9 @@ def optimize_dp(
         return base
 
     def best(key: SchemeKey) -> Optional[Entry]:
-        nonlocal states_solved
+        nonlocal states_solved, memo_hits, splits_considered, plans_pruned
         if key in memo:
+            memo_hits += 1
             return memo[key]
         states_solved += 1
         if len(key) == 1:
@@ -129,6 +147,7 @@ def optimize_dp(
             tau_here = subset_cost(key)
             entry = None
             for part1, part2 in splits(key):
+                splits_considered += 1
                 left = best(part1)
                 if left is None:
                     continue
@@ -138,13 +157,28 @@ def optimize_dp(
                 cost = left[0] + right[0] + tau_here
                 if entry is None or cost < entry[0]:
                     entry = (cost, Strategy.join(left[1], right[1]))
+                else:
+                    plans_pruned += 1
         memo[key] = entry
         return entry
 
-    result = best(frozenset(db.scheme.schemes))
-    if result is None:
-        raise OptimizerError(
-            f"the {space.describe()} subspace is empty for {db.scheme}"
-        )
-    cost, strategy = result
+    with _TRACER.span(
+        "optimize.dp", space=space.value, relations=len(db.scheme)
+    ) as span:
+        result = best(frozenset(db.scheme.schemes))
+        if result is None:
+            raise OptimizerError(
+                f"the {space.describe()} subspace is empty for {db.scheme}"
+            )
+        cost, strategy = result
+        span.set_attribute("states", states_solved)
+        span.set_attribute("memo_hits", memo_hits)
+        span.set_attribute("splits", splits_considered)
+        span.set_attribute("pruned", plans_pruned)
+        span.set_attribute("cost", cost)
+    if _METRICS.enabled:
+        _STATES.inc(states_solved, space=space.value)
+        _MEMO_HITS.inc(memo_hits, space=space.value)
+        _SPLITS.inc(splits_considered, space=space.value)
+        _PRUNED.inc(plans_pruned, space=space.value)
     return OptimizationResult(strategy, cost, space, "dp", states_solved)

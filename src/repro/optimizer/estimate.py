@@ -24,9 +24,12 @@ paper's assumption-free conditions.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from repro.database import Database
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.optimizer.dp import optimize_dp
 from repro.optimizer.spaces import SearchSpace
 from repro.relational.attributes import AttributeSet
@@ -37,9 +40,21 @@ __all__ = [
     "CardinalityEstimator",
     "optimize_with_estimates",
     "EstimatedRun",
+    "StepEstimate",
+    "qerror_profile",
+    "aggregate_qerror",
 ]
 
 SchemeKey = FrozenSet[AttributeSet]
+
+# Estimator telemetry (docs/observability.md): per-step estimated-vs-
+# actual tau, surfaced as ``estimate.step`` events and a Q-error
+# histogram so estimation damage can be localized, not just totaled.
+_TRACER = get_tracer()
+_METRICS = get_registry()
+_QERROR = _METRICS.histogram(
+    "estimator.qerror", "per-step Q-error of the cardinality estimator"
+)
 
 
 class ColumnStatistics:
@@ -155,19 +170,117 @@ class EstimatedRun:
         )
 
 
+class StepEstimate:
+    """One step of a strategy, with estimated and actual tau.
+
+    The **Q-error** is the symmetric ratio the cardinality-estimation
+    literature scores estimators by: ``max(est/actual, actual/est)`` with
+    both sides clamped to at least 1 tuple (so empty results do not
+    divide by zero).  1.0 is a perfect estimate; the factor is direction-
+    free, so over- and under-estimation score alike.
+    """
+
+    __slots__ = ("step", "estimated", "actual")
+
+    def __init__(self, step: str, estimated: float, actual: int):
+        self.step = step
+        self.estimated = estimated
+        self.actual = actual
+
+    @property
+    def q_error(self) -> float:
+        """``max(est/actual, actual/est)``, both clamped to >= 1."""
+        est = max(self.estimated, 1.0)
+        act = max(float(self.actual), 1.0)
+        return max(est / act, act / est)
+
+    def __repr__(self) -> str:
+        return (
+            f"<StepEstimate {self.step} est={self.estimated:.1f} "
+            f"actual={self.actual} q={self.q_error:.2f}>"
+        )
+
+
+def qerror_profile(
+    db: Database,
+    strategy,
+    estimator: Optional[CardinalityEstimator] = None,
+) -> List[StepEstimate]:
+    """Estimated-vs-actual tau for every step of ``strategy``.
+
+    When observability is on, each step is also recorded as an
+    ``estimate.step`` event and observed into the ``estimator.qerror``
+    histogram -- this is how traces correlate the paper's conditions with
+    *where* estimation goes wrong.
+    """
+    est = estimator if estimator is not None else CardinalityEstimator.from_database(db)
+    profile: List[StepEstimate] = []
+    record = _TRACER.enabled
+    for step in strategy.steps():
+        entry = StepEstimate(
+            step.describe(),
+            est.estimate(step.scheme_set.schemes),
+            step.tau,
+        )
+        profile.append(entry)
+        if record:
+            _TRACER.event(
+                "estimate.step",
+                step=entry.step,
+                estimated=entry.estimated,
+                actual=entry.actual,
+                q_error=entry.q_error,
+            )
+            _QERROR.observe(entry.q_error)
+    return profile
+
+
+def aggregate_qerror(profile: List[StepEstimate]) -> Dict[str, float]:
+    """Aggregate Q-error of a profile: max, mean, and geometric mean.
+
+    The geometric mean is the natural average for a multiplicative error
+    (a 2x over-estimate and a 2x under-estimate average to 2x, not 2.5x).
+    All three are 1.0 for an empty profile (a trivial strategy).
+    """
+    if not profile:
+        return {"max": 1.0, "mean": 1.0, "geometric_mean": 1.0}
+    errors = [entry.q_error for entry in profile]
+    return {
+        "max": max(errors),
+        "mean": sum(errors) / len(errors),
+        "geometric_mean": math.exp(sum(math.log(e) for e in errors) / len(errors)),
+    }
+
+
 def optimize_with_estimates(
     db: Database,
     space: SearchSpace = SearchSpace.ALL,
     estimator: Optional[CardinalityEstimator] = None,
 ) -> EstimatedRun:
     """Run the subset DP on *estimated* costs and score the chosen plan
-    against the true tau optimum of the same subspace."""
+    against the true tau optimum of the same subspace.
+
+    When observability is on, the chosen plan's per-step Q-error profile
+    is recorded (``estimate.step`` events + the ``estimator.qerror``
+    histogram) and the wrapping ``optimize.estimated`` span carries the
+    aggregate Q-error alongside the believed/true/optimal costs.
+    """
     est = estimator if estimator is not None else CardinalityEstimator.from_database(db)
-    believed = optimize_dp(db, space, subset_cost=lambda key: est.estimate(key))
-    truth = optimize_dp(db, space)
-    return EstimatedRun(
-        chosen=believed.strategy,
-        estimated_cost=believed.cost,
-        true_cost=tau_cost(believed.strategy),
-        optimal_cost=truth.cost,
-    )
+    with _TRACER.span("optimize.estimated", space=space.value) as span:
+        believed = optimize_dp(db, space, subset_cost=lambda key: est.estimate(key))
+        truth = optimize_dp(db, space)
+        run = EstimatedRun(
+            chosen=believed.strategy,
+            estimated_cost=believed.cost,
+            true_cost=tau_cost(believed.strategy),
+            optimal_cost=truth.cost,
+        )
+        if _TRACER.enabled:
+            aggregates = aggregate_qerror(qerror_profile(db, run.chosen, est))
+            span.set_attribute("believed_cost", run.estimated_cost)
+            span.set_attribute("true_cost", run.true_cost)
+            span.set_attribute("optimal_cost", run.optimal_cost)
+            span.set_attribute("regret", run.regret)
+            span.set_attribute("qerror_max", aggregates["max"])
+            span.set_attribute("qerror_geomean", aggregates["geometric_mean"])
+    return run

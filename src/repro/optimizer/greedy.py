@@ -21,12 +21,28 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.database import Database
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.optimizer.spaces import OptimizationResult, SearchSpace
 from repro.schemegraph.scheme import DatabaseScheme
 from repro.strategy.cost import tau_cost
 from repro.strategy.tree import Strategy
 
 __all__ = ["greedy_bushy", "greedy_linear"]
+
+# Search-effort telemetry (docs/observability.md).
+_TRACER = get_tracer()
+_METRICS = get_registry()
+_CANDIDATES = _METRICS.counter(
+    "optimizer.greedy.joins_considered", "candidate joins scored by the greedy passes"
+)
+
+
+def _publish(algorithm: str, span, joins_considered: int, cost: int) -> None:
+    span.set_attribute("joins_considered", joins_considered)
+    span.set_attribute("cost", cost)
+    if _METRICS.enabled:
+        _CANDIDATES.inc(joins_considered, algorithm=algorithm)
 
 
 def _pair_tau(db: Database, left: Strategy, right: Strategy) -> int:
@@ -43,36 +59,41 @@ def greedy_bushy(db: Database, avoid_cartesian_products: bool = True) -> Optimiz
     """
     forest: List[Strategy] = [Strategy.leaf(db, s) for s in db.scheme.sorted_schemes()]
     joins_considered = 0
-    while len(forest) > 1:
-        best_choice: Optional[Tuple[int, int, int, int]] = None
-        for i in range(len(forest)):
-            for j in range(i + 1, len(forest)):
-                linked = forest[i].scheme_set.is_linked_to(forest[j].scheme_set)
-                if avoid_cartesian_products and not linked:
-                    continue
-                joins_considered += 1
-                size = _pair_tau(db, forest[i], forest[j])
-                candidate = (size, i, j, int(not linked))
-                if best_choice is None or candidate < best_choice:
-                    best_choice = candidate
-        if best_choice is None:
-            # No linked pair left: the forest roots are mutually unlinked,
-            # so some Cartesian product is unavoidable; take the cheapest.
+    with _TRACER.span(
+        "optimize.greedy", algorithm="bushy", relations=len(db.scheme)
+    ) as span:
+        while len(forest) > 1:
+            best_choice: Optional[Tuple[int, int, int, int]] = None
             for i in range(len(forest)):
                 for j in range(i + 1, len(forest)):
+                    linked = forest[i].scheme_set.is_linked_to(forest[j].scheme_set)
+                    if avoid_cartesian_products and not linked:
+                        continue
                     joins_considered += 1
                     size = _pair_tau(db, forest[i], forest[j])
-                    candidate = (size, i, j, 1)
+                    candidate = (size, i, j, int(not linked))
                     if best_choice is None or candidate < best_choice:
                         best_choice = candidate
-        assert best_choice is not None
-        _, i, j, _ = best_choice
-        joined = Strategy.join(forest[i], forest[j])
-        forest = [s for k, s in enumerate(forest) if k not in (i, j)]
-        forest.append(joined)
-    strategy = forest[0]
+            if best_choice is None:
+                # No linked pair left: the forest roots are mutually unlinked,
+                # so some Cartesian product is unavoidable; take the cheapest.
+                for i in range(len(forest)):
+                    for j in range(i + 1, len(forest)):
+                        joins_considered += 1
+                        size = _pair_tau(db, forest[i], forest[j])
+                        candidate = (size, i, j, 1)
+                        if best_choice is None or candidate < best_choice:
+                            best_choice = candidate
+            assert best_choice is not None
+            _, i, j, _ = best_choice
+            joined = Strategy.join(forest[i], forest[j])
+            forest = [s for k, s in enumerate(forest) if k not in (i, j)]
+            forest.append(joined)
+        strategy = forest[0]
+        cost = tau_cost(strategy)
+        _publish("bushy", span, joins_considered, cost)
     return OptimizationResult(
-        strategy, tau_cost(strategy), SearchSpace.ALL, "greedy-bushy", joins_considered
+        strategy, cost, SearchSpace.ALL, "greedy-bushy", joins_considered
     )
 
 
@@ -91,37 +112,42 @@ def greedy_linear(db: Database, avoid_cartesian_products: bool = True) -> Optimi
         strategy = leaves[remaining[0]]
         return OptimizationResult(strategy, 0, SearchSpace.LINEAR, "greedy-linear", 0)
 
-    # Seed: the cheapest first join.
-    best_seed: Optional[Tuple[int, int, int, int]] = None
-    for i in range(len(remaining)):
-        for j in range(i + 1, len(remaining)):
-            linked = remaining[i].is_linked_to(remaining[j])
-            joins_considered += 1
-            size = db.tau_of([remaining[i], remaining[j]])
-            not_linked_penalty = int(avoid_cartesian_products and not linked)
-            candidate = (not_linked_penalty, size, i, j)
-            if best_seed is None or candidate < best_seed:
-                best_seed = candidate
-    assert best_seed is not None
-    _, _, i, j = best_seed
-    chain = Strategy.join(leaves[remaining[i]], leaves[remaining[j]])
-    remaining = [s for k, s in enumerate(remaining) if k not in (i, j)]
+    with _TRACER.span(
+        "optimize.greedy", algorithm="linear", relations=len(db.scheme)
+    ) as span:
+        # Seed: the cheapest first join.
+        best_seed: Optional[Tuple[int, int, int, int]] = None
+        for i in range(len(remaining)):
+            for j in range(i + 1, len(remaining)):
+                linked = remaining[i].is_linked_to(remaining[j])
+                joins_considered += 1
+                size = db.tau_of([remaining[i], remaining[j]])
+                not_linked_penalty = int(avoid_cartesian_products and not linked)
+                candidate = (not_linked_penalty, size, i, j)
+                if best_seed is None or candidate < best_seed:
+                    best_seed = candidate
+        assert best_seed is not None
+        _, _, i, j = best_seed
+        chain = Strategy.join(leaves[remaining[i]], leaves[remaining[j]])
+        remaining = [s for k, s in enumerate(remaining) if k not in (i, j)]
 
-    while remaining:
-        best_next: Optional[Tuple[int, int, int]] = None
-        for k, scheme in enumerate(remaining):
-            linked = chain.scheme_set.is_linked_to(DatabaseScheme([scheme]))
-            joins_considered += 1
-            size = db.tau_of(chain.scheme_set.union(DatabaseScheme([scheme])))
-            not_linked_penalty = int(avoid_cartesian_products and not linked)
-            candidate = (not_linked_penalty, size, k)
-            if best_next is None or candidate < best_next:
-                best_next = candidate
-        assert best_next is not None
-        _, _, k = best_next
-        chain = Strategy.join(chain, leaves[remaining[k]])
-        remaining.pop(k)
+        while remaining:
+            best_next: Optional[Tuple[int, int, int]] = None
+            for k, scheme in enumerate(remaining):
+                linked = chain.scheme_set.is_linked_to(DatabaseScheme([scheme]))
+                joins_considered += 1
+                size = db.tau_of(chain.scheme_set.union(DatabaseScheme([scheme])))
+                not_linked_penalty = int(avoid_cartesian_products and not linked)
+                candidate = (not_linked_penalty, size, k)
+                if best_next is None or candidate < best_next:
+                    best_next = candidate
+            assert best_next is not None
+            _, _, k = best_next
+            chain = Strategy.join(chain, leaves[remaining[k]])
+            remaining.pop(k)
 
+        cost = tau_cost(chain)
+        _publish("linear", span, joins_considered, cost)
     return OptimizationResult(
-        chain, tau_cost(chain), SearchSpace.LINEAR, "greedy-linear", joins_considered
+        chain, cost, SearchSpace.LINEAR, "greedy-linear", joins_considered
     )

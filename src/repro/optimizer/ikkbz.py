@@ -31,12 +31,19 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.database import Database
 from repro.errors import OptimizerError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.optimizer.estimate import CardinalityEstimator
 from repro.optimizer.spaces import OptimizationResult, SearchSpace
 from repro.relational.attributes import AttributeSet
 from repro.strategy.tree import Strategy
 
 __all__ = ["ikkbz", "estimated_linear_cost"]
+
+# Search-effort telemetry (docs/observability.md).
+_TRACER = get_tracer()
+_METRICS = get_registry()
+_ROOTS = _METRICS.counter("optimizer.ikkbz.roots", "candidate roots ranked by IKKBZ")
 
 
 class _ChainNode:
@@ -179,16 +186,21 @@ def ikkbz(
         return OptimizationResult(
             Strategy.leaf(db, schemes[0]), 0, SearchSpace.LINEAR, "ikkbz", 1
         )
-    best_order: Optional[List[AttributeSet]] = None
-    best_cost = 0.0
-    for root in schemes:
-        order, cost = _chain_for_root(db, est, adjacency, root)
-        if best_order is None or cost < best_cost:
-            best_order, best_cost = order, cost
-    assert best_order is not None
-    strategy = Strategy.leaf(db, best_order[0])
-    for scheme in best_order[1:]:
-        strategy = Strategy.join(strategy, Strategy.leaf(db, scheme))
+    with _TRACER.span("optimize.ikkbz", relations=len(schemes)) as span:
+        best_order: Optional[List[AttributeSet]] = None
+        best_cost = 0.0
+        for root in schemes:
+            order, cost = _chain_for_root(db, est, adjacency, root)
+            if best_order is None or cost < best_cost:
+                best_order, best_cost = order, cost
+        assert best_order is not None
+        strategy = Strategy.leaf(db, best_order[0])
+        for scheme in best_order[1:]:
+            strategy = Strategy.join(strategy, Strategy.leaf(db, scheme))
+        span.set_attribute("roots", len(schemes))
+        span.set_attribute("estimated_cost", best_cost)
+    if _METRICS.enabled:
+        _ROOTS.inc(len(schemes))
     return OptimizationResult(
         strategy, best_cost, SearchSpace.LINEAR, "ikkbz", len(schemes)
     )

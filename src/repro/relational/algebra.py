@@ -25,9 +25,14 @@ from typing import Callable, Mapping, Tuple
 
 from repro.database import Database
 from repro.errors import RelationError, SchemaError
+from repro.obs.trace import get_tracer
 from repro.relational.attributes import AttributeSet, AttrsLike, attrs, format_attrs
 from repro.relational.relation import Relation, Row
 from repro.strategy.tree import Strategy
+
+# Algebra-evaluation tracing (docs/observability.md); disabled-by-default
+# singleton, one flag check per join/product evaluation.
+_TRACER = get_tracer()
 
 __all__ = [
     "Expression",
@@ -133,7 +138,16 @@ class Join(_Binary):
         return self._left.scheme | self._right.scheme
 
     def evaluate(self, db: Database) -> Relation:
-        return self._left.evaluate(db).join(self._right.evaluate(db))
+        if not _TRACER.enabled:
+            return self._left.evaluate(db).join(self._right.evaluate(db))
+        with _TRACER.span("algebra.join", expr=self.describe()) as span:
+            left = self._left.evaluate(db)
+            right = self._right.evaluate(db)
+            result = left.join(right)
+            span.set_attribute("left_tau", len(left))
+            span.set_attribute("right_tau", len(right))
+            span.set_attribute("out_tau", len(result))
+        return result
 
     def describe(self) -> str:
         return f"({self._left.describe()} ⋈ {self._right.describe()})"
@@ -154,7 +168,16 @@ class Product(_Binary):
         return self._left.scheme | self._right.scheme
 
     def evaluate(self, db: Database) -> Relation:
-        return self._left.evaluate(db).cross(self._right.evaluate(db))
+        if not _TRACER.enabled:
+            return self._left.evaluate(db).cross(self._right.evaluate(db))
+        with _TRACER.span("algebra.product", expr=self.describe()) as span:
+            left = self._left.evaluate(db)
+            right = self._right.evaluate(db)
+            result = left.cross(right)
+            span.set_attribute("left_tau", len(left))
+            span.set_attribute("right_tau", len(right))
+            span.set_attribute("out_tau", len(result))
+        return result
 
     def describe(self) -> str:
         return f"({self._left.describe()} × {self._right.describe()})"

@@ -27,6 +27,8 @@ from typing import Dict, FrozenSet, Iterator, List, Tuple
 
 from repro.database import Database
 from repro.errors import StrategyError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.relational.attributes import AttributeSet
 from repro.schemegraph.scheme import DatabaseScheme
 from repro.strategy.tree import Strategy
@@ -42,6 +44,32 @@ __all__ = [
 ]
 
 SchemeKey = FrozenSet[AttributeSet]
+
+# Enumeration telemetry (docs/observability.md): how many strategies
+# each subspace generator actually yields, labeled by subspace.
+_TRACER = get_tracer()
+_METRICS = get_registry()
+_ENUMERATED = _METRICS.counter(
+    "strategy.enumerated", "strategies yielded by the subspace generators"
+)
+
+
+def _counted(source: Iterator[Strategy], space: str) -> Iterator[Strategy]:
+    """Wrap a generator so its yield count is published when observability
+    is on (one flag check per call, not per yield, when off)."""
+    if not _TRACER.enabled:
+        yield from source
+        return
+    with _TRACER.span("strategy.enumerate", space=space) as span:
+        count = 0
+        try:
+            for strategy in source:
+                count += 1
+                yield strategy
+        finally:
+            # Publish even when the consumer abandons the generator early.
+            span.set_attribute("strategies", count)
+            _ENUMERATED.inc(count, space=space)
 
 
 def _subset_key(db: Database, subset) -> SchemeKey:
@@ -67,12 +95,7 @@ def _splits(schemes: Tuple[AttributeSet, ...]) -> Iterator[Tuple[Tuple[Attribute
                 yield part1, part2
 
 
-def all_strategies(db: Database, subset=None) -> Iterator[Strategy]:
-    """Every strategy for the database (or for a subset of its schemes).
-
-    Enumerates ``(2n-3)!!`` trees; results within one call are memoized
-    per scheme subset so shared substrategies are built once.
-    """
+def _iter_all(db: Database, subset=None) -> Iterator[Strategy]:
     memo: Dict[SchemeKey, Tuple[Strategy, ...]] = {}
 
     def build(key: SchemeKey) -> Tuple[Strategy, ...]:
@@ -95,8 +118,7 @@ def all_strategies(db: Database, subset=None) -> Iterator[Strategy]:
     yield from build(_subset_key(db, subset))
 
 
-def linear_strategies(db: Database, subset=None) -> Iterator[Strategy]:
-    """Every linear strategy: ``n!/2`` trees for ``n >= 2`` relations."""
+def _iter_linear(db: Database, subset=None) -> Iterator[Strategy]:
     key = _subset_key(db, subset)
     ordered = tuple(sorted(key, key=lambda s: s.sorted()))
     if len(ordered) == 1:
@@ -146,15 +168,7 @@ def _connected_strategies(db: Database, key: SchemeKey,
     return result
 
 
-def nocp_strategies(db: Database, subset=None) -> Iterator[Strategy]:
-    """Every strategy that *avoids Cartesian products* (paper, Section 2).
-
-    For a connected scheme this is exactly the CP-free ("connected")
-    strategies; for an unconnected scheme, each component is evaluated
-    individually by a CP-free substrategy and the component results are
-    combined by every possible binary tree of the unavoidable Cartesian
-    products.
-    """
+def _iter_nocp(db: Database, subset=None) -> Iterator[Strategy]:
     key = _subset_key(db, subset)
     scheme = DatabaseScheme(key)
     components = scheme.components()
@@ -190,11 +204,37 @@ def nocp_strategies(db: Database, subset=None) -> Iterator[Strategy]:
         yield from combine(tuple(assignment))
 
 
+def all_strategies(db: Database, subset=None) -> Iterator[Strategy]:
+    """Every strategy for the database (or for a subset of its schemes).
+
+    Enumerates ``(2n-3)!!`` trees; results within one call are memoized
+    per scheme subset so shared substrategies are built once.
+    """
+    return _counted(_iter_all(db, subset), "all")
+
+
+def linear_strategies(db: Database, subset=None) -> Iterator[Strategy]:
+    """Every linear strategy: ``n!/2`` trees for ``n >= 2`` relations."""
+    return _counted(_iter_linear(db, subset), "linear")
+
+
+def nocp_strategies(db: Database, subset=None) -> Iterator[Strategy]:
+    """Every strategy that *avoids Cartesian products* (paper, Section 2).
+
+    For a connected scheme this is exactly the CP-free ("connected")
+    strategies; for an unconnected scheme, each component is evaluated
+    individually by a CP-free substrategy and the component results are
+    combined by every possible binary tree of the unavoidable Cartesian
+    products.
+    """
+    return _counted(_iter_nocp(db, subset), "nocp")
+
+
 def linear_nocp_strategies(db: Database, subset=None) -> Iterator[Strategy]:
     """Every strategy that is linear *and* avoids Cartesian products."""
-    for strategy in nocp_strategies(db, subset):
-        if strategy.is_linear():
-            yield strategy
+    return _counted(
+        (s for s in _iter_nocp(db, subset) if s.is_linear()), "linear_nocp"
+    )
 
 
 def strategies_in_space(
@@ -210,14 +250,15 @@ def strategies_in_space(
     combined (System R's subspace).
     """
     if avoid_cartesian_products:
-        source = nocp_strategies(db, subset)
+        source = _iter_nocp(db, subset)
         if linear:
-            source = (s for s in source if s.is_linear())
-        yield from source
-    elif linear:
-        yield from linear_strategies(db, subset)
-    else:
-        yield from all_strategies(db, subset)
+            return _counted(
+                (s for s in source if s.is_linear()), "linear_nocp"
+            )
+        return _counted(source, "nocp")
+    if linear:
+        return _counted(_iter_linear(db, subset), "linear")
+    return _counted(_iter_all(db, subset), "all")
 
 
 def count_all_strategies(n: int) -> int:

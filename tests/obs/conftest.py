@@ -1,0 +1,16 @@
+"""Isolation for observability tests: every test starts with the
+process-wide tracer and registry disabled and empty, and leaves them
+that way -- the zero-by-default contract the rest of the suite relies on."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,143 @@
+"""The metrics registry: counters, gauges, histograms, labels, snapshots."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("work.done")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labels_are_independent_series(self, registry):
+        c = registry.counter("states")
+        c.inc(17, space="linear")
+        c.inc(23, space="all")
+        c.inc(1, space="all")
+        assert c.value(space="linear") == 17
+        assert c.value(space="all") == 24
+        assert c.value(space="nocp") is None
+
+    def test_label_order_is_irrelevant(self, registry):
+        c = registry.counter("pairs")
+        c.inc(2, a=1, b=2)
+        c.inc(3, b=2, a=1)
+        assert c.value(a=1, b=2) == 5
+
+    def test_negative_amount_rejected(self, registry):
+        c = registry.counter("mono")
+        with pytest.raises(ReproError):
+            c.inc(-1)
+
+    def test_noop_when_registry_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("quiet")
+        c.inc(100)
+        assert c.value() is None
+        assert c.series() == {}
+
+
+class TestGauge:
+    def test_last_write_wins(self, registry):
+        g = registry.gauge("depth")
+        g.set(3)
+        g.set(1)
+        assert g.value() == 1
+
+    def test_noop_when_disabled(self):
+        g = MetricsRegistry(enabled=False).gauge("quiet")
+        g.set(9)
+        assert g.value() is None
+
+
+class TestHistogram:
+    def test_summary_statistics(self, registry):
+        h = registry.histogram("qerror")
+        for v in (1.0, 4.0, 2.0):
+            h.observe(v)
+        summary = h.value()
+        assert summary.count == 3
+        assert summary.total == 7.0
+        assert summary.min == 1.0
+        assert summary.max == 4.0
+        assert summary.mean == pytest.approx(7.0 / 3.0)
+        assert summary.to_dict() == {
+            "count": 3,
+            "sum": 7.0,
+            "min": 1.0,
+            "max": 4.0,
+            "mean": pytest.approx(7.0 / 3.0),
+        }
+
+    def test_noop_when_disabled(self):
+        h = MetricsRegistry(enabled=False).histogram("quiet")
+        h.observe(1.0)
+        assert h.value() is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("taken")
+        with pytest.raises(ReproError):
+            registry.gauge("taken")
+
+    def test_instruments_sorted_by_name(self, registry):
+        registry.counter("b")
+        registry.gauge("a")
+        assert [i.name for i in registry.instruments()] == ["a", "b"]
+
+    def test_snapshot_rows(self, registry):
+        registry.counter("joins").inc(3, kind="hash")
+        registry.histogram("qerror").observe(2.0)
+        rows = registry.snapshot()
+        assert rows == [
+            {
+                "type": "metric",
+                "kind": "counter",
+                "name": "joins",
+                "labels": {"kind": "hash"},
+                "value": 3,
+            },
+            {
+                "type": "metric",
+                "kind": "histogram",
+                "name": "qerror",
+                "labels": {},
+                "value": {
+                    "count": 1,
+                    "sum": 2.0,
+                    "min": 2.0,
+                    "max": 2.0,
+                    "mean": 2.0,
+                },
+            },
+        ]
+
+    def test_reset_clears_series_keeps_registrations(self, registry):
+        c = registry.counter("kept")
+        c.inc(5)
+        registry.reset()
+        assert c.value() is None
+        assert registry.counter("kept") is c
+
+    def test_process_registry_disabled_by_default_and_stable(self):
+        assert get_registry() is get_registry()
+        assert not get_registry().enabled

@@ -1,13 +1,40 @@
 """Tests for the tau cost measure and its variants, against the paper's
 published arithmetic."""
 
+from hypothesis import given, settings, strategies as st
+
+from repro.database import Database
+from repro.relational.relation import Relation, Row
 from repro.strategy.cost import (
     max_intermediate_cost,
     step_costs,
     tau_cost,
     tau_cost_excluding_root,
 )
+from repro.strategy.enumerate import all_strategies
 from repro.strategy.tree import Strategy, parse_strategy
+from repro.workloads.generators import chain_scheme, star_scheme
+
+_SHAPES = {
+    "chain3": chain_scheme(3),
+    "chain4": chain_scheme(4),
+    "star4": star_scheme(4),
+}
+
+
+@st.composite
+def small_database(draw):
+    """A random nonempty database over one of the fixed small shapes."""
+    shape = _SHAPES[draw(st.sampled_from(sorted(_SHAPES)))]
+    relations = []
+    for index, scheme in enumerate(shape):
+        names = sorted(scheme)
+        row = st.fixed_dictionaries({a: st.integers(0, 2) for a in names})
+        dicts = draw(st.lists(row, min_size=1, max_size=5))
+        relations.append(
+            Relation(scheme, (Row(d) for d in dicts), name=f"R{index + 1}")
+        )
+    return Database(relations)
 
 
 class TestPaperArithmetic:
@@ -71,3 +98,38 @@ class TestCostVariants:
         s4 = parse_strategy(ex1, "((R1 R3) (R2 R4))")
         assert tau_cost(s4) < tau_cost(s3)
         assert max_intermediate_cost(s4) == max_intermediate_cost(s3)
+
+
+class TestCostProperties:
+    """Property-based invariants of the cost measures (hypothesis)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(db=small_database())
+    def test_tau_cost_is_sum_of_step_costs(self, db):
+        for s in all_strategies(db):
+            assert tau_cost(s) == sum(t for _, t in step_costs(s))
+
+    @settings(max_examples=25, deadline=None)
+    @given(db=small_database())
+    def test_excluding_root_never_changes_the_argmin(self, db):
+        strategies = list(all_strategies(db))
+        full_best = min(tau_cost(s) for s in strategies)
+        reduced_best = min(tau_cost_excluding_root(s) for s in strategies)
+        full_winners = {
+            s.describe() for s in strategies if tau_cost(s) == full_best
+        }
+        reduced_winners = {
+            s.describe()
+            for s in strategies
+            if tau_cost_excluding_root(s) == reduced_best
+        }
+        # Every strategy produces the same final state, so subtracting the
+        # root's (strategy-independent) size shifts all costs equally.
+        assert full_winners == reduced_winners
+
+    @settings(max_examples=25, deadline=None)
+    @given(db=small_database())
+    def test_excluding_root_is_a_constant_shift(self, db):
+        root_tau = len(db.evaluate())
+        for s in all_strategies(db):
+            assert tau_cost(s) - tau_cost_excluding_root(s) == root_tau

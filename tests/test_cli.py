@@ -1,7 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+import repro.obs as obs
+from repro import __version__
 from repro.cli import build_parser, main
 
 
@@ -27,6 +31,17 @@ class TestParser:
     def test_conditions_requires_example(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["conditions"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_trace_flags_default_off(self):
+        args = build_parser().parse_args(["optimize"])
+        assert args.trace is False
+        assert args.trace_json is None
 
 
 class TestExamplesCommand:
@@ -88,6 +103,48 @@ class TestOptimizeCommand:
         )
         out = capsys.readouterr().out
         assert "space: linear" in out
+
+
+class TestTracedOptimize:
+    _BASE = ["optimize", "--shape", "chain", "--relations", "4", "--size", "10"]
+
+    def test_trace_prints_stats_and_span_tree(self, capsys):
+        assert main(self._BASE + ["--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "stats: estimator Q-error per step" in out
+        assert "q-error geometric mean" in out
+        assert "trace\n=====" in out
+        assert "cli.optimize" in out
+        assert "join.step" in out
+        assert "Metrics" in out
+        assert "optimizer.dp.states" in out
+
+    def test_trace_leaves_observability_off_afterwards(self):
+        main(self._BASE + ["--trace"])
+        assert not obs.is_enabled()
+
+    def test_trace_json_writes_valid_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(self._BASE + ["--trace-json", str(path)]) == 0
+        assert f"JSONL records to {path}" in capsys.readouterr().out
+        records = [
+            json.loads(line) for line in path.read_text().splitlines() if line
+        ]
+        assert records
+        spans = [r for r in records if r["type"] == "span"]
+        metrics = [r for r in records if r["type"] == "metric"]
+        assert len(spans) + len(metrics) == len(records)
+        names = {s["name"] for s in spans}
+        # Root span, optimizer search, per-step tau, and estimator Q-error
+        # are all on the wire.
+        assert {"cli.optimize", "optimize.dp", "join.step", "estimate.step"} <= names
+        assert any(m["name"] == "estimator.qerror" for m in metrics)
+
+    def test_untraced_run_prints_no_trace_section(self, capsys):
+        main(self._BASE)
+        out = capsys.readouterr().out
+        assert "trace\n=====" not in out
+        assert "stats:" not in out
 
 
 class TestConditionsCommand:
