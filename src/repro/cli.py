@@ -24,6 +24,7 @@ from typing import List, Optional
 import repro.obs as obs
 from repro import __version__
 from repro.conditions.checks import check_condition
+from repro.relational.columnar import set_kernel_enabled
 from repro.optimizer.spaces import SearchSpace
 from repro.query import JoinQuery
 from repro.report import Table, render_kv
@@ -71,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["columnar", "legacy"],
+        default="columnar",
+        help="relational execution engine: the columnar join kernel "
+        "(default) or the legacy row-at-a-time paths "
+        "(see docs/performance.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -269,6 +278,7 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    set_kernel_enabled(args.engine != "legacy")
     if args.command == "examples":
         return _cmd_examples()
     if args.command == "census":

@@ -8,8 +8,9 @@ single subset join::
 
     tau(R_E |><| R_E1)  ==  tau(R_{E ∪ E1})
 
-so all the arithmetic routes through the database's memoized subset-join
-cache and repeated checks are cheap.
+so all the arithmetic routes through :meth:`Database.tau_of` -- the
+tau-only path that counts subset joins without materializing them and
+caches the counts (docs/performance.md) -- and repeated checks are cheap.
 
 The checkers return a :class:`ConditionReport` carrying the verdict, the
 number of instances checked, and -- when the condition fails -- concrete
@@ -138,7 +139,11 @@ def _check_c1_like(
     stop_at_first: bool,
 ) -> ConditionReport:
     """Shared body of C1 and C1': quantify over disjoint connected
-    ``(E, E1, E2)`` with ``E`` linked to ``E1`` but not to ``E2``."""
+    ``(E, E1, E2)`` with ``E`` linked to ``E1`` but not to ``E2``.
+
+    ``lhs = tau(R_E ⋈ R_E1)`` is independent of ``E2``, so it is computed
+    lazily once per ``(E, E1)`` rather than inside the innermost loop.
+    """
     connected = _connected_subsets(db)
     checked = 0
     violations: List[Witness] = []
@@ -146,11 +151,13 @@ def _check_c1_like(
         for e1 in connected:
             if not _disjoint(e, e1) or not e.is_linked_to(e1):
                 continue
+            lhs = None
             for e2 in connected:
                 if not _disjoint(e, e1, e2) or e.is_linked_to(e2):
                     continue
                 checked += 1
-                lhs = _tau_join(db, e, e1)
+                if lhs is None:
+                    lhs = _tau_join(db, e, e1)
                 rhs = _tau_join(db, e, e2)
                 if not ok(lhs, rhs):
                     violations.append(Witness((e, e1, e2), lhs, rhs))
@@ -184,18 +191,21 @@ def _check_pairwise(
     ``(E1, E2)`` and compare ``tau(R_E1 ⋈ R_E2)`` with the operand sizes.
 
     The conditions are symmetric in ``E1, E2``, so unordered pairs are
-    checked once.
+    checked once.  ``tau(R_E1)`` is independent of ``E2`` and hoisted
+    (lazily) out of the inner loop.
     """
     connected = _connected_subsets(db)
     checked = 0
     violations: List[Witness] = []
     for i, e1 in enumerate(connected):
+        tau1 = None
         for e2 in connected[i + 1 :]:
             if not _disjoint(e1, e2) or not e1.is_linked_to(e2):
                 continue
             checked += 1
+            if tau1 is None:
+                tau1 = db.tau_of(e1)
             joined = _tau_join(db, e1, e2)
-            tau1 = db.tau_of(e1)
             tau2 = db.tau_of(e2)
             if not ok(joined, tau1, tau2):
                 violations.append(Witness((e1, e2, None), joined, (tau1, tau2)))

@@ -7,8 +7,23 @@ every other subsystem needs:
 * ``R_E`` -- the natural join of the states of a subset ``E ⊆ D``
   (:meth:`Database.join_of`), memoized because the condition checkers and
   exhaustive optimizers evaluate it for many overlapping subsets;
-* ``tau(R_E)`` (:meth:`Database.tau_of`);
+* ``tau(R_E)`` (:meth:`Database.tau_of`), served by a **tau-only path**
+  that counts the join without materializing it whenever it can;
 * sub-databases (:meth:`Database.restrict`).
+
+The tau-only path (docs/performance.md): ``tau_of`` first consults the
+join memo and a separate bounded tau-cache.  On a miss it routes by
+shape -- a singleton subset is just ``len(state)``; an unconnected subset
+is the product of its components' taus (its join *is* their Cartesian
+product); a connected alpha-acyclic subset is counted by a Yannakakis
+weighted sweep over a join tree (each relation's tuples start with weight
+1; sweeping leaf-to-root, a parent tuple's weight is multiplied by the
+summed weights of the child tuples it joins with, and parents with no
+match drop out -- the running intersection property makes tree-local
+agreement imply global consistency, so the root weights sum to the exact
+join cardinality).  Only genuinely cyclic connected subsets fall back to
+materializing the join.  Counts survive join-cache eviction: evicted
+results leave their cardinality behind in the tau-cache.
 
 The paper's relation schemes within one database are distinct sets of
 attributes, and we enforce that; display names are carried by the
@@ -17,18 +32,35 @@ relations for readable strategies.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+from collections import OrderedDict
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
-from repro.errors import SchemaError
+from repro.errors import AcyclicityError, SchemaError
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.relational.attributes import AttributeSet, AttrsLike, attrs, format_attrs
+from repro.relational.columnar import _picker
 from repro.relational.relation import Relation
+from repro.schemegraph.jointree import build_join_tree
 from repro.schemegraph.scheme import DatabaseScheme
 
 __all__ = ["Database", "database"]
 
-# Subset-join cache telemetry (see docs/observability.md).
+# Subset-join cache telemetry (see docs/observability.md).  The hit/miss
+# counters cover both the join memo and the tau-cache: a tau-cache hit is
+# a memoized subset join served without recomputation.
 _TRACER = get_tracer()
 _METRICS = get_registry()
 _CACHE_HITS = _METRICS.counter(
@@ -38,13 +70,81 @@ _CACHE_MISSES = _METRICS.counter(
     "db.subset_join.computed", "subset joins actually computed"
 )
 
+_K = TypeVar("_K")
+_V = TypeVar("_V")
+
+#: Key type of the subset caches.
+SubsetKey = FrozenSet[AttributeSet]
+
+
+class _BoundedCache(Generic[_K, _V]):
+    """A small LRU cache; ``capacity=None`` means unbounded.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used
+    entry past capacity, handing each evicted pair to ``on_evict`` (the
+    join memo uses this to leave the evicted result's tau behind in the
+    tau-cache).
+    """
+
+    __slots__ = ("_data", "_capacity", "_on_evict")
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        on_evict: Optional[Callable[[_K, _V], None]] = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("cache capacity must be a positive int or None")
+        self._data: "OrderedDict[_K, _V]" = OrderedDict()
+        self._capacity = capacity
+        self._on_evict = on_evict
+
+    def get(self, key: _K, default: Optional[_V] = None) -> Optional[_V]:
+        data = self._data
+        value = data.get(key, default)
+        if value is not default and self._capacity is not None:
+            data.move_to_end(key)
+        return value
+
+    def put(self, key: _K, value: _V) -> None:
+        data = self._data
+        data[key] = value
+        if self._capacity is not None:
+            data.move_to_end(key)
+            while len(data) > self._capacity:
+                evicted_key, evicted_value = data.popitem(last=False)
+                if self._on_evict is not None:
+                    self._on_evict(evicted_key, evicted_value)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def values(self) -> Iterable[_V]:
+        return self._data.values()
+
+    def items(self) -> Iterable[Tuple[_K, _V]]:
+        return self._data.items()
+
 
 class Database:
     """An immutable database: one relation state per relation scheme."""
 
-    __slots__ = ("_relations", "_scheme", "_join_cache")
+    __slots__ = ("_relations", "_scheme", "_join_cache", "_tau_cache")
 
-    def __init__(self, relations: Iterable[Relation]):
+    #: Default bound of the tau-cache.  Counts are a single int per subset,
+    #: so the bound exists only to keep pathological enumerations in check.
+    DEFAULT_TAU_CACHE_SIZE = 65536
+
+    def __init__(
+        self,
+        relations: Iterable[Relation],
+        *,
+        join_cache_size: Optional[int] = None,
+        tau_cache_size: Optional[int] = DEFAULT_TAU_CACHE_SIZE,
+    ):
         relations = tuple(relations)
         if not relations:
             raise SchemaError("a database must contain at least one relation")
@@ -61,7 +161,15 @@ class Database:
         self._relations = by_scheme
         self._scheme = DatabaseScheme(by_scheme)
         # Memo: frozenset of relation schemes -> joined relation state.
-        self._join_cache: Dict[FrozenSet[AttributeSet], Relation] = {}
+        # Evicted joins leave their cardinality behind in the tau-cache so
+        # tau_of never recomputes a count it once knew.
+        self._tau_cache: _BoundedCache[SubsetKey, int] = _BoundedCache(
+            tau_cache_size
+        )
+        self._join_cache: _BoundedCache[SubsetKey, Relation] = _BoundedCache(
+            join_cache_size,
+            on_evict=lambda key, rel: self._tau_cache.put(key, len(rel)),
+        )
 
     # -- constructors -----------------------------------------------------------
 
@@ -114,13 +222,9 @@ class Database:
 
     # -- joins -------------------------------------------------------------------
 
-    def join_of(self, subset: Optional[Iterable[AttrsLike]] = None) -> Relation:
-        """``R_E``: the natural join of the states of ``E ⊆ D``.
-
-        ``subset=None`` joins the whole database (``R_D``).  Results are
-        memoized per subset; the memo is filled recursively so overlapping
-        subsets share work.
-        """
+    def _resolve_subset(
+        self, subset: Optional[Iterable[AttrsLike]]
+    ) -> SubsetKey:
         if subset is None:
             chosen = frozenset(self._scheme.schemes)
         elif isinstance(subset, DatabaseScheme):
@@ -135,9 +239,18 @@ class Database:
             )
         if not chosen:
             raise SchemaError("cannot join an empty subset of relations")
-        return self._join_memo(chosen)
+        return chosen
 
-    def _join_memo(self, chosen: FrozenSet[AttributeSet]) -> Relation:
+    def join_of(self, subset: Optional[Iterable[AttrsLike]] = None) -> Relation:
+        """``R_E``: the natural join of the states of ``E ⊆ D``.
+
+        ``subset=None`` joins the whole database (``R_D``).  Results are
+        memoized per subset; the memo is filled recursively so overlapping
+        subsets share work.
+        """
+        return self._join_memo(self._resolve_subset(subset))
+
+    def _join_memo(self, chosen: SubsetKey) -> Relation:
         """Compute (and memoize) the subset join.
 
         The recursion peels off a scheme whose removal keeps the subset
@@ -158,13 +271,13 @@ class Database:
                 result = self._compute_join(chosen)
                 span.set_attribute("tau", len(result))
             _CACHE_MISSES.inc()
-            self._join_cache[chosen] = result
+            self._join_cache.put(chosen, result)
             return result
         result = self._compute_join(chosen)
-        self._join_cache[chosen] = result
+        self._join_cache.put(chosen, result)
         return result
 
-    def _compute_join(self, chosen: FrozenSet[AttributeSet]) -> Relation:
+    def _compute_join(self, chosen: SubsetKey) -> Relation:
         if len(chosen) == 1:
             (only,) = chosen
             result = self._relations[only]
@@ -186,7 +299,7 @@ class Database:
         return result
 
     @staticmethod
-    def _spanning_tree_leaf(chosen: FrozenSet[AttributeSet]) -> AttributeSet:
+    def _spanning_tree_leaf(chosen: SubsetKey) -> AttributeSet:
         """A scheme whose removal keeps the (connected) subset connected:
         the last vertex reached by a DFS spanning tree."""
         ordered = sorted(chosen, key=lambda s: s.sorted())
@@ -207,13 +320,135 @@ class Database:
         """``R_D``: the natural join of all relation states."""
         return self.join_of(None)
 
+    # -- the tau-only path --------------------------------------------------------
+
     def tau_of(self, subset: Optional[Iterable[AttrsLike]] = None) -> int:
-        """``tau(R_E)``: the tuple count of the subset join."""
-        return len(self.join_of(subset))
+        """``tau(R_E)``: the tuple count of the subset join.
+
+        Served without materializing the join whenever possible: a cached
+        full result or cached count answers immediately; otherwise
+        acyclic subsets are counted by a Yannakakis weighted sweep (see
+        the module docstring) and only cyclic subsets fall back to
+        ``len(join_of(...))``.
+        """
+        chosen = self._resolve_subset(subset)
+        cached = self._join_cache.get(chosen)
+        if cached is not None:
+            if _METRICS.enabled:
+                _CACHE_HITS.inc()
+            return len(cached)
+        tau = self._tau_cache.get(chosen)
+        if tau is not None:
+            if _METRICS.enabled:
+                _CACHE_HITS.inc()
+            return tau
+        if _TRACER.enabled:
+            with _TRACER.span(
+                "db.join", relations=len(chosen), mode="count"
+            ) as span:
+                tau = self._count_join(chosen)
+                span.set_attribute("tau", tau)
+            _CACHE_MISSES.inc()
+        else:
+            tau = self._count_join(chosen)
+        self._tau_cache.put(chosen, tau)
+        return tau
+
+    def _count_join(self, chosen: SubsetKey) -> int:
+        """Count ``tau(R_E)`` without materializing when the shape allows."""
+        if len(chosen) == 1:
+            (only,) = chosen
+            return len(self._relations[only])
+        subscheme = DatabaseScheme(chosen)
+        components = subscheme.components()
+        if len(components) > 1:
+            # The join of an unconnected subset is the Cartesian product of
+            # its components' joins, so tau multiplies.
+            tau = 1
+            for component in components:
+                tau *= self._component_tau(frozenset(component.schemes))
+                if tau == 0:
+                    return 0
+            return tau
+        return self._component_tau(chosen, subscheme)
+
+    def _component_tau(
+        self, chosen: SubsetKey, subscheme: Optional[DatabaseScheme] = None
+    ) -> int:
+        """tau of a connected subset, via caches, counting, or fallback."""
+        cached = self._join_cache.get(chosen)
+        if cached is not None:
+            return len(cached)
+        tau = self._tau_cache.get(chosen)
+        if tau is not None:
+            return tau
+        if len(chosen) == 1:
+            (only,) = chosen
+            return len(self._relations[only])
+        try:
+            tree = build_join_tree(subscheme or DatabaseScheme(chosen))
+        except AcyclicityError:
+            # Cyclic connected subset: no join tree, so the count requires
+            # the join itself.  The memo keeps the materialized result.
+            return len(self._join_memo(chosen))
+        tau = self._acyclic_count(tree)
+        self._tau_cache.put(chosen, tau)
+        return tau
+
+    def _acyclic_count(self, tree) -> int:
+        """Yannakakis weighted count over a join tree: exact ``tau`` with
+        no intermediate materialization.
+
+        Every tuple starts with weight 1 (it stands for itself).  Sweeping
+        leaf-to-root, each child relation is aggregated into per-join-key
+        weight sums; a parent tuple's weight is multiplied by its matching
+        sum, and parent tuples with no match are discarded (a semijoin
+        reduction and the count in one pass).  By the running intersection
+        property of a join tree, tuples that agree along tree edges agree
+        globally, so after the sweep each root tuple's weight is exactly
+        the number of full join tuples extending it.
+        """
+        nodes = tree.scheme.sorted_schemes()
+        root = nodes[0]
+        order = tree.rooted_at(root)
+        # weight maps: id row -> number of join tuples it stands for so far.
+        weights: Dict[AttributeSet, Dict[Tuple[int, ...], int]] = {}
+        tables = {}
+        for node, _parent in order:
+            table = self._relations[node]._table()
+            tables[node] = table
+            weights[node] = dict.fromkeys(table.rows, 1)
+        for node, parent in reversed(order):
+            if parent is None:
+                continue
+            shared = sorted(node & parent)
+            child_order = tables[node].order
+            child_key = _picker(
+                tuple(child_order.index(a) for a in shared)
+            )
+            # Aggregate the child's weights by the shared-attribute key.
+            by_key: Dict[Tuple[int, ...], int] = {}
+            by_key_get = by_key.get
+            for idrow, weight in weights[node].items():
+                key = child_key(idrow)
+                by_key[key] = by_key_get(key, 0) + weight
+            parent_order = tables[parent].order
+            parent_key = _picker(
+                tuple(parent_order.index(a) for a in shared)
+            )
+            surviving: Dict[Tuple[int, ...], int] = {}
+            for idrow, weight in weights[parent].items():
+                matched = by_key_get(parent_key(idrow))
+                if matched is not None:
+                    surviving[idrow] = weight * matched
+            weights[parent] = surviving
+            if not surviving:
+                return 0
+        return sum(weights[root].values())
 
     def is_nonnull(self) -> bool:
         """The paper's standing hypothesis ``R_D ≠ ∅``."""
-        return bool(self.evaluate())
+        return self.tau_of(None) > 0
 
     # -- derived databases ----------------------------------------------------------
 

@@ -25,7 +25,7 @@ gap the paper's introduction describes.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, Optional, Tuple
 
 from repro.database import Database
 from repro.errors import OptimizerError
@@ -78,23 +78,41 @@ def _linear_splits(key: SchemeKey) -> Iterator[Tuple[SchemeKey, SchemeKey]]:
             yield rest, frozenset((scheme,))
 
 
+def _connectivity_memo() -> Callable[[SchemeKey], bool]:
+    """A per-run connectivity oracle memoized by frozenset of schemes.
+
+    The DP's candidate splits revisit the same parts many times (a part of
+    one subset is a whole subset elsewhere); without the memo every visit
+    rebuilds a :class:`DatabaseScheme` and re-runs the component DFS.
+    """
+    cache: Dict[SchemeKey, bool] = {}
+
+    def connected(part: SchemeKey) -> bool:
+        known = cache.get(part)
+        if known is None:
+            known = cache[part] = DatabaseScheme(part).is_connected()
+        return known
+
+    return connected
+
+
 def _nocp_filter(
-    key: SchemeKey, base: Iterator[Tuple[SchemeKey, SchemeKey]]
+    key: SchemeKey,
+    base: Iterator[Tuple[SchemeKey, SchemeKey]],
+    connected: Callable[[SchemeKey], bool],
 ) -> Iterator[Tuple[SchemeKey, SchemeKey]]:
     """Keep only the splits allowed in a CP-avoiding strategy.
 
     Connected ``key``: both parts connected.  Unconnected ``key``: every
     component entirely inside one part (the scheme/component analysis is
-    done once per ``key``, not per split).
+    done once per ``key``, not per split; part connectivity is memoized
+    across the whole run via ``connected``).
     """
     scheme = DatabaseScheme(key)
     components = scheme.components()
     if len(components) == 1:
         for part1, part2 in base:
-            if (
-                DatabaseScheme(part1).is_connected()
-                and DatabaseScheme(part2).is_connected()
-            ):
+            if connected(part1) and connected(part2):
                 yield part1, part2
         return
     component_keys = [frozenset(c.schemes) for c in components]
@@ -128,10 +146,12 @@ def optimize_dp(
     splits_considered = 0
     plans_pruned = 0
 
+    connected = _connectivity_memo()
+
     def splits(key: SchemeKey) -> Iterator[Tuple[SchemeKey, SchemeKey]]:
         base = _linear_splits(key) if space.linear_only else _all_splits(key)
         if space.avoids_cartesian_products:
-            return _nocp_filter(key, base)
+            return _nocp_filter(key, base, connected)
         return base
 
     def best(key: SchemeKey) -> Optional[Entry]:

@@ -14,12 +14,22 @@ from typing import Callable, Optional
 
 from repro.database import Database
 from repro.errors import OptimizerError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.optimizer.spaces import OptimizationResult, SearchSpace
 from repro.strategy.cost import tau_cost
 from repro.strategy.enumerate import strategies_in_space
 from repro.strategy.tree import Strategy
 
 __all__ = ["optimize_exhaustive"]
+
+# Search-effort telemetry (docs/observability.md), mirroring optimize_dp:
+# a span per optimization and a counter of strategies costed.
+_TRACER = get_tracer()
+_METRICS = get_registry()
+_STRATEGIES = _METRICS.counter(
+    "optimizer.exhaustive.strategies", "strategies costed by full enumeration"
+)
 
 
 def optimize_exhaustive(
@@ -30,31 +40,40 @@ def optimize_exhaustive(
     """Find a cheapest strategy in ``space`` by full enumeration.
 
     Ties are broken by the strategy's rendered description, so results are
-    deterministic.  Raises :class:`~repro.errors.OptimizerError` when the
-    subspace is empty (e.g. linear-and-CP-avoiding over an unconnected
+    deterministic.  Strategy costs read ``Strategy.tau``, so the tau-only
+    counting path serves the whole enumeration without materializing
+    intermediate joins.  Raises :class:`~repro.errors.OptimizerError` when
+    the subspace is empty (e.g. linear-and-CP-avoiding over an unconnected
     scheme with two multi-relation components).
     """
     best: Optional[Strategy] = None
     best_cost = 0
     best_label = ""
     considered = 0
-    for candidate in strategies_in_space(
-        db,
-        linear=space.linear_only,
-        avoid_cartesian_products=space.avoids_cartesian_products,
-    ):
-        considered += 1
-        candidate_cost = cost(candidate)
-        if best is None or candidate_cost < best_cost:
-            best, best_cost, best_label = candidate, candidate_cost, ""
-        elif candidate_cost == best_cost:
-            if not best_label:
-                best_label = best.describe()
-            label = candidate.describe()
-            if label < best_label:
-                best, best_label = candidate, label
-    if best is None:
-        raise OptimizerError(
-            f"the {space.describe()} subspace is empty for {db.scheme}"
-        )
+    with _TRACER.span(
+        "optimize.exhaustive", space=space.value, relations=len(db.scheme)
+    ) as span:
+        for candidate in strategies_in_space(
+            db,
+            linear=space.linear_only,
+            avoid_cartesian_products=space.avoids_cartesian_products,
+        ):
+            considered += 1
+            candidate_cost = cost(candidate)
+            if best is None or candidate_cost < best_cost:
+                best, best_cost, best_label = candidate, candidate_cost, ""
+            elif candidate_cost == best_cost:
+                if not best_label:
+                    best_label = best.describe()
+                label = candidate.describe()
+                if label < best_label:
+                    best, best_label = candidate, label
+        if best is None:
+            raise OptimizerError(
+                f"the {space.describe()} subspace is empty for {db.scheme}"
+            )
+        span.set_attribute("strategies", considered)
+        span.set_attribute("cost", best_cost)
+    if _METRICS.enabled:
+        _STRATEGIES.inc(considered, space=space.value)
     return OptimizationResult(best, best_cost, space, "exhaustive", considered)

@@ -10,12 +10,24 @@ semantics.
 It also implements the dependency theory the paper's Section 4 leans on:
 functional dependencies, attribute closures, superkeys and candidate keys,
 and the tableau chase used to decide lossless joins.
+
+Execution runs on the columnar kernel (:mod:`repro.relational.columnar`):
+interned value ids, positional id tuples, and hash joins over column
+blocks, with ``Row`` objects materialized only at API boundaries.  See
+docs/performance.md; :func:`set_kernel_enabled` /
+:func:`use_legacy_engine` switch back to the row-at-a-time engine.
 """
 
 from repro.relational.attributes import (
     AttributeSet,
     attrs,
     format_attrs,
+)
+from repro.relational.columnar import (
+    ColumnarTable,
+    kernel_enabled,
+    set_kernel_enabled,
+    use_legacy_engine,
 )
 from repro.relational.relation import (
     Relation,
@@ -44,6 +56,10 @@ __all__ = [
     "AttributeSet",
     "attrs",
     "format_attrs",
+    "ColumnarTable",
+    "kernel_enabled",
+    "set_kernel_enabled",
+    "use_legacy_engine",
     "Relation",
     "RelationSchema",
     "Row",

@@ -1,0 +1,378 @@
+"""The columnar join kernel: interned values, positional int tuples.
+
+This is the internal execution substrate behind :class:`~repro.relational
+.relation.Relation`.  The public API works with :class:`Row` value
+objects -- immutable attribute->value mappings -- but building, hashing,
+and merging those per intermediate tuple dominates the runtime of every
+quantity the paper defines (``tau``, C1-C4, Theorems 1-3 all reduce to
+evaluating many overlapping natural joins).  The kernel removes that cost:
+
+* **Value interning** -- every attribute value is mapped once to a small
+  integer id (:func:`intern_value`).  Interning uses the same dict-key
+  equivalence as the row-level engine (``hash`` + ``==``), so two values
+  receive the same id exactly when the legacy hash join would have put
+  them in the same bucket.  Ids are process-wide and never recycled.
+* **Columnar tables** -- a :class:`ColumnarTable` is a relation state
+  encoded as positional tuples of value ids over a fixed, sorted
+  attribute order; per-attribute columns are exposed via
+  :meth:`ColumnarTable.column`.  Because the order is always the sorted
+  scheme, two tables over the same scheme are positionally aligned and
+  set operations are raw ``frozenset`` ops on id tuples.
+* **Kernel operators** -- :func:`join_tables`, :func:`semijoin_tables`,
+  :func:`antijoin_tables`, and :func:`project_table` work directly on id
+  tuples.  A natural join builds its hash table on the smaller input,
+  probes with the larger, and composes output tuples by positional picks
+  -- no dicts, no Row objects, no per-tuple scheme validation.  ``Row``
+  objects are materialized only at API boundaries, lazily (see
+  ``Relation.rows``).
+
+The kernel is on by default; :func:`set_kernel_enabled` /
+:func:`use_legacy_engine` switch the whole engine back to the historical
+row-at-a-time paths (used by ``benchmarks/bench_join_kernel.py`` for
+old-vs-new comparisons and by the equivalence property suite).
+
+Telemetry (docs/observability.md): kernel joins emit the ``join.*``
+counters.  ``join.probes`` counts hash-table lookups (one per probe-side
+row); ``join.comparisons`` counts the candidate row pairs examined after
+a bucket hit -- in a natural join the bucket key is the entire shared
+scheme, so every candidate pair merges and ``comparisons`` equals the
+merged pair count pre-dedup.  See the docs for the distinction.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from operator import itemgetter
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import RelationError
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "ColumnarTable",
+    "IdRow",
+    "intern_value",
+    "lookup_value",
+    "value_of",
+    "interned_count",
+    "decode_row",
+    "join_tables",
+    "semijoin_tables",
+    "antijoin_tables",
+    "project_table",
+    "kernel_enabled",
+    "set_kernel_enabled",
+    "use_legacy_engine",
+]
+
+#: A tuple of interned value ids, positionally aligned with a table order.
+IdRow = Tuple[int, ...]
+
+# Join-engine telemetry (docs/observability.md).  The registry is disabled
+# by default; each kernel join pays one flag check.
+_METRICS = get_registry()
+_JOINS = _METRICS.counter("join.executed", "natural joins evaluated")
+_PROBES = _METRICS.counter(
+    "join.probes", "hash-table lookups by the join kernel (one per probe row)"
+)
+_COMPARISONS = _METRICS.counter(
+    "join.comparisons", "row pairs merged after a bucket hit (pre-dedup)"
+)
+_OUTPUT_TUPLES = _METRICS.counter("join.output_tuples", "tuples produced by joins")
+
+
+# -- value interning -----------------------------------------------------------
+
+_IDS: Dict[Hashable, int] = {}
+_VALUES: List[Hashable] = []
+
+
+def intern_value(value: Hashable) -> int:
+    """The process-wide id of ``value`` (allocating one on first sight).
+
+    Raises :class:`~repro.errors.RelationError` for unhashable values --
+    the same contract the row-level engine enforces.
+    """
+    try:
+        vid = _IDS.get(value)
+    except TypeError as exc:
+        raise RelationError(
+            f"tuple values must be hashable, got {value!r}"
+        ) from exc
+    if vid is None:
+        vid = len(_VALUES)
+        _IDS[value] = vid
+        _VALUES.append(value)
+    return vid
+
+
+def lookup_value(value: Hashable) -> Optional[int]:
+    """The id of ``value`` if it was ever interned, else ``None``."""
+    try:
+        return _IDS.get(value)
+    except TypeError:
+        return None
+
+
+def value_of(vid: int) -> Hashable:
+    """The value behind an interned id."""
+    return _VALUES[vid]
+
+
+def interned_count() -> int:
+    """How many distinct values the interner currently holds."""
+    return len(_VALUES)
+
+
+def decode_row(order: Tuple[str, ...], idrow: IdRow) -> Tuple[Tuple[str, Hashable], ...]:
+    """The (attribute, value) pairs of an id row, in table order."""
+    return tuple(zip(order, map(_VALUES.__getitem__, idrow)))
+
+
+# -- the columnar table --------------------------------------------------------
+
+
+class ColumnarTable:
+    """A relation state as positional id tuples over a sorted attribute order.
+
+    ``order`` is the scheme's attributes in lexicographic order -- the one
+    canonical layout per scheme, so equal-scheme tables are always
+    positionally aligned.  ``rows`` is a frozenset of id tuples; its size
+    is the paper's ``tau`` without any Row object ever existing.
+    """
+
+    __slots__ = ("order", "rows", "_columns")
+
+    def __init__(self, order: Iterable[str], rows: Iterable[IdRow] = ()):
+        self.order: Tuple[str, ...] = tuple(order)
+        self.rows: FrozenSet[IdRow] = (
+            rows if isinstance(rows, frozenset) else frozenset(rows)
+        )
+        self._columns: Optional[Dict[str, Tuple[int, ...]]] = None
+
+    @property
+    def tau(self) -> int:
+        """The tuple count (``tau`` of the encoded relation)."""
+        return len(self.rows)
+
+    def columns(self) -> Dict[str, Tuple[int, ...]]:
+        """Per-attribute id columns (computed once, then cached).
+
+        Column positions are aligned across attributes: position ``i`` of
+        every column belongs to the same (arbitrary but fixed) row.
+        """
+        if self._columns is None:
+            if self.rows:
+                transposed = tuple(zip(*self.rows))
+            else:
+                transposed = tuple(() for _ in self.order)
+            self._columns = {
+                attr: transposed[i] for i, attr in enumerate(self.order)
+            }
+        return self._columns
+
+    def column(self, attribute: str) -> Tuple[int, ...]:
+        """The id column for one attribute."""
+        try:
+            return self.columns()[attribute]
+        except KeyError:
+            raise RelationError(
+                f"no column {attribute!r} in table over {self.order}"
+            ) from None
+
+    def decoded_column(self, attribute: str) -> Tuple[Hashable, ...]:
+        """The value column for one attribute (ids resolved)."""
+        values = _VALUES
+        return tuple(values[vid] for vid in self.column(attribute))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ColumnarTable {''.join(self.order)}: {len(self.rows)} rows>"
+
+
+# -- kernel operators ----------------------------------------------------------
+
+
+def _positions(order: Tuple[str, ...]) -> Dict[str, int]:
+    return {attr: i for i, attr in enumerate(order)}
+
+
+def _picker(indices: Tuple[int, ...]):
+    """A C-speed callable mapping a tuple to the sub-tuple at ``indices``.
+
+    ``operator.itemgetter`` returns a bare element for a single index, so
+    the width-1 case is wrapped to keep the tuple-in/tuple-out contract.
+    """
+    if len(indices) == 1:
+        getter = itemgetter(indices[0])
+        return lambda row: (getter(row),)
+    return itemgetter(*indices)
+
+
+def join_tables(left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
+    """Natural join of two tables (Cartesian product on disjoint orders).
+
+    Hash join on the shared attributes: build on the smaller input, probe
+    with the larger, compose output id tuples by positional picks.  The
+    output order is the sorted union of the input orders.
+    """
+    left_pos = _positions(left.order)
+    right_pos = _positions(right.order)
+    common = [attr for attr in left.order if attr in right_pos]
+    out_order = tuple(sorted(set(left.order) | set(right.order)))
+    enabled = _METRICS.enabled
+
+    if not common:
+        # Compose by concatenating the pair and permuting once with a
+        # C-speed picker (left positions as-is, right offset by the width
+        # of the left row).
+        width = len(left.order)
+        compose = _picker(
+            tuple(
+                left_pos[attr] if attr in left_pos else width + right_pos[attr]
+                for attr in out_order
+            )
+        )
+        out = set()
+        add = out.add
+        for lrow in left.rows:
+            for rrow in right.rows:
+                add(compose(lrow + rrow))
+        result = ColumnarTable(out_order, frozenset(out))
+        if enabled:
+            _JOINS.inc(kind="product")
+            _COMPARISONS.inc(len(left.rows) * len(right.rows), kind="product")
+            _OUTPUT_TUPLES.inc(len(result.rows), kind="product")
+        return result
+
+    # Build the hash table on the smaller input.
+    if len(left.rows) <= len(right.rows):
+        build, probe, build_pos, probe_pos = left, right, left_pos, right_pos
+    else:
+        build, probe, build_pos, probe_pos = right, left, right_pos, left_pos
+    key_of_build = _picker(tuple(build_pos[attr] for attr in common))
+    key_of_probe = _picker(tuple(probe_pos[attr] for attr in common))
+    # Shared attributes carry equal ids on a match; pick them from the
+    # probe side so every output position has exactly one source.  Output
+    # rows are composed as probe + build concatenated, then permuted once.
+    probe_width = len(probe.order)
+    compose = _picker(
+        tuple(
+            probe_pos[attr]
+            if attr in probe_pos
+            else probe_width + build_pos[attr]
+            for attr in out_order
+        )
+    )
+
+    buckets: Dict[IdRow, List[IdRow]] = {}
+    setdefault = buckets.setdefault
+    for brow in build.rows:
+        setdefault(key_of_build(brow), []).append(brow)
+
+    out = set()
+    add = out.add
+    get = buckets.get
+    compared = 0
+    for prow in probe.rows:
+        bucket = get(key_of_probe(prow))
+        if bucket is None:
+            continue
+        compared += len(bucket)
+        for brow in bucket:
+            add(compose(prow + brow))
+    result = ColumnarTable(out_order, frozenset(out))
+    if enabled:
+        _JOINS.inc(kind="hash")
+        _PROBES.inc(len(probe.rows), kind="hash")
+        _COMPARISONS.inc(compared, kind="hash")
+        _OUTPUT_TUPLES.inc(len(result.rows), kind="hash")
+    return result
+
+
+def semijoin_tables(left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
+    """Semijoin ``left ⋉ right``: the left rows that join with ``right``."""
+    right_attrs = set(right.order)
+    common = [attr for attr in left.order if attr in right_attrs]
+    if not common:
+        # With disjoint orders every pair joins, unless right is empty.
+        return left if right.rows else ColumnarTable(left.order)
+    key_of_left = _picker(tuple(_positions(left.order)[attr] for attr in common))
+    key_of_right = _picker(tuple(_positions(right.order)[attr] for attr in common))
+    keys = set(map(key_of_right, right.rows))
+    return ColumnarTable(
+        left.order,
+        frozenset(lrow for lrow in left.rows if key_of_left(lrow) in keys),
+    )
+
+
+def antijoin_tables(left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
+    """Antijoin: the left rows that do *not* join with ``right``."""
+    right_attrs = set(right.order)
+    common = [attr for attr in left.order if attr in right_attrs]
+    if not common:
+        return ColumnarTable(left.order) if right.rows else left
+    key_of_left = _picker(tuple(_positions(left.order)[attr] for attr in common))
+    key_of_right = _picker(tuple(_positions(right.order)[attr] for attr in common))
+    keys = set(map(key_of_right, right.rows))
+    return ColumnarTable(
+        left.order,
+        frozenset(lrow for lrow in left.rows if key_of_left(lrow) not in keys),
+    )
+
+
+def project_table(table: ColumnarTable, wanted_order: Tuple[str, ...]) -> ColumnarTable:
+    """Projection onto ``wanted_order`` (a sorted subset of the table
+    order), with set-semantics dedup on the id tuples."""
+    pos = _positions(table.order)
+    pick = _picker(tuple(pos[attr] for attr in wanted_order))
+    return ColumnarTable(wanted_order, frozenset(map(pick, table.rows)))
+
+
+# -- the engine switch ---------------------------------------------------------
+
+
+class _KernelSwitch:
+    """Process-wide toggle between the columnar kernel and the legacy
+    row-at-a-time engine.  Mirrors the metrics registry idiom: hot paths
+    pay a single attribute load."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_KERNEL = _KernelSwitch()
+
+
+def get_kernel() -> _KernelSwitch:
+    """The process-wide kernel switch (for hot-path flag checks)."""
+    return _KERNEL
+
+
+def kernel_enabled() -> bool:
+    """True when the columnar kernel handles the relational algebra."""
+    return _KERNEL.enabled
+
+
+def set_kernel_enabled(enabled: bool) -> None:
+    """Route the relational algebra through the columnar kernel (default)
+    or the legacy row-at-a-time engine (``False``)."""
+    _KERNEL.enabled = bool(enabled)
+
+
+@contextmanager
+def use_legacy_engine() -> Iterator[None]:
+    """Context manager: run the enclosed block on the legacy engine.
+
+    Used by the old-vs-new benchmark and the equivalence property suite.
+    """
+    previous = _KERNEL.enabled
+    _KERNEL.enabled = False
+    try:
+        yield
+    finally:
+        _KERNEL.enabled = previous

@@ -46,7 +46,7 @@ def scheme_of(spec) -> "DatabaseScheme":
 class DatabaseScheme:
     """An immutable set of relation schemes, viewed as a hypergraph."""
 
-    __slots__ = ("_schemes", "_hash")
+    __slots__ = ("_schemes", "_hash", "_components")
 
     def __init__(self, schemes: Iterable[AttrsLike]):
         scheme_set = frozenset(attrs(s) for s in schemes)
@@ -54,6 +54,7 @@ class DatabaseScheme:
             raise SchemaError("a database scheme must contain at least one relation scheme")
         self._schemes: FrozenSet[AttributeSet] = scheme_set
         self._hash = hash(scheme_set)
+        self._components: Optional[Tuple["DatabaseScheme", ...]] = None
 
     # -- container interface --------------------------------------------------
 
@@ -158,8 +159,12 @@ class DatabaseScheme:
         """The components of ``D``, in deterministic order.
 
         Each component is a maximal connected subset not linked to the
-        rest (paper, Section 2).
+        rest (paper, Section 2).  Computed once per scheme and cached
+        (schemes are immutable), since connectivity queries dominate the
+        CP-avoiding enumerators and the unconnected-tau product rule.
         """
+        if self._components is not None:
+            return list(self._components)
         adjacency = self._adjacency()
         seen: Set[AttributeSet] = set()
         components: List[DatabaseScheme] = []
@@ -176,6 +181,7 @@ class DatabaseScheme:
                 group.append(node)
                 stack.extend(n for n in adjacency[node] if n not in seen)
             components.append(DatabaseScheme(group))
+        self._components = tuple(components)
         return components
 
     def component_count(self) -> int:

@@ -144,9 +144,18 @@ def _iter_linear(db: Database, subset=None) -> Iterator[Strategy]:
             yield strategy
 
 
-def _connected_strategies(db: Database, key: SchemeKey,
-                          memo: Dict[SchemeKey, Tuple[Strategy, ...]]) -> Tuple[Strategy, ...]:
-    """All CP-free strategies for a *connected* scheme subset."""
+def _connected_strategies(
+    db: Database,
+    key: SchemeKey,
+    memo: Dict[SchemeKey, Tuple[Strategy, ...]],
+    conn: Dict[SchemeKey, bool],
+) -> Tuple[Strategy, ...]:
+    """All CP-free strategies for a *connected* scheme subset.
+
+    ``conn`` memoizes part connectivity per frozenset across the whole
+    enumeration -- the same part shows up in many candidate splits, and
+    each connectivity check is a component DFS.
+    """
     cached = memo.get(key)
     if cached is not None:
         return cached
@@ -155,13 +164,19 @@ def _connected_strategies(db: Database, key: SchemeKey,
         result: Tuple[Strategy, ...] = (Strategy.leaf(db, ordered[0]),)
     else:
         built: List[Strategy] = []
+
+        def connected(part: Tuple[AttributeSet, ...]) -> bool:
+            part_key = frozenset(part)
+            known = conn.get(part_key)
+            if known is None:
+                known = conn[part_key] = DatabaseScheme(part).is_connected()
+            return known
+
         for part1, part2 in _splits(ordered):
-            scheme1 = DatabaseScheme(part1)
-            scheme2 = DatabaseScheme(part2)
-            if not (scheme1.is_connected() and scheme2.is_connected()):
+            if not (connected(part1) and connected(part2)):
                 continue
-            for left in _connected_strategies(db, frozenset(part1), memo):
-                for right in _connected_strategies(db, frozenset(part2), memo):
+            for left in _connected_strategies(db, frozenset(part1), memo, conn):
+                for right in _connected_strategies(db, frozenset(part2), memo, conn):
                     built.append(Strategy.join(left, right))
         result = tuple(built)
     memo[key] = result
@@ -173,12 +188,13 @@ def _iter_nocp(db: Database, subset=None) -> Iterator[Strategy]:
     scheme = DatabaseScheme(key)
     components = scheme.components()
     memo: Dict[SchemeKey, Tuple[Strategy, ...]] = {}
+    conn: Dict[SchemeKey, bool] = {}
     if len(components) == 1:
-        yield from _connected_strategies(db, key, memo)
+        yield from _connected_strategies(db, key, memo, conn)
         return
 
     per_component: List[Tuple[Strategy, ...]] = [
-        _connected_strategies(db, frozenset(component.schemes), memo)
+        _connected_strategies(db, frozenset(component.schemes), memo, conn)
         for component in components
     ]
 

@@ -150,8 +150,14 @@ class Strategy:
 
     @property
     def tau(self) -> int:
-        """``tau(R_D')`` of this node's state."""
-        return len(self.state)
+        """``tau(R_D')`` of this node's state.
+
+        Routed through :meth:`Database.tau_of`, which counts the subset
+        join without materializing it whenever the subset's shape allows
+        (docs/performance.md) -- costing a strategy never forces the
+        intermediate states into existence.
+        """
+        return self._db.tau_of(self._schemes)
 
     @property
     def is_leaf(self) -> bool:

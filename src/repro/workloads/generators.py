@@ -19,7 +19,12 @@ need populations of databases.  This module generates them:
   to harvest populations satisfying C1' or C1∧C2).
 
 All generators take an explicit :class:`random.Random` seed, never the
-global RNG, so every benchmark row is reproducible.
+global RNG, so every benchmark row is reproducible.  States are built
+through :meth:`Relation.from_tuples`, which encodes straight into the
+columnar kernel layout (docs/performance.md) -- no ``Row`` objects are
+created during generation.  The RNG draw order is part of each
+generator's contract (one draw per attribute in sorted-scheme order), so
+seeded databases are identical across engine versions.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 from repro.database import Database
 from repro.errors import ReproError
 from repro.relational.attributes import AttributeSet
-from repro.relational.relation import Relation, Row
+from repro.relational.relation import Relation
 from repro.schemegraph.consistency import full_reduce
 
 __all__ = [
@@ -187,12 +192,14 @@ def generate_database(
     relations = []
     for index, scheme in enumerate(schemes):
         chosen = (per_relation or {}).get(scheme, default)
-        rows = set()
-        for _ in range(chosen.size):
-            rows.add(
-                Row({attr: chosen.draw_value(rng) for attr in scheme.sorted()})
-            )
-        relations.append(Relation(scheme, rows, name=f"R{index + 1}"))
+        order = scheme.sorted()
+        tuples = (
+            tuple(chosen.draw_value(rng) for _ in order)
+            for _ in range(chosen.size)
+        )
+        relations.append(
+            Relation.from_tuples(scheme, tuples, order=order, name=f"R{index + 1}")
+        )
     return Database(relations)
 
 
@@ -214,16 +221,17 @@ def generate_superkey_join_database(
     ids = list(range(1, size + 1))
     relations = []
     for index, scheme in enumerate(schemes):
-        columns = {}
-        for attr in scheme.sorted():
+        order = scheme.sorted()
+        columns = []
+        for _ in order:
             column = ids[:]
             rng.shuffle(column)
-            columns[attr] = column
-        rows = [
-            Row({attr: columns[attr][i] for attr in scheme.sorted()})
-            for i in range(size)
-        ]
-        relations.append(Relation(scheme, rows, name=f"R{index + 1}"))
+            columns.append(column)
+        relations.append(
+            Relation.from_tuples(
+                scheme, zip(*columns), order=order, name=f"R{index + 1}"
+            )
+        )
     return Database(relations)
 
 
@@ -255,11 +263,14 @@ def generate_foreign_key_chain(
             left_column = ids[:]
             rng.shuffle(left_column)
         right_column = [rng.choice(ids) for _ in range(size)]
-        rows = {
-            Row({left_attr: left, right_attr: right})
-            for left, right in zip(left_column, right_column)
-        }
-        relations.append(Relation(scheme, rows, name=f"R{index + 1}"))
+        relations.append(
+            Relation.from_tuples(
+                scheme,
+                zip(left_column, right_column),
+                order=(left_attr, right_attr),
+                name=f"R{index + 1}",
+            )
+        )
     return Database(relations)
 
 
@@ -284,15 +295,19 @@ def generate_correlated_chain(
     relations = []
     for index, scheme in enumerate(schemes):
         left_attr, right_attr = sorted(scheme)
-        rows = set()
+        tuples = set()
         for _ in range(size):
             left = rng.randint(1, domain)
             if rng.random() < correlation:
                 right = left
             else:
                 right = rng.randint(1, domain)
-            rows.add(Row({left_attr: left, right_attr: right}))
-        relations.append(Relation(scheme, rows, name=f"R{index + 1}"))
+            tuples.add((left, right))
+        relations.append(
+            Relation.from_tuples(
+                scheme, tuples, order=(left_attr, right_attr), name=f"R{index + 1}"
+            )
+        )
     return Database(relations)
 
 
