@@ -80,7 +80,9 @@ def _guard_check_ns() -> float:
 def _guard_evaluations_per_run() -> int:
     """A deliberate over-count of guard sites one run visits, read off an
     enabled run's own telemetry (one guard per join, per subset-join
-    lookup, per span), padded and then multiplied by a safety factor."""
+    lookup, per span, and per columnar-kernel hot-path counter bump --
+    probes, comparisons, and output tuples each sit behind their own
+    guard in the kernel), padded and then multiplied by a safety factor."""
     db = _fresh_db(0)
     obs.enable()
     try:
@@ -89,6 +91,9 @@ def _guard_evaluations_per_run() -> int:
         visits = len(obs.get_tracer())
         for name in (
             "join.executed",
+            "join.probes",
+            "join.comparisons",
+            "join.output_tuples",
             "db.subset_join.cache_hits",
             "db.subset_join.computed",
         ):

@@ -1,0 +1,66 @@
+"""E-PROF: the EXPLAIN ANALYZE profiler on the standard chain workload.
+
+The profiler (:mod:`repro.obs.profile`) re-executes the DP-optimal plan
+step by step on a cold-cache clone of the database and reports, per
+step, estimated vs actual tau, Q-error, wall time, kernel counters, and
+cache traffic.  This experiment pins the profiler's *accounting*
+invariants on the same 6-relation chain the observability-overhead bench
+uses:
+
+* the summed actual taus equal the plan's true cost (the paper's
+  ``tau(S) = sum tau(s_i)``);
+* every step's Q-error is >= 1 (the symmetric ratio's floor);
+* the kernel counters are live (a cold-cache execution really probes);
+* capture restores the observability state it found.
+
+The rendered table lands in ``benchmarks/results/E-PROF_explain.txt``
+and is assembled into RESULTS.md by ``collect_results.py``.
+"""
+
+import pathlib
+import random
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # standalone-script entry
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro.obs as obs  # noqa: E402
+from repro.obs.profile import RunReport  # noqa: E402
+from repro.optimizer.dp import optimize_dp  # noqa: E402
+from repro.workloads.generators import (  # noqa: E402
+    WorkloadSpec,
+    chain_scheme,
+    generate_database,
+)
+
+RELATIONS = 6
+SPEC = WorkloadSpec(size=20, domain=6)
+
+
+def _db(seed: int = 0):
+    return generate_database(chain_scheme(RELATIONS), random.Random(seed), SPEC)
+
+
+def test_profiler_accounting(record):
+    assert not obs.is_enabled()
+    report = RunReport.capture(
+        _db(),
+        workload={"shape": "chain", "relations": RELATIONS, "seed": 0},
+    )
+    assert not obs.is_enabled(), "capture must restore the observability state"
+
+    # tau(S) = sum of the steps' actual taus, and it matches the DP optimum.
+    assert report.tau == sum(step.actual for step in report.steps)
+    assert report.tau == optimize_dp(_db()).cost
+    assert len(report.steps) == RELATIONS - 1
+
+    for step in report.steps:
+        assert step.q_error >= 1.0
+        assert step.wall_ns >= 0
+    # A cold-cache execution really runs the kernel.
+    assert sum(step.probes for step in report.steps) > 0
+    assert sum(step.output_tuples for step in report.steps) > 0
+
+    record("E-PROF_explain", report.render())
+    obs.reset()

@@ -16,6 +16,28 @@ import sys
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 OUTPUT = pathlib.Path(__file__).parent / "RESULTS.md"
+BASELINE_DIR = pathlib.Path(__file__).parent / "baselines"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+if str(REPO_ROOT / "src") not in sys.path:  # standalone-script entry
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.regress import compare_files, render_report  # noqa: E402
+
+
+def _sentinel_section() -> str:
+    """The perf-regression sentinel verdict (current BENCH_*.json at the
+    repository root vs the committed baselines), when both exist."""
+    if not BASELINE_DIR.is_dir():
+        return ""
+    comparisons = compare_files(BASELINE_DIR, REPO_ROOT)
+    return (
+        "## Perf-regression sentinel\n\n"
+        "Current `BENCH_perf.json` / `BENCH_obs.json` vs the committed\n"
+        "baselines under `benchmarks/baselines/` "
+        "(`python -m repro.obs.regress`).\n\n"
+        "```\n" + render_report(comparisons) + "\n```\n"
+    )
 
 
 def collect() -> str:
@@ -31,6 +53,9 @@ def collect() -> str:
         sections.append(f"## {path.stem}\n\n```\n{body}\n```\n")
     if not sections:
         raise SystemExit("benchmarks/results is empty; run the benchmarks first")
+    sentinel = _sentinel_section()
+    if sentinel:
+        sections.append(sentinel)
     header = (
         "# Regenerated experiment tables\n\n"
         "Produced by `python benchmarks/collect_results.py` from the\n"

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands, each a small window onto the reproduction:
+Six commands, each a small window onto the reproduction:
 
 * ``examples`` -- replay the paper's Examples 1-5 with verdicts;
 * ``census [--max-n N]`` -- the strategy-space counts of Section 1;
@@ -10,8 +10,15 @@ Four commands, each a small window onto the reproduction:
   ``--trace-json PATH``) the run is recorded through :mod:`repro.obs` and
   a ``stats`` section, the span tree, and the metric counters are printed
   (see docs/observability.md);
+* ``explain`` -- the ``EXPLAIN ANALYZE`` profiler: plan the same
+  synthetic workloads as ``optimize``, then execute the plan step by
+  step and print per-step estimated vs actual tau, Q-error, wall time,
+  kernel counters, and cache hit rates; ``--profile-json`` /
+  ``--chrome-trace`` / ``--prometheus`` export the profile, the span
+  tree (Perfetto-loadable), and the metrics;
 * ``conditions --example N`` -- the C1/C1'/C2/C3 verdicts for a paper
-  example.
+  example;
+* ``sample`` -- the cost distribution of uniformly sampled strategies.
 """
 
 from __future__ import annotations
@@ -88,18 +95,22 @@ def build_parser() -> argparse.ArgumentParser:
     census = sub.add_parser("census", help="strategy-space counts (Section 1)")
     census.add_argument("--max-n", type=int, default=8)
 
+    def add_workload_flags(command: argparse.ArgumentParser) -> None:
+        """The synthetic-workload flags shared by optimize and explain."""
+        command.add_argument("--shape", choices=sorted(_SHAPES), default="chain")
+        command.add_argument("--relations", type=int, default=5)
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument("--size", type=int, default=20)
+        command.add_argument("--domain", type=int, default=6)
+        command.add_argument("--skew", type=float, default=0.0)
+        command.add_argument(
+            "--space",
+            choices=[s.value for s in SearchSpace],
+            default=SearchSpace.ALL.value,
+        )
+
     optimize = sub.add_parser("optimize", help="plan a synthetic database")
-    optimize.add_argument("--shape", choices=sorted(_SHAPES), default="chain")
-    optimize.add_argument("--relations", type=int, default=5)
-    optimize.add_argument("--seed", type=int, default=0)
-    optimize.add_argument("--size", type=int, default=20)
-    optimize.add_argument("--domain", type=int, default=6)
-    optimize.add_argument("--skew", type=float, default=0.0)
-    optimize.add_argument(
-        "--space",
-        choices=[s.value for s in SearchSpace],
-        default=SearchSpace.ALL.value,
-    )
+    add_workload_flags(optimize)
     optimize.add_argument(
         "--trace",
         action="store_true",
@@ -112,6 +123,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the recorded spans and metrics as JSONL to PATH "
         "(implies --trace)",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="EXPLAIN ANALYZE a synthetic database: per-step estimated "
+        "vs actual tau, Q-error, timings, kernel counters, cache hit "
+        "rates (docs/observability.md)",
+    )
+    add_workload_flags(explain)
+    explain.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        default=None,
+        help="write the full RunReport profile as JSON to PATH",
+    )
+    explain.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        default=None,
+        help="write the recorded span tree as a Chrome Trace Event file "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
+    explain.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        default=None,
+        help="write the recorded metrics in Prometheus text exposition "
+        "format to PATH",
+    )
+    explain.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip tracemalloc phase peaks (faster on large workloads)",
     )
 
     conditions = sub.add_parser(
@@ -193,13 +237,30 @@ def _render_stats(plan, profile) -> str:
     return "\n".join(lines)
 
 
-def _cmd_optimize(args: argparse.Namespace) -> int:
-    tracing = args.trace or args.trace_json is not None
+def _workload_db(args: argparse.Namespace):
+    """The synthetic database described by the shared workload flags."""
     rng = random.Random(args.seed)
     schemes = _SHAPES[args.shape](args.relations)
-    db = generate_database(
+    return generate_database(
         schemes, rng, WorkloadSpec(size=args.size, domain=args.domain, skew=args.skew)
     )
+
+
+def _workload_description(args: argparse.Namespace) -> dict:
+    """The workload flags as a dict (recorded in profile exports)."""
+    return {
+        "shape": args.shape,
+        "relations": args.relations,
+        "seed": args.seed,
+        "size": args.size,
+        "domain": args.domain,
+        "skew": args.skew,
+    }
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    tracing = args.trace or args.trace_json is not None
+    db = _workload_db(args)
     query = JoinQuery(db)
     if not tracing:
         plan = query.optimize(SearchSpace(args.space))
@@ -246,6 +307,35 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.profile import RunReport
+
+    db = _workload_db(args)
+    # A clean slate so the exports below carry exactly this run.
+    obs.reset()
+    try:
+        report = RunReport.capture(
+            db,
+            SearchSpace(args.space),
+            workload=_workload_description(args),
+            track_memory=not args.no_memory,
+        )
+        print(report.render())
+        if args.profile_json is not None:
+            report.write_json(args.profile_json)
+            print(f"\nwrote profile JSON to {args.profile_json}")
+        if args.chrome_trace is not None:
+            events = obs.write_chrome_trace(args.chrome_trace)
+            print(f"wrote {events} Chrome-trace events to {args.chrome_trace}")
+        if args.prometheus is not None:
+            lines = obs.write_prometheus(args.prometheus)
+            print(f"wrote {lines} Prometheus exposition lines to {args.prometheus}")
+    finally:
+        obs.disable()
+        obs.reset()
+    return 0
+
+
 def _cmd_conditions(example: str) -> int:
     db = _EXAMPLES[example]()
     pairs = []
@@ -285,6 +375,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_census(args.max_n)
     if args.command == "optimize":
         return _cmd_optimize(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "conditions":
         return _cmd_conditions(args.example)
     if args.command == "sample":

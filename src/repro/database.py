@@ -56,7 +56,7 @@ from repro.relational.relation import Relation
 from repro.schemegraph.jointree import build_join_tree
 from repro.schemegraph.scheme import DatabaseScheme
 
-__all__ = ["Database", "database"]
+__all__ = ["CacheStats", "Database", "database"]
 
 # Subset-join cache telemetry (see docs/observability.md).  The hit/miss
 # counters cover both the join memo and the tau-cache: a tau-cache hit is
@@ -129,10 +129,94 @@ class _BoundedCache(Generic[_K, _V]):
         return self._data.items()
 
 
+class CacheStats:
+    """A point-in-time snapshot of one database's subset-cache behaviour.
+
+    Returned by :meth:`Database.cache_stats`.  ``join_hits`` counts
+    lookups served by the join memo (a materialized subset join),
+    ``tau_hits`` lookups served by the count-only tau-cache, and
+    ``computed`` the subset joins/counts actually computed;
+    ``join_entries``/``tau_entries`` are the cache sizes at snapshot
+    time.  Snapshots subtract (:meth:`delta`), so a profiler can charge
+    cache traffic to individual plan steps.
+    """
+
+    __slots__ = ("join_hits", "tau_hits", "computed", "join_entries", "tau_entries")
+
+    def __init__(
+        self,
+        join_hits: int = 0,
+        tau_hits: int = 0,
+        computed: int = 0,
+        join_entries: int = 0,
+        tau_entries: int = 0,
+    ):
+        self.join_hits = join_hits
+        self.tau_hits = tau_hits
+        self.computed = computed
+        self.join_entries = join_entries
+        self.tau_entries = tau_entries
+
+    @property
+    def hits(self) -> int:
+        """All cache hits (join memo + tau-cache)."""
+        return self.join_hits + self.tau_hits
+
+    @property
+    def lookups(self) -> int:
+        """All subset lookups (hits + computed)."""
+        return self.hits + self.computed
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / lookups`` (0.0 when nothing was looked up)."""
+        lookups = self.lookups
+        if lookups == 0:
+            return 0.0
+        return self.hits / lookups
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """The traffic between ``earlier`` and this snapshot (the counter
+        differences; entry counts stay at this snapshot's values)."""
+        return CacheStats(
+            join_hits=self.join_hits - earlier.join_hits,
+            tau_hits=self.tau_hits - earlier.tau_hits,
+            computed=self.computed - earlier.computed,
+            join_entries=self.join_entries,
+            tau_entries=self.tau_entries,
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """A JSON-ready dict including the derived hit rate."""
+        return {
+            "join_hits": self.join_hits,
+            "tau_hits": self.tau_hits,
+            "computed": self.computed,
+            "hit_rate": self.hit_rate,
+            "join_entries": self.join_entries,
+            "tau_entries": self.tau_entries,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheStats hits={self.hits} (join={self.join_hits} "
+            f"tau={self.tau_hits}) computed={self.computed} "
+            f"hit_rate={self.hit_rate:.3f}>"
+        )
+
+
 class Database:
     """An immutable database: one relation state per relation scheme."""
 
-    __slots__ = ("_relations", "_scheme", "_join_cache", "_tau_cache")
+    __slots__ = (
+        "_relations",
+        "_scheme",
+        "_join_cache",
+        "_tau_cache",
+        "_join_hits",
+        "_tau_hits",
+        "_computed",
+    )
 
     #: Default bound of the tau-cache.  Counts are a single int per subset,
     #: so the bound exists only to keep pathological enumerations in check.
@@ -170,6 +254,13 @@ class Database:
             join_cache_size,
             on_evict=lambda key, rel: self._tau_cache.put(key, len(rel)),
         )
+        # Per-instance cache accounting behind Database.cache_stats().
+        # Plain int bumps on paths that already do cache lookups -- cheap
+        # enough to track unconditionally, so the snapshot API works with
+        # observability off.
+        self._join_hits = 0
+        self._tau_hits = 0
+        self._computed = 0
 
     # -- constructors -----------------------------------------------------------
 
@@ -263,9 +354,11 @@ class Database:
         """
         cached = self._join_cache.get(chosen)
         if cached is not None:
+            self._join_hits += 1
             if _METRICS.enabled:
                 _CACHE_HITS.inc()
             return cached
+        self._computed += 1
         if _TRACER.enabled:
             with _TRACER.span("db.join", relations=len(chosen)) as span:
                 result = self._compute_join(chosen)
@@ -334,14 +427,17 @@ class Database:
         chosen = self._resolve_subset(subset)
         cached = self._join_cache.get(chosen)
         if cached is not None:
+            self._join_hits += 1
             if _METRICS.enabled:
                 _CACHE_HITS.inc()
             return len(cached)
         tau = self._tau_cache.get(chosen)
         if tau is not None:
+            self._tau_hits += 1
             if _METRICS.enabled:
                 _CACHE_HITS.inc()
             return tau
+        self._computed += 1
         if _TRACER.enabled:
             with _TRACER.span(
                 "db.join", relations=len(chosen), mode="count"
@@ -449,6 +545,31 @@ class Database:
     def is_nonnull(self) -> bool:
         """The paper's standing hypothesis ``R_D ≠ ∅``."""
         return self.tau_of(None) > 0
+
+    # -- cache telemetry ----------------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        """A snapshot of this database's subset-cache counters.
+
+        Counts accumulate per :class:`Database` instance from construction
+        (restrictions and ``with_state`` copies start fresh) and are
+        tracked with or without observability enabled.  Two snapshots
+        subtract via :meth:`CacheStats.delta`, which is how the profiler
+        (:mod:`repro.obs.profile`) charges cache traffic to plan steps.
+        """
+        return CacheStats(
+            join_hits=self._join_hits,
+            tau_hits=self._tau_hits,
+            computed=self._computed,
+            join_entries=len(self._join_cache),
+            tau_entries=len(self._tau_cache),
+        )
+
+    def reset_cache_stats(self) -> None:
+        """Zero the hit/computed counters (cache contents are untouched)."""
+        self._join_hits = 0
+        self._tau_hits = 0
+        self._computed = 0
 
     # -- derived databases ----------------------------------------------------------
 

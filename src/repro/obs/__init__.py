@@ -1,12 +1,21 @@
-"""Observability: execution tracing, metrics, and telemetry export.
+"""Observability: execution tracing, metrics, telemetry export, and
+profiling.
 
-The subsystem has three small parts:
+The subsystem has five small parts:
 
 * :mod:`repro.obs.trace` -- a nested span tracer with a context-manager
   API, per-span attributes, and monotonic timings;
 * :mod:`repro.obs.metrics` -- a process-wide registry of counters,
-  gauges, and histograms with label support;
-* :mod:`repro.obs.export` -- JSONL export and human-readable rendering.
+  gauges, and histograms (with p50/p95/p99 percentiles) and label
+  support;
+* :mod:`repro.obs.export` -- JSONL, Chrome-trace (Perfetto), and
+  Prometheus export plus human-readable rendering;
+* :mod:`repro.obs.profile` -- the ``EXPLAIN ANALYZE``-style
+  :class:`~repro.obs.profile.RunReport` profiler (per-step estimated vs
+  actual tau, Q-error, wall time, kernel counters, cache hit rates,
+  per-phase peak memory);
+* :mod:`repro.obs.regress` -- the perf-regression sentinel that diffs
+  fresh ``BENCH_*.json`` runs against ``benchmarks/baselines/``.
 
 Everything is **off by default and free when off**: the singletons are
 created disabled, instrumented hot paths guard on a single flag, and the
@@ -37,12 +46,16 @@ from contextlib import contextmanager
 
 from repro.obs.export import (
     metrics_to_jsonl,
+    metrics_to_prometheus,
     read_jsonl,
     record_strategy_steps,
     render_metrics,
     render_span_tree,
+    spans_to_chrome_trace,
     spans_to_jsonl,
+    write_chrome_trace,
     write_jsonl,
+    write_prometheus,
 )
 from repro.obs.metrics import (
     Counter,
@@ -66,6 +79,10 @@ __all__ = [
     "metrics_to_jsonl",
     "write_jsonl",
     "read_jsonl",
+    "spans_to_chrome_trace",
+    "write_chrome_trace",
+    "metrics_to_prometheus",
+    "write_prometheus",
     "render_span_tree",
     "render_metrics",
     "record_strategy_steps",
@@ -74,6 +91,8 @@ __all__ = [
     "is_enabled",
     "reset",
     "observed",
+    "RunReport",
+    "StepProfile",
 ]
 
 
@@ -103,11 +122,25 @@ def reset() -> None:
 @contextmanager
 def observed():
     """Enable observability for a ``with`` block, restoring the previous
-    state afterwards (spans/metrics recorded inside are kept)."""
+    enabled/disabled state afterwards -- including when the body raises
+    (spans/metrics recorded inside are kept).  The previous state is
+    captured *before* anything is flipped and restored in a ``finally``,
+    so no exit path can leave the layer stuck on."""
     tracer, registry = get_tracer(), get_registry()
     before = (tracer.enabled, registry.enabled)
-    enable()
     try:
+        enable()
         yield tracer
     finally:
         tracer.enabled, registry.enabled = before
+
+
+def __getattr__(name: str):
+    # Lazy: repro.obs.profile imports the database/optimizer stack, which
+    # itself imports repro.obs at interpreter start -- resolving RunReport
+    # on first touch keeps the package import-cycle free.
+    if name in ("RunReport", "StepProfile"):
+        from repro.obs import profile
+
+        return getattr(profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,10 +1,17 @@
 """Exporting and rendering spans and metrics.
 
-Two consumers, two formats:
+Several consumers, several formats:
 
 * machines get **JSONL** -- one JSON object per line, spans first (in
   completion order) then metric rows, each self-describing via a
   ``"type"`` field (see docs/observability.md for the schema);
+* trace viewers get the **Chrome Trace Event format**
+  (:func:`spans_to_chrome_trace` / :func:`write_chrome_trace`) --
+  loadable in Perfetto or ``chrome://tracing``;
+* scrapers get the **Prometheus text exposition format**
+  (:func:`metrics_to_prometheus` / :func:`write_prometheus`), with
+  histogram series exported as summaries carrying p50/p95/p99
+  quantiles;
 * humans get plain text -- the span forest indented by parentage with
   millisecond durations, and metrics through the same
   :class:`repro.report.Table` every benchmark uses.
@@ -17,9 +24,10 @@ tau -- the per-step quantity the paper's whole argument is about.
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.metrics import HistogramSummary, MetricsRegistry, get_registry
 from repro.obs.trace import Span, Tracer, get_tracer
 from repro.report import Table
 
@@ -28,6 +36,10 @@ __all__ = [
     "metrics_to_jsonl",
     "write_jsonl",
     "read_jsonl",
+    "spans_to_chrome_trace",
+    "write_chrome_trace",
+    "metrics_to_prometheus",
+    "write_prometheus",
     "render_span_tree",
     "render_metrics",
     "record_strategy_steps",
@@ -76,6 +88,169 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+# -- Chrome Trace Event format -------------------------------------------------
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def spans_to_chrome_trace(
+    spans: Optional[Sequence[Span]] = None, process_name: str = "repro"
+) -> Dict[str, Any]:
+    """The span forest as a Chrome Trace Event document (a JSON-ready
+    dict), loadable in Perfetto or ``chrome://tracing``.
+
+    Every span becomes one *complete* event (``"ph": "X"``) with
+    microsecond ``ts``/``dur`` relative to the earliest span (fractional
+    microseconds keep the nanosecond resolution); attributes ride in
+    ``args`` and the span's dotted-name prefix becomes the ``cat``
+    category.  All events share one ``pid``/``tid`` -- the tracer is
+    single-threaded -- so the viewer reconstructs nesting from the
+    timestamps, which mirror the span tree's parentage (a parent opens
+    before and closes after all of its children).  A leading metadata
+    event (``"ph": "M"``) names the process.
+    """
+    chosen = list(spans if spans is not None else get_tracer().finished_spans())
+    origin = min((s.start_ns for s in chosen), default=0)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in sorted(chosen, key=lambda s: (s.start_ns, s.span_id)):
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (span.start_ns - origin) / 1000.0,
+                "dur": span.duration_ns / 1000.0,
+                "pid": 1,
+                "tid": 1,
+                "args": {
+                    key: _json_safe(span.attributes[key])
+                    for key in sorted(span.attributes)
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Optional[Sequence[Span]] = None,
+    process_name: str = "repro",
+) -> int:
+    """Write the Chrome-trace document to ``path``; returns the number of
+    span events written (the metadata event is not counted)."""
+    document = spans_to_chrome_trace(spans, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.write("\n")
+    return len(document["traceEvents"]) - 1
+
+
+# -- Prometheus text exposition format -----------------------------------------
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: The quantiles exported for every histogram series.
+PROMETHEUS_QUANTILES = ((0.5, 50.0), (0.95, 95.0), (0.99, 99.0))
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_INVALID.sub("_", name)
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(key)}="{_prom_escape(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _prom_number(value: Any) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def metrics_to_prometheus(
+    registry: Optional[MetricsRegistry] = None, prefix: str = "repro_"
+) -> str:
+    """The registry snapshot in the Prometheus text exposition format.
+
+    Counters export as ``<prefix><name>_total``, gauges as
+    ``<prefix><name>``, and histograms as *summaries*: one sample per
+    quantile in :data:`PROMETHEUS_QUANTILES` (``quantile`` label), plus
+    ``_sum`` and ``_count`` samples.  Metric names are sanitized to the
+    Prometheus charset (dots become underscores) and label values are
+    escaped per the exposition format.  Only nonempty series are
+    exported; the result ends with a newline when nonempty.
+    """
+    chosen = registry if registry is not None else get_registry()
+    lines: List[str] = []
+    for instrument in chosen.instruments():
+        series = instrument.series()
+        if not series:
+            continue
+        base = prefix + _prom_name(instrument.name)
+        if instrument.kind == "counter":
+            name, prom_type = base + "_total", "counter"
+        elif instrument.kind == "gauge":
+            name, prom_type = base, "gauge"
+        else:
+            name, prom_type = base, "summary"
+        if instrument.description:
+            lines.append(f"# HELP {name} {_prom_escape(instrument.description)}")
+        lines.append(f"# TYPE {name} {prom_type}")
+        for key, value in sorted(series.items()):
+            labels = dict(key)
+            if isinstance(value, HistogramSummary):
+                for quantile, percentile in PROMETHEUS_QUANTILES:
+                    with_quantile = dict(labels)
+                    with_quantile["quantile"] = str(quantile)
+                    lines.append(
+                        f"{name}{_prom_labels(with_quantile)} "
+                        f"{_prom_number(value.percentile(percentile))}"
+                    )
+                lines.append(
+                    f"{name}_sum{_prom_labels(labels)} {_prom_number(value.total)}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(labels)} {value.count}"
+                )
+            else:
+                lines.append(f"{name}{_prom_labels(labels)} {_prom_number(value)}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    path: str, registry: Optional[MetricsRegistry] = None, prefix: str = "repro_"
+) -> int:
+    """Write the Prometheus exposition to ``path``; returns the number of
+    lines written."""
+    body = metrics_to_prometheus(registry, prefix=prefix)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(body)
+    return body.count("\n")
 
 
 def _format_attributes(attributes: Dict[str, Any]) -> str:
@@ -135,7 +310,9 @@ def render_metrics(registry: Optional[MetricsRegistry] = None) -> str:
         if isinstance(value, dict):  # histogram summary
             value = (
                 f"n={value['count']} mean={value['mean']:.3f} "
-                f"min={value['min']} max={value['max']}"
+                f"min={value['min']} max={value['max']} "
+                f"p50={value['p50']:.3f} p95={value['p95']:.3f} "
+                f"p99={value['p99']:.3f}"
             )
         table.add_row(row["name"], labels, value)
     return table.render()

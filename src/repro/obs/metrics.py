@@ -29,6 +29,7 @@ control flow.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -107,15 +108,23 @@ class Gauge(_Instrument):
 
 
 class HistogramSummary:
-    """The running summary a :class:`Histogram` keeps per series."""
+    """The running summary a :class:`Histogram` keeps per series.
 
-    __slots__ = ("count", "total", "min", "max")
+    Besides the running count/sum/min/max, every observation is retained
+    (these are per-run telemetry series, not unbounded server streams) so
+    exact percentiles are available: :meth:`percentile` answers any
+    quantile, and ``to_dict`` carries the p50/p95/p99 trio the exporters
+    surface (JSONL, ``render_metrics``, Prometheus summaries).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: List[float] = []
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -124,6 +133,7 @@ class HistogramSummary:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self._samples.append(value)
 
     @property
     def mean(self) -> float:
@@ -132,6 +142,22 @@ class HistogramSummary:
             return 0.0
         return self.total / self.count
 
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile (``0 <= q <= 100``), linearly
+        interpolated between adjacent observations; ``None`` when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ReproError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = (len(ordered) - 1) * (q / 100.0)
+        lower = math.floor(rank)
+        upper = math.ceil(rank)
+        if lower == upper:
+            return ordered[lower]
+        fraction = rank - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,
@@ -139,6 +165,9 @@ class HistogramSummary:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
     def __repr__(self) -> str:

@@ -133,9 +133,14 @@ class CardinalityEstimator:
         self._memo[key] = size
         return size
 
+    def estimate_step(self, step) -> float:
+        """The estimated output size of one strategy step (the estimated
+        tau of the subset its node joins)."""
+        return self.estimate(step.scheme_set.schemes)
+
     def estimate_strategy(self, strategy) -> float:
         """The estimated tau of a whole strategy (sum over its steps)."""
-        return sum(self.estimate(step.scheme_set.schemes) for step in strategy.steps())
+        return sum(self.estimate_step(step) for step in strategy.steps())
 
 
 class EstimatedRun:
@@ -193,6 +198,15 @@ class StepEstimate:
         est = max(self.estimated, 1.0)
         act = max(float(self.actual), 1.0)
         return max(est / act, act / est)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict (used by the profiler's report export)."""
+        return {
+            "step": self.step,
+            "estimated": self.estimated,
+            "actual": self.actual,
+            "q_error": self.q_error,
+        }
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,138 @@
+"""The Chrome Trace Event exporter: schema, nesting, and file output.
+
+The documents must load in Perfetto / ``chrome://tracing``, so these
+tests pin the parts of the Trace Event format the viewers rely on:
+complete events (``"ph": "X"``) with microsecond ``ts``/``dur``,
+``pid``/``tid`` on every event, and child intervals enclosed by their
+parents' so the viewer reconstructs the span tree from timestamps.
+"""
+
+import json
+
+import repro.obs as obs
+from repro.obs.export import spans_to_chrome_trace, write_chrome_trace
+from repro.obs.trace import Span, Tracer
+
+
+def _traced_tree():
+    """A tracer holding root -> (child -> grandchild, sibling)."""
+    tracer = Tracer(enabled=True)
+    with tracer.span("cli.optimize", shape="chain") as root:
+        with tracer.span("optimize.dp", space="all") as child:
+            with tracer.span("db.join", tau=12):
+                pass
+        with tracer.span("db.join", tau=7):
+            pass
+    assert root is not child
+    return tracer
+
+
+class TestDocumentSchema:
+    def test_top_level_keys(self):
+        document = spans_to_chrome_trace(_traced_tree().finished_spans())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_document_is_json_serialisable(self):
+        document = spans_to_chrome_trace(_traced_tree().finished_spans())
+        assert json.loads(json.dumps(document)) == document
+
+    def test_leading_metadata_event_names_the_process(self):
+        document = spans_to_chrome_trace(
+            _traced_tree().finished_spans(), process_name="bench"
+        )
+        metadata = document["traceEvents"][0]
+        assert metadata["ph"] == "M"
+        assert metadata["name"] == "process_name"
+        assert metadata["args"] == {"name": "bench"}
+
+    def test_complete_events_carry_required_fields(self):
+        document = spans_to_chrome_trace(_traced_tree().finished_spans())
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 4
+        for event in events:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(event)
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 1
+            assert event["tid"] == 1
+
+    def test_category_is_dotted_name_prefix(self):
+        document = spans_to_chrome_trace(_traced_tree().finished_spans())
+        categories = {e["name"]: e["cat"] for e in document["traceEvents"][1:]}
+        assert categories["cli.optimize"] == "cli"
+        assert categories["optimize.dp"] == "optimize"
+        assert categories["db.join"] == "db"
+
+    def test_timestamps_are_relative_to_earliest_span(self):
+        document = spans_to_chrome_trace(_traced_tree().finished_spans())
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in events) == 0.0
+
+    def test_attributes_become_args(self):
+        document = spans_to_chrome_trace(_traced_tree().finished_spans())
+        by_name = {}
+        for event in document["traceEvents"][1:]:
+            by_name.setdefault(event["name"], event)
+        assert by_name["cli.optimize"]["args"] == {"shape": "chain"}
+        assert by_name["optimize.dp"]["args"] == {"space": "all"}
+
+    def test_non_primitive_attributes_are_stringified(self):
+        span = Span(
+            "s", span_id=1, parent_id=None, start_ns=0, attributes={"obj": [1, 2]}
+        )
+        span.end_ns = 10
+        document = spans_to_chrome_trace([span])
+        assert document["traceEvents"][1]["args"] == {"obj": "[1, 2]"}
+
+    def test_empty_span_list_still_valid(self):
+        document = spans_to_chrome_trace([])
+        assert [e["ph"] for e in document["traceEvents"]] == ["M"]
+
+
+class TestNestingMatchesSpanTree:
+    def test_parent_interval_encloses_children(self):
+        tracer = _traced_tree()
+        spans = {s.span_id: s for s in tracer.finished_spans()}
+        document = spans_to_chrome_trace(tracer.finished_spans())
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        # Match events back to spans by (name, sorted order == start order).
+        ordered_spans = sorted(spans.values(), key=lambda s: (s.start_ns, s.span_id))
+        intervals = {}
+        for span, event in zip(ordered_spans, events):
+            assert span.name == event["name"]
+            intervals[span.span_id] = (event["ts"], event["ts"] + event["dur"])
+        for span in ordered_spans:
+            if span.parent_id is None:
+                continue
+            child_start, child_end = intervals[span.span_id]
+            parent_start, parent_end = intervals[span.parent_id]
+            assert parent_start <= child_start
+            assert child_end <= parent_end
+
+    def test_events_sorted_by_start_time(self):
+        document = spans_to_chrome_trace(_traced_tree().finished_spans())
+        timestamps = [e["ts"] for e in document["traceEvents"] if e["ph"] == "X"]
+        assert timestamps == sorted(timestamps)
+
+
+class TestWriteChromeTrace:
+    def test_writes_parseable_file_and_counts_span_events(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(str(path), _traced_tree().finished_spans())
+        assert written == 4
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert len(document["traceEvents"]) == 5  # metadata + 4 spans
+        assert path.read_text(encoding="utf-8").endswith("\n")
+
+    def test_defaults_to_process_tracer(self, tmp_path):
+        path = tmp_path / "trace.json"
+        with obs.observed() as tracer:
+            with tracer.span("root"):
+                tracer.event("leaf")
+        written = write_chrome_trace(str(path))
+        assert written == 2
+        names = {e["name"] for e in json.loads(path.read_text())["traceEvents"]}
+        assert {"process_name", "root", "leaf"} <= names

@@ -6,12 +6,14 @@ import repro.obs as obs
 from repro import database, parse_strategy, relation, tau_cost
 from repro.obs.export import (
     metrics_to_jsonl,
+    metrics_to_prometheus,
     read_jsonl,
     record_strategy_steps,
     render_metrics,
     render_span_tree,
     spans_to_jsonl,
     write_jsonl,
+    write_prometheus,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
@@ -96,6 +98,70 @@ class TestRenderings:
         assert "joins" in text
         assert "kind=hash" in text
         assert "n=1 mean=2.000" in text
+
+    def test_render_metrics_includes_percentiles(self):
+        registry = MetricsRegistry(enabled=True)
+        h = registry.histogram("latency")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        text = render_metrics(registry)
+        assert "p50=2.500" in text
+        assert "p95=3.850" in text
+        assert "p99=3.970" in text
+
+
+class TestPrometheus:
+    def test_counter_gets_total_suffix_and_type(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("join.probes", "hash-table probes").inc(7)
+        text = metrics_to_prometheus(registry)
+        assert "# HELP repro_join_probes_total hash-table probes" in text
+        assert "# TYPE repro_join_probes_total counter" in text
+        assert "repro_join_probes_total 7" in text
+        assert text.endswith("\n")
+
+    def test_gauge_keeps_bare_name(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.gauge("optimizer.depth").set(3)
+        text = metrics_to_prometheus(registry)
+        assert "# TYPE repro_optimizer_depth gauge" in text
+        assert "repro_optimizer_depth 3" in text
+
+    def test_labels_sorted_and_escaped(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("joins").inc(2, kind='ha"sh', space="all")
+        text = metrics_to_prometheus(registry)
+        assert 'repro_joins_total{kind="ha\\"sh",space="all"} 2' in text
+
+    def test_histogram_exports_as_summary_with_quantiles(self):
+        registry = MetricsRegistry(enabled=True)
+        h = registry.histogram("qerror")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        text = metrics_to_prometheus(registry)
+        assert "# TYPE repro_qerror summary" in text
+        assert 'repro_qerror{quantile="0.5"} 2.0' in text
+        assert 'repro_qerror{quantile="0.95"}' in text
+        assert 'repro_qerror{quantile="0.99"}' in text
+        assert "repro_qerror_sum 6.0" in text
+        assert "repro_qerror_count 3" in text
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("x").inc()
+        assert "app_x_total 1" in metrics_to_prometheus(registry, prefix="app_")
+
+    def test_empty_registry_yields_empty_string(self):
+        assert metrics_to_prometheus(MetricsRegistry(enabled=True)) == ""
+
+    def test_write_prometheus_counts_lines(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("joins").inc(1)
+        path = tmp_path / "metrics.prom"
+        lines = write_prometheus(str(path), registry)
+        body = path.read_text(encoding="utf-8")
+        assert lines == len(body.splitlines()) == 2  # TYPE + sample
+        assert body.endswith("\n")
 
 
 class TestRecordStrategySteps:

@@ -82,12 +82,61 @@ class TestHistogram:
             "min": 1.0,
             "max": 4.0,
             "mean": pytest.approx(7.0 / 3.0),
+            "p50": 2.0,
+            "p95": pytest.approx(3.8),
+            "p99": pytest.approx(3.96),
         }
 
     def test_noop_when_disabled(self):
         h = MetricsRegistry(enabled=False).histogram("quiet")
         h.observe(1.0)
         assert h.value() is None
+
+
+class TestHistogramPercentiles:
+    def _summary(self, values):
+        registry = MetricsRegistry(enabled=True)
+        h = registry.histogram("latency")
+        for v in values:
+            h.observe(v)
+        return h.value()
+
+    def test_exact_ranks(self):
+        # 1..101: the q-th percentile lands exactly on sample q+1.
+        summary = self._summary(range(1, 102))
+        assert summary.percentile(0) == 1
+        assert summary.percentile(50) == 51
+        assert summary.percentile(95) == 96
+        assert summary.percentile(99) == 100
+        assert summary.percentile(100) == 101
+
+    def test_linear_interpolation_between_samples(self):
+        summary = self._summary([10.0, 20.0])
+        assert summary.percentile(50) == pytest.approx(15.0)
+        assert summary.percentile(95) == pytest.approx(19.5)
+
+    def test_single_sample_is_every_percentile(self):
+        summary = self._summary([7.0])
+        assert summary.percentile(50) == 7.0
+        assert summary.percentile(99) == 7.0
+
+    def test_insertion_order_does_not_matter(self):
+        shuffled = self._summary([5.0, 1.0, 3.0, 4.0, 2.0])
+        ordered = self._summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        for q in (50, 95, 99):
+            assert shuffled.percentile(q) == ordered.percentile(q)
+
+    def test_out_of_range_percentile_rejected(self):
+        summary = self._summary([1.0])
+        with pytest.raises(ReproError):
+            summary.percentile(101)
+        with pytest.raises(ReproError):
+            summary.percentile(-1)
+
+    def test_empty_summary_has_no_percentiles(self):
+        from repro.obs.metrics import HistogramSummary
+
+        assert HistogramSummary().percentile(50) is None
 
 
 class TestRegistry:
@@ -127,6 +176,9 @@ class TestRegistry:
                     "min": 2.0,
                     "max": 2.0,
                     "mean": 2.0,
+                    "p50": 2.0,
+                    "p95": 2.0,
+                    "p99": 2.0,
                 },
             },
         ]

@@ -1,0 +1,148 @@
+"""The EXPLAIN ANALYZE profiler: capture invariants, rendering, export."""
+
+import json
+import random
+
+import pytest
+
+import repro.obs as obs
+from repro.database import Database
+from repro.obs.profile import KERNEL_COUNTERS, RunReport, StepProfile
+from repro.optimizer.dp import optimize_dp
+from repro.optimizer.spaces import SearchSpace
+from repro.workloads.generators import WorkloadSpec, chain_scheme, generate_database
+
+RELATIONS = 4
+SPEC = WorkloadSpec(size=12, domain=5)
+
+
+def _db(seed=0):
+    return generate_database(chain_scheme(RELATIONS), random.Random(seed), SPEC)
+
+
+@pytest.fixture(scope="module")
+def report():
+    captured = RunReport.capture(_db(), workload={"shape": "chain", "seed": 0})
+    obs.disable()
+    obs.reset()
+    return captured
+
+
+class TestCaptureInvariants:
+    def test_one_profile_per_join_step(self, report):
+        assert len(report.steps) == RELATIONS - 1
+        assert all(isinstance(step, StepProfile) for step in report.steps)
+
+    def test_tau_is_sum_of_actuals_and_matches_dp_cost(self, report):
+        assert report.tau == sum(step.actual for step in report.steps)
+        assert report.tau == optimize_dp(_db()).cost
+
+    def test_q_error_floor(self, report):
+        for step in report.steps:
+            assert step.q_error >= 1.0
+        assert report.qerror["max"] >= 1.0
+        assert report.qerror["geometric_mean"] >= 1.0
+
+    def test_kernel_counters_are_live(self, report):
+        # A cold-cache execution really probes and produces tuples.
+        assert sum(step.probes for step in report.steps) > 0
+        assert sum(step.output_tuples for step in report.steps) > 0
+        for step in report.steps:
+            assert step.probes >= 0
+            assert step.comparisons >= 0
+            assert step.wall_ns >= 0
+
+    def test_phases_recorded_in_order_with_memory_peaks(self, report):
+        assert list(report.phases) == ["plan", "statistics", "execute"]
+        for numbers in report.phases.values():
+            assert numbers["wall_s"] >= 0.0
+            assert numbers["peak_kb"] is not None
+            assert numbers["peak_kb"] >= 0.0
+
+    def test_cache_stats_snapshots(self, report):
+        assert 0.0 <= report.planner_cache.hit_rate <= 1.0
+        assert 0.0 <= report.executor_cache.hit_rate <= 1.0
+        # The planner memoizes heavily; the DP must have hit its caches.
+        assert report.planner_cache.lookups > 0
+
+    def test_observability_state_restored(self):
+        assert not obs.is_enabled()
+        RunReport.capture(_db(), track_memory=False)
+        assert not obs.is_enabled()
+        assert not obs.get_registry().enabled
+        obs.reset()
+
+    def test_capture_records_spans_for_chrome_export(self):
+        obs.reset()
+        RunReport.capture(_db(), track_memory=False)
+        names = {span.name for span in obs.get_tracer().finished_spans()}
+        assert names, "capture must leave its span tree behind for export"
+        obs.reset()
+
+    def test_track_memory_false_reports_none_peaks(self):
+        report = RunReport.capture(_db(), track_memory=False)
+        obs.reset()
+        assert all(n["peak_kb"] is None for n in report.phases.values())
+
+    def test_manual_strategy_skips_planning(self):
+        planned = optimize_dp(_db())
+        report = RunReport.capture(_db(), strategy=planned.strategy, track_memory=False)
+        obs.reset()
+        assert report.optimizer == "manual"
+        assert report.strategy is planned.strategy
+        assert report.tau == planned.cost
+
+
+class TestRendering:
+    def test_render_contains_table_and_summary(self, report):
+        text = report.render()
+        assert "EXPLAIN ANALYZE:" in text
+        for column in ("est tau", "actual tau", "q-error", "time (ms)", "cache hit"):
+            assert column in text
+        assert "plan tau" in text
+        assert "q-error max" in text
+        assert "phase[execute]" in text
+        # Steps are numbered.
+        assert "1. " in text
+
+    def test_step_rows_match_step_count(self, report):
+        text = report.render()
+        for index in range(1, len(report.steps) + 1):
+            assert f"{index}. " in text
+
+
+class TestExport:
+    def test_to_json_roundtrip(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["tau"] == report.tau
+        assert payload["space"] == "all"
+        assert payload["workload"] == {"shape": "chain", "seed": 0}
+        assert len(payload["steps"]) == len(report.steps)
+        for row in payload["steps"]:
+            assert {"step", "estimated", "actual", "q_error", "wall_ms",
+                    "probes", "comparisons", "output_tuples",
+                    "cache_hit_rate", "cartesian"} <= set(row)
+        assert set(payload["phases"]) == {"plan", "statistics", "execute"}
+        assert "hit_rate" in payload["planner_cache"]
+
+    def test_write_json(self, report, tmp_path):
+        path = tmp_path / "profile.json"
+        report.write_json(str(path))
+        assert json.loads(path.read_text())["tau"] == report.tau
+
+    def test_kernel_counter_names_are_the_documented_trio(self):
+        assert KERNEL_COUNTERS == (
+            "join.probes",
+            "join.comparisons",
+            "join.output_tuples",
+        )
+
+
+class TestLazyImports:
+    def test_runreport_reachable_from_obs_namespace(self):
+        assert obs.RunReport is RunReport
+        assert obs.StepProfile is StepProfile
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            obs.does_not_exist

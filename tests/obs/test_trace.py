@@ -135,3 +135,23 @@ class TestModuleToggles:
         assert not obs.is_enabled()
         # Spans recorded inside the block are kept.
         assert len(get_tracer().spans_named("inside")) == 1
+
+    def test_observed_restores_state_when_body_raises(self):
+        # Regression: the previous enabled/disabled state must come back
+        # even when the body raises -- for both flags, from both states.
+        assert not obs.is_enabled()
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.observed() as tracer:
+                tracer.event("doomed")
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+        assert not obs.get_registry().enabled
+        # Spans recorded before the crash are kept.
+        assert len(get_tracer().spans_named("doomed")) == 1
+
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.observed():
+                raise ValueError
+        assert obs.is_enabled()
+        assert obs.get_registry().enabled

@@ -147,6 +147,60 @@ class TestTracedOptimize:
         assert "stats:" not in out
 
 
+class TestExplainCommand:
+    _BASE = ["explain", "--shape", "chain", "--relations", "4", "--size", "10"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.shape == "chain"
+        assert args.relations == 5
+        assert args.space == "all"
+        assert args.profile_json is None
+        assert args.chrome_trace is None
+        assert args.prometheus is None
+        assert args.no_memory is False
+
+    def test_prints_explain_analyze_table(self, capsys):
+        assert main(self._BASE) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE:" in out
+        for column in ("est tau", "actual tau", "q-error", "time (ms)", "cache hit"):
+            assert column in out
+        assert "plan tau" in out
+        assert "phase[execute]" in out
+
+    def test_profile_json_export(self, capsys, tmp_path):
+        path = tmp_path / "profile.json"
+        assert main(self._BASE + ["--profile-json", str(path)]) == 0
+        assert f"wrote profile JSON to {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert len(payload["steps"]) == 3
+        assert payload["tau"] == sum(s["actual"] for s in payload["steps"])
+        assert payload["workload"]["shape"] == "chain"
+
+    def test_chrome_trace_export(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(self._BASE + ["--chrome-trace", str(path)]) == 0
+        assert "Chrome-trace events" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_prometheus_export(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert main(self._BASE + ["--prometheus", str(path)]) == 0
+        assert "Prometheus exposition lines" in capsys.readouterr().out
+        body = path.read_text()
+        assert "repro_join_probes_total" in body
+
+    def test_leaves_observability_dormant(self, capsys):
+        assert main(self._BASE + ["--no-memory"]) == 0
+        capsys.readouterr()
+        assert not obs.is_enabled()
+        assert len(obs.get_tracer()) == 0
+
+
 class TestConditionsCommand:
     def test_example5_verdicts(self, capsys):
         assert main(["conditions", "--example", "5"]) == 0

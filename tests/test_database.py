@@ -115,6 +115,88 @@ class TestRepr:
         assert "R1(3)" in repr(chain3)
 
 
+class TestCacheStats:
+    def test_fresh_database_has_zero_traffic(self, chain3):
+        stats = chain3.cache_stats()
+        assert stats.hits == stats.lookups == stats.computed == 0
+        assert stats.hit_rate == 0.0
+
+    def test_join_memo_hits_are_counted(self, chain3):
+        chain3.join_of(["AB", "BC"])
+        computed_once = chain3.cache_stats()
+        assert computed_once.computed > 0
+        assert computed_once.join_hits == 0
+        chain3.join_of(["BC", "AB"])
+        stats = chain3.cache_stats()
+        assert stats.join_hits == 1
+        assert stats.computed == computed_once.computed
+        assert stats.join_entries > 0
+
+    def test_tau_cache_hits_are_counted(self, chain3):
+        chain3.tau_of(["AB"])
+        chain3.tau_of(["AB"])
+        stats = chain3.cache_stats()
+        assert stats.tau_hits == 1
+        assert stats.tau_entries > 0
+
+    def test_hit_rate(self, chain3):
+        chain3.tau_of(["AB"])
+        chain3.tau_of(["AB"])
+        chain3.tau_of(["AB"])
+        stats = chain3.cache_stats()
+        assert stats.hit_rate == pytest.approx(stats.hits / stats.lookups)
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_delta_subtracts_counters_keeps_entries(self, chain3):
+        chain3.tau_of(["AB"])
+        before = chain3.cache_stats()
+        chain3.tau_of(["AB"])
+        chain3.join_of(["AB", "BC"])
+        delta = chain3.cache_stats().delta(before)
+        assert delta.tau_hits == 1
+        assert delta.computed == chain3.cache_stats().computed - before.computed
+        assert delta.join_entries == len(chain3._join_cache)
+
+    def test_reset_zeroes_counters_not_caches(self, chain3):
+        chain3.join_of(["AB", "BC"])
+        chain3.join_of(["AB", "BC"])
+        chain3.reset_cache_stats()
+        stats = chain3.cache_stats()
+        assert stats.hits == stats.computed == 0
+        assert stats.join_entries > 0  # the memo itself survives
+        chain3.join_of(["AB", "BC"])
+        assert chain3.cache_stats().join_hits == 1  # still a cache hit
+
+    def test_snapshots_are_independent(self, chain3):
+        first = chain3.cache_stats()
+        chain3.tau_of(["AB"])
+        assert first.computed == 0  # snapshot, not a live view
+
+    def test_clone_starts_fresh(self, chain3):
+        chain3.join_of(["AB", "BC"])
+        clone = Database(chain3.relations())
+        assert clone.cache_stats().lookups == 0
+
+    def test_to_dict_is_json_ready(self, chain3):
+        chain3.tau_of(["AB"])
+        payload = chain3.cache_stats().to_dict()
+        assert set(payload) == {
+            "join_hits",
+            "tau_hits",
+            "computed",
+            "hit_rate",
+            "join_entries",
+            "tau_entries",
+        }
+
+    def test_counting_works_with_observability_off(self, chain3):
+        import repro.obs as obs
+
+        assert not obs.is_enabled()
+        chain3.tau_of(["AB", "BC"])
+        assert chain3.cache_stats().computed > 0
+
+
 class TestJoinMemoConnectivity:
     """Regression tests for the subset-join recursion: connected subsets
     must never be computed through their own Cartesian shattering (the
