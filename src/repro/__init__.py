@@ -84,7 +84,7 @@ from repro.strategy import (
 from repro.query import JoinQuery, Plan
 from repro.theorems import check_theorem1, check_theorem2, check_theorem3
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Database",

@@ -108,6 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
             choices=[s.value for s in SearchSpace],
             default=SearchSpace.ALL.value,
         )
+        add_jobs_flag(command)
+
+    def add_jobs_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="fan the search across N worker processes (0 = all "
+            "cores; default sequential; see docs/performance.md)",
+        )
 
     optimize = sub.add_parser("optimize", help="plan a synthetic database")
     add_workload_flags(optimize)
@@ -162,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         "conditions", help="condition verdicts for a paper example"
     )
     conditions.add_argument("--example", choices=sorted(_EXAMPLES), required=True)
+    add_jobs_flag(conditions)
 
     sample = sub.add_parser(
         "sample", help="cost distribution of uniformly sampled strategies"
@@ -171,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--seed", type=int, default=0)
     sample.add_argument("--samples", type=int, default=200)
     sample.add_argument("--linear", action="store_true")
+    add_jobs_flag(sample)
 
     return parser
 
@@ -261,7 +274,7 @@ def _workload_description(args: argparse.Namespace) -> dict:
 def _cmd_optimize(args: argparse.Namespace) -> int:
     tracing = args.trace or args.trace_json is not None
     db = _workload_db(args)
-    query = JoinQuery(db)
+    query = JoinQuery(db, jobs=args.jobs)
     if not tracing:
         plan = query.optimize(SearchSpace(args.space))
         print(plan.explain())
@@ -319,6 +332,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             SearchSpace(args.space),
             workload=_workload_description(args),
             track_memory=not args.no_memory,
+            jobs=args.jobs,
         )
         print(report.render())
         if args.profile_json is not None:
@@ -336,11 +350,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_conditions(example: str) -> int:
-    db = _EXAMPLES[example]()
+def _cmd_conditions(args: argparse.Namespace) -> int:
+    db = _EXAMPLES[args.example]()
     pairs = []
     for name in ("C1", "C1'", "C2", "C3", "C4"):
-        pairs.append((name, bool(check_condition(db, name))))
+        pairs.append((name, bool(check_condition(db, name, jobs=args.jobs))))
     print(render_kv(pairs))
     return 0
 
@@ -358,7 +372,11 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     db = generate_database(schemes, rng, WorkloadSpec(size=15, domain=5))
     sampler = sample_linear_strategy if args.linear else sample_strategy
     summary = cost_distribution(
-        db, random.Random(args.seed + 1), samples=args.samples, sampler=sampler
+        db,
+        random.Random(args.seed + 1),
+        samples=args.samples,
+        sampler=sampler,
+        jobs=args.jobs,
     )
     summary["true optimum"] = optimize_dp(db).cost
     print(render_kv(sorted(summary.items())))
@@ -378,7 +396,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "explain":
         return _cmd_explain(args)
     if args.command == "conditions":
-        return _cmd_conditions(args.example)
+        return _cmd_conditions(args)
     if args.command == "sample":
         return _cmd_sample(args)
     return 2  # pragma: no cover - argparse enforces the choices

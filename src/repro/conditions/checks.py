@@ -11,6 +11,17 @@ single subset join::
 so all the arithmetic routes through :meth:`Database.tau_of` -- the
 tau-only path that counts subset joins without materializing them and
 caches the counts (docs/performance.md) -- and repeated checks are cheap.
+The subset enumeration itself comes from
+:meth:`Database.connected_subsets`, which memoizes it per database, so
+checking all five conditions enumerates connected subsets once.
+
+The quantifier space is decomposed into **units** -- one ``(E, E1)``
+pair for the C1-style triple conditions, one ``E1`` for the pairwise
+ones -- each owning a contiguous run of instances in the canonical
+nested-loop order.  The sequential checker walks the units in order;
+:mod:`repro.parallel.conditions` fans the same units out across worker
+processes (``jobs=``) and replays the results in canonical order, which
+is what makes the two paths return byte-identical reports.
 
 The checkers return a :class:`ConditionReport` carrying the verdict, the
 number of instances checked, and -- when the condition fails -- concrete
@@ -20,7 +31,7 @@ number of instances checked, and -- when the condition fails -- concrete
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.database import Database
 from repro.errors import ReproError
@@ -98,22 +109,29 @@ _PAIRS_TESTED = _METRICS.counter(
 )
 
 
-def _published(report: "ConditionReport") -> "ConditionReport":
+def _published(report: "ConditionReport", jobs: int = 1) -> "ConditionReport":
     """Record a finished check as an event + counter when observability
-    is on; always returns the report unchanged."""
+    is on; always returns the report unchanged.  Fanned-out checks
+    (``jobs > 1``) record the worker count and pool start method so
+    Chrome-trace exports show the fan-out."""
     if _TRACER.enabled:
-        _TRACER.event(
-            "conditions.check",
-            condition=report.condition,
-            instances=report.instances_checked,
-            holds=report.holds,
-        )
+        attributes = {
+            "condition": report.condition,
+            "instances": report.instances_checked,
+            "holds": report.holds,
+        }
+        if jobs > 1:
+            from repro.parallel import START_METHOD
+
+            attributes["jobs"] = jobs
+            attributes["start_method"] = START_METHOD
+        _TRACER.event("conditions.check", **attributes)
         _PAIRS_TESTED.inc(report.instances_checked, condition=report.condition)
     return report
 
 
-def _connected_subsets(db: Database) -> List[DatabaseScheme]:
-    return list(db.scheme.connected_subsets())
+def _connected_subsets(db: Database) -> Sequence[DatabaseScheme]:
+    return db.connected_subsets()
 
 
 def _disjoint(*subsets: DatabaseScheme) -> bool:
@@ -132,130 +150,263 @@ def _tau_join(db: Database, *subsets: DatabaseScheme) -> int:
     return db.tau_of(combined)
 
 
-def _check_c1_like(
-    db: Database,
-    condition: str,
-    ok: Callable[[int, int], bool],
-    stop_at_first: bool,
-) -> ConditionReport:
-    """Shared body of C1 and C1': quantify over disjoint connected
-    ``(E, E1, E2)`` with ``E`` linked to ``E1`` but not to ``E2``.
-
-    ``lhs = tau(R_E ⋈ R_E1)`` is independent of ``E2``, so it is computed
-    lazily once per ``(E, E1)`` rather than inside the innermost loop.
-    """
-    connected = _connected_subsets(db)
-    checked = 0
-    violations: List[Witness] = []
-    for e in connected:
-        for e1 in connected:
-            if not _disjoint(e, e1) or not e.is_linked_to(e1):
-                continue
-            lhs = None
-            for e2 in connected:
-                if not _disjoint(e, e1, e2) or e.is_linked_to(e2):
-                    continue
-                checked += 1
-                if lhs is None:
-                    lhs = _tau_join(db, e, e1)
-                rhs = _tau_join(db, e, e2)
-                if not ok(lhs, rhs):
-                    violations.append(Witness((e, e1, e2), lhs, rhs))
-                    if stop_at_first:
-                        return _published(
-                            ConditionReport(condition, False, checked, violations)
-                        )
-    return _published(ConditionReport(condition, not violations, checked, violations))
+# -- predicates ----------------------------------------------------------------
+# Named module-level functions (not lambdas) so the parallel drivers can
+# ship them to forked workers by reference.
 
 
-def check_c1(db: Database, all_witnesses: bool = False) -> ConditionReport:
-    """Condition C1: joining with a linked subset never produces more
-    tuples than the Cartesian product with an unlinked one
-    (``tau(R_E ⋈ R_E1) <= tau(R_E ⋈ R_E2)``)."""
-    return _check_c1_like(db, "C1", lambda lhs, rhs: lhs <= rhs, not all_witnesses)
+def _c1_ok(lhs: int, rhs: int) -> bool:
+    return lhs <= rhs
 
 
-def check_c1_strict(db: Database, all_witnesses: bool = False) -> ConditionReport:
-    """Condition C1': the strict version required by Theorem 1
-    (``tau(R_E ⋈ R_E1) < tau(R_E ⋈ R_E2)``)."""
-    return _check_c1_like(db, "C1'", lambda lhs, rhs: lhs < rhs, not all_witnesses)
+def _c1_strict_ok(lhs: int, rhs: int) -> bool:
+    return lhs < rhs
 
 
-def _check_pairwise(
-    db: Database,
-    condition: str,
-    ok: Callable[[int, int, int], bool],
-    stop_at_first: bool,
-) -> ConditionReport:
-    """Shared body of C2/C3/C4: quantify over disjoint connected linked
-    ``(E1, E2)`` and compare ``tau(R_E1 ⋈ R_E2)`` with the operand sizes.
-
-    The conditions are symmetric in ``E1, E2``, so unordered pairs are
-    checked once.  ``tau(R_E1)`` is independent of ``E2`` and hoisted
-    (lazily) out of the inner loop.
-    """
-    connected = _connected_subsets(db)
-    checked = 0
-    violations: List[Witness] = []
-    for i, e1 in enumerate(connected):
-        tau1 = None
-        for e2 in connected[i + 1 :]:
-            if not _disjoint(e1, e2) or not e1.is_linked_to(e2):
-                continue
-            checked += 1
-            if tau1 is None:
-                tau1 = db.tau_of(e1)
-            joined = _tau_join(db, e1, e2)
-            tau2 = db.tau_of(e2)
-            if not ok(joined, tau1, tau2):
-                violations.append(Witness((e1, e2, None), joined, (tau1, tau2)))
-                if stop_at_first:
-                    return _published(
-                        ConditionReport(condition, False, checked, violations)
-                    )
-    return _published(ConditionReport(condition, not violations, checked, violations))
+def _c2_ok(joined: int, tau1: int, tau2: int) -> bool:
+    return joined <= tau1 or joined <= tau2
 
 
-def check_c2(db: Database, all_witnesses: bool = False) -> ConditionReport:
-    """Condition C2: a linked join shrinks at least one side
-    (``tau(R_E1 ⋈ R_E2) <= tau(R_E1)`` **or** ``<= tau(R_E2)``)."""
-    return _check_pairwise(
-        db, "C2", lambda j, t1, t2: j <= t1 or j <= t2, not all_witnesses
-    )
+def _c3_ok(joined: int, tau1: int, tau2: int) -> bool:
+    return joined <= tau1 and joined <= tau2
 
 
-def check_c3(db: Database, all_witnesses: bool = False) -> ConditionReport:
-    """Condition C3: a linked join shrinks *both* sides
-    (``tau(R_E1 ⋈ R_E2) <= tau(R_E1)`` **and** ``<= tau(R_E2)``)."""
-    return _check_pairwise(
-        db, "C3", lambda j, t1, t2: j <= t1 and j <= t2, not all_witnesses
-    )
+def _c4_ok(joined: int, tau1: int, tau2: int) -> bool:
+    return joined >= tau1 and joined >= tau2
 
 
-def check_c4(db: Database, all_witnesses: bool = False) -> ConditionReport:
-    """Condition C4 (Section 5): a linked join *grows* both sides
-    (``tau(R_E1 ⋈ R_E2) >= tau(R_E1)`` **and** ``>= tau(R_E2)``)."""
-    return _check_pairwise(
-        db, "C4", lambda j, t1, t2: j >= t1 and j >= t2, not all_witnesses
-    )
-
-
-_CHECKERS = {
-    "C1": check_c1,
-    "C1'": check_c1_strict,
-    "C2": check_c2,
-    "C3": check_c3,
-    "C4": check_c4,
+#: condition name -> (quantifier shape, predicate).  ``"triple"`` is the
+#: C1-style (E, E1, E2) quantifier; ``"pair"`` the symmetric (E1, E2).
+_SPECS = {
+    "C1": ("triple", _c1_ok),
+    "C1'": ("triple", _c1_strict_ok),
+    "C2": ("pair", _c2_ok),
+    "C3": ("pair", _c3_ok),
+    "C4": ("pair", _c4_ok),
 }
 
 
-def check_condition(db: Database, name: str, all_witnesses: bool = False) -> ConditionReport:
+# -- the unit decomposition ----------------------------------------------------
+
+
+def _triple_units(connected: Sequence[DatabaseScheme]) -> List[Tuple[int, int]]:
+    """The (E, E1) outer pairs of the C1-style quantifier, in canonical
+    order: disjoint connected subsets with ``E`` linked to ``E1``."""
+    units = []
+    for i, e in enumerate(connected):
+        for j, e1 in enumerate(connected):
+            if _disjoint(e, e1) and e.is_linked_to(e1):
+                units.append((i, j))
+    return units
+
+
+def _pair_units(connected: Sequence[DatabaseScheme]) -> List[int]:
+    """The E1 positions of the pairwise quantifier (every subset opens a
+    unit; empty units simply check zero instances)."""
+    return list(range(len(connected)))
+
+
+def _eval_triple_unit(
+    db: Database,
+    connected: Sequence[DatabaseScheme],
+    unit: Tuple[int, int],
+    ok: Callable[[int, int], bool],
+    stop_at_first: bool,
+) -> Tuple[int, List[Tuple[int, int, int]]]:
+    """All E2 instances of one (E, E1) unit: ``(checked, violations)``
+    with violations as ``(k, lhs, rhs)`` rows.
+
+    ``lhs = tau(R_E ⋈ R_E1)`` is independent of ``E2``, so it is computed
+    lazily once per unit rather than inside the loop.  With
+    ``stop_at_first`` the unit stops *counting and evaluating* at its
+    first violation, matching the sequential early return.
+    """
+    i, j = unit
+    e, e1 = connected[i], connected[j]
+    checked = 0
+    violations: List[Tuple[int, int, int]] = []
+    lhs = None
+    for k, e2 in enumerate(connected):
+        if not _disjoint(e, e1, e2) or e.is_linked_to(e2):
+            continue
+        checked += 1
+        if lhs is None:
+            lhs = _tau_join(db, e, e1)
+        rhs = _tau_join(db, e, e2)
+        if not ok(lhs, rhs):
+            violations.append((k, lhs, rhs))
+            if stop_at_first:
+                break
+    return checked, violations
+
+
+def _eval_pair_unit(
+    db: Database,
+    connected: Sequence[DatabaseScheme],
+    i: int,
+    ok: Callable[[int, int, int], bool],
+    stop_at_first: bool,
+) -> Tuple[int, List[Tuple[int, int, int, int]]]:
+    """All E2 instances of one E1 unit: ``(checked, violations)`` with
+    violations as ``(j, joined, tau1, tau2)`` rows.
+
+    The conditions are symmetric in ``E1, E2``, so unordered pairs are
+    checked once (``j > i``).  ``tau(R_E1)`` is hoisted (lazily) out of
+    the loop.
+    """
+    e1 = connected[i]
+    checked = 0
+    violations: List[Tuple[int, int, int, int]] = []
+    tau1 = None
+    for j in range(i + 1, len(connected)):
+        e2 = connected[j]
+        if not _disjoint(e1, e2) or not e1.is_linked_to(e2):
+            continue
+        checked += 1
+        if tau1 is None:
+            tau1 = db.tau_of(e1)
+        joined = _tau_join(db, e1, e2)
+        tau2 = db.tau_of(e2)
+        if not ok(joined, tau1, tau2):
+            violations.append((j, joined, tau1, tau2))
+            if stop_at_first:
+                break
+    return checked, violations
+
+
+def _triple_witness(
+    connected: Sequence[DatabaseScheme], unit: Tuple[int, int], violation
+) -> Witness:
+    i, j = unit
+    k, lhs, rhs = violation
+    return Witness((connected[i], connected[j], connected[k]), lhs, rhs)
+
+
+def _pair_witness(connected: Sequence[DatabaseScheme], i: int, violation) -> Witness:
+    j, joined, tau1, tau2 = violation
+    return Witness((connected[i], connected[j], None), joined, (tau1, tau2))
+
+
+def _units_for(kind: str, connected: Sequence[DatabaseScheme]) -> List:
+    return _triple_units(connected) if kind == "triple" else _pair_units(connected)
+
+
+def _eval_unit(
+    db: Database,
+    kind: str,
+    connected: Sequence[DatabaseScheme],
+    unit,
+    ok: Callable,
+    stop_at_first: bool,
+) -> Tuple[int, List]:
+    if kind == "triple":
+        return _eval_triple_unit(db, connected, unit, ok, stop_at_first)
+    return _eval_pair_unit(db, connected, unit, ok, stop_at_first)
+
+
+def _witness_for(kind: str, connected: Sequence[DatabaseScheme], unit, violation) -> Witness:
+    if kind == "triple":
+        return _triple_witness(connected, unit, violation)
+    return _pair_witness(connected, unit, violation)
+
+
+# -- checking ------------------------------------------------------------------
+
+
+def _check_sequential(
+    db: Database,
+    condition: str,
+    kind: str,
+    ok: Callable,
+    stop_at_first: bool,
+) -> ConditionReport:
+    """Walk the units in canonical order on this process."""
+    connected = _connected_subsets(db)
+    checked = 0
+    violations: List[Witness] = []
+    for unit in _units_for(kind, connected):
+        unit_checked, unit_violations = _eval_unit(
+            db, kind, connected, unit, ok, stop_at_first
+        )
+        checked += unit_checked
+        violations.extend(
+            _witness_for(kind, connected, unit, v) for v in unit_violations
+        )
+        if violations and stop_at_first:
+            return _published(ConditionReport(condition, False, checked, violations))
+    return _published(ConditionReport(condition, not violations, checked, violations))
+
+
+def _check(
+    db: Database,
+    condition: str,
+    all_witnesses: bool,
+    jobs: Optional[int],
+) -> ConditionReport:
+    kind, ok = _SPECS[condition]
+    if jobs is not None:
+        from repro.parallel import resolve_jobs
+
+        workers = resolve_jobs(jobs)
+        if workers > 1:
+            from repro.parallel.conditions import check_condition_parallel
+
+            return check_condition_parallel(db, condition, all_witnesses, workers)
+    return _check_sequential(db, condition, kind, ok, not all_witnesses)
+
+
+def check_c1(
+    db: Database, all_witnesses: bool = False, jobs: Optional[int] = None
+) -> ConditionReport:
+    """Condition C1: joining with a linked subset never produces more
+    tuples than the Cartesian product with an unlinked one
+    (``tau(R_E ⋈ R_E1) <= tau(R_E ⋈ R_E2)``)."""
+    return _check(db, "C1", all_witnesses, jobs)
+
+
+def check_c1_strict(
+    db: Database, all_witnesses: bool = False, jobs: Optional[int] = None
+) -> ConditionReport:
+    """Condition C1': the strict version required by Theorem 1
+    (``tau(R_E ⋈ R_E1) < tau(R_E ⋈ R_E2)``)."""
+    return _check(db, "C1'", all_witnesses, jobs)
+
+
+def check_c2(
+    db: Database, all_witnesses: bool = False, jobs: Optional[int] = None
+) -> ConditionReport:
+    """Condition C2: a linked join shrinks at least one side
+    (``tau(R_E1 ⋈ R_E2) <= tau(R_E1)`` **or** ``<= tau(R_E2)``)."""
+    return _check(db, "C2", all_witnesses, jobs)
+
+
+def check_c3(
+    db: Database, all_witnesses: bool = False, jobs: Optional[int] = None
+) -> ConditionReport:
+    """Condition C3: a linked join shrinks *both* sides
+    (``tau(R_E1 ⋈ R_E2) <= tau(R_E1)`` **and** ``<= tau(R_E2)``)."""
+    return _check(db, "C3", all_witnesses, jobs)
+
+
+def check_c4(
+    db: Database, all_witnesses: bool = False, jobs: Optional[int] = None
+) -> ConditionReport:
+    """Condition C4 (Section 5): a linked join *grows* both sides
+    (``tau(R_E1 ⋈ R_E2) >= tau(R_E1)`` **and** ``>= tau(R_E2)``)."""
+    return _check(db, "C4", all_witnesses, jobs)
+
+
+def check_condition(
+    db: Database,
+    name: str,
+    all_witnesses: bool = False,
+    jobs: Optional[int] = None,
+) -> ConditionReport:
     """Check a condition by name (``"C1"``, ``"C1'"``, ``"C2"``, ``"C3"``,
     ``"C4"``)."""
-    try:
-        checker = _CHECKERS[name.upper().replace("′", "'")]
-    except KeyError:
+    condition = name.upper().replace("′", "'")
+    if condition not in _SPECS:
         raise ReproError(
-            f"unknown condition {name!r}; expected one of {sorted(_CHECKERS)}"
-        ) from None
-    return checker(db, all_witnesses=all_witnesses)
+            f"unknown condition {name!r}; expected one of {sorted(_SPECS)}"
+        )
+    return _check(db, condition, all_witnesses, jobs)

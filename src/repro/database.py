@@ -76,6 +76,10 @@ _V = TypeVar("_V")
 #: Key type of the subset caches.
 SubsetKey = FrozenSet[AttributeSet]
 
+#: A subset-cache key as plain tuples (picklable; see
+#: :meth:`Database.tau_cache_export`).
+PlainSubsetKey = Tuple[Tuple[str, ...], ...]
+
 
 class _BoundedCache(Generic[_K, _V]):
     """A small LRU cache; ``capacity=None`` means unbounded.
@@ -216,6 +220,7 @@ class Database:
         "_join_hits",
         "_tau_hits",
         "_computed",
+        "_connected",
     )
 
     #: Default bound of the tau-cache.  Counts are a single int per subset,
@@ -261,6 +266,8 @@ class Database:
         self._join_hits = 0
         self._tau_hits = 0
         self._computed = 0
+        # Lazily enumerated connected subsets (see connected_subsets()).
+        self._connected: Optional[Tuple[DatabaseScheme, ...]] = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -275,6 +282,21 @@ class Database:
     def scheme(self) -> DatabaseScheme:
         """The database scheme ``D``."""
         return self._scheme
+
+    def connected_subsets(self) -> Tuple[DatabaseScheme, ...]:
+        """All connected subsets of the scheme, enumerated once per
+        database.
+
+        Every condition checker quantifies over exactly this collection,
+        so checking five conditions on one database (``repro conditions``)
+        enumerates the subsets once, not five times.  The order is the
+        scheme's canonical enumeration order -- deterministic across
+        processes, which the parallel checkers rely on to address units
+        of work by position (see :mod:`repro.parallel`).
+        """
+        if self._connected is None:
+            self._connected = tuple(self._scheme.connected_subsets())
+        return self._connected
 
     def relations(self) -> Tuple[Relation, ...]:
         """The relation states in deterministic (scheme-sorted) order."""
@@ -570,6 +592,34 @@ class Database:
         self._join_hits = 0
         self._tau_hits = 0
         self._computed = 0
+
+    # -- tau-cache transport ------------------------------------------------------
+
+    def tau_cache_export(self) -> Dict[PlainSubsetKey, int]:
+        """The tau-cache contents under plain, picklable keys.
+
+        Keys are sorted tuples of sorted attribute-name tuples -- no
+        :class:`AttributeSet` or interned state, so the mapping crosses
+        process boundaries.  :mod:`repro.parallel` ships worker-computed
+        counts back to the parent this way.
+        """
+        return {
+            tuple(sorted(s.sorted() for s in key)): tau
+            for key, tau in self._tau_cache.items()
+        }
+
+    def tau_cache_import(self, entries: Iterable[Tuple[PlainSubsetKey, int]]) -> int:
+        """Install externally computed tau counts (as produced by
+        :meth:`tau_cache_export`).  Entries already answered by either
+        cache are skipped; returns the number actually installed."""
+        added = 0
+        for plain, tau in entries:
+            key = frozenset(AttributeSet(names) for names in plain)
+            if key in self._tau_cache or key in self._join_cache:
+                continue
+            self._tau_cache.put(key, tau)
+            added += 1
+        return added
 
     # -- derived databases ----------------------------------------------------------
 

@@ -251,11 +251,16 @@ class RunReport:
         strategy=None,
         workload: Optional[Dict[str, Any]] = None,
         track_memory: bool = True,
+        jobs: Optional[int] = None,
     ) -> "RunReport":
         """Profile one run of ``db``: plan, estimate, and execute per step.
 
         * **plan** -- the subset DP finds the tau-optimal strategy in
-          ``space`` (skipped when ``strategy`` is passed in);
+          ``space`` (skipped when ``strategy`` is passed in); with
+          ``jobs`` > 1 the plan comes from the *parallel exhaustive*
+          optimizer instead, so the profiled span tree (and its
+          Chrome-trace export) shows the worker fan-out -- ground-truth
+          enumeration, intended for paper-scale schemes;
         * **statistics** -- the classical estimator collects its
           per-column statistics;
         * **execute** -- every step of the strategy is executed, in the
@@ -275,7 +280,17 @@ class RunReport:
             with obs.observed():
                 with clock.phase("plan"):
                     if strategy is None:
-                        result = optimize_dp(db, space)
+                        workers = 1
+                        if jobs is not None:
+                            from repro.parallel import resolve_jobs
+
+                            workers = resolve_jobs(jobs)
+                        if workers > 1:
+                            from repro.optimizer.exhaustive import optimize_exhaustive
+
+                            result = optimize_exhaustive(db, space, jobs=workers)
+                        else:
+                            result = optimize_dp(db, space)
                         strategy = result.strategy
                         optimizer = result.optimizer
                 planner_cache = db.cache_stats()

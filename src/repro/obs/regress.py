@@ -83,6 +83,10 @@ BASELINE_METRICS: Dict[str, Tuple[MetricSpec, ...]] = {
     "BENCH_obs.json": (
         MetricSpec("dormant_overhead_fraction", higher_is_better=False),
     ),
+    "BENCH_parallel.json": (
+        MetricSpec("condition_sweep.speedup_jobs4", higher_is_better=True),
+        MetricSpec("campaign.speedup_jobs4", higher_is_better=True),
+    ),
 }
 
 
@@ -207,14 +211,23 @@ def _load(path: pathlib.Path) -> Optional[Dict[str, Any]]:
 
 
 def compare_files(
-    baseline_dir, fresh_dir, tolerance: float = DEFAULT_TOLERANCE
+    baseline_dir,
+    fresh_dir,
+    tolerance: float = DEFAULT_TOLERANCE,
+    files: Optional[Sequence[str]] = None,
 ) -> List[Comparison]:
     """Compare every guarded benchmark file under ``fresh_dir`` against
-    its committed twin under ``baseline_dir``."""
+    its committed twin under ``baseline_dir``.
+
+    ``files`` restricts the comparison to a subset of the guarded files
+    (the CI ``parallel-smoke`` step regenerates only
+    ``BENCH_parallel.json`` and checks just that)."""
     baseline_dir = pathlib.Path(baseline_dir)
     fresh_dir = pathlib.Path(fresh_dir)
     comparisons: List[Comparison] = []
     for file, specs in sorted(BASELINE_METRICS.items()):
+        if files is not None and file not in files:
+            continue
         comparisons.extend(
             compare_payloads(
                 file,
@@ -283,8 +296,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the comparison report as JSON to PATH "
         "(uploaded as a CI artifact on failure)",
     )
+    parser.add_argument(
+        "--only",
+        metavar="FILE",
+        action="append",
+        default=None,
+        choices=sorted(BASELINE_METRICS),
+        help="guard only this benchmark file (repeatable; default: all)",
+    )
     args = parser.parse_args(argv)
-    comparisons = compare_files(args.baseline_dir, args.fresh_dir, args.tolerance)
+    comparisons = compare_files(
+        args.baseline_dir, args.fresh_dir, args.tolerance, files=args.only
+    )
     print(render_report(comparisons))
     if args.json is not None:
         report = {

@@ -36,7 +36,7 @@ join step's tau, one estimator error) without ``with`` ceremony.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = [
     "Span",
@@ -186,6 +186,41 @@ class Tracer:
         self._next_id += 1
         parent_id = self._stack[-1].span_id if self._stack else None
         return Span(name, span_id, parent_id, time.perf_counter_ns(), attributes)
+
+    def adopt(
+        self,
+        payloads: Iterable[Dict[str, Any]],
+        parent_id: Optional[int] = None,
+    ) -> None:
+        """Graft spans recorded by another tracer -- typically in a worker
+        process (:mod:`repro.parallel`) -- into this one.
+
+        ``payloads`` are ``Span.to_dict()`` dicts.  Span ids are
+        re-allocated from this tracer's sequence so adopted spans never
+        collide with native ones; parent links *within* the batch are
+        remapped, and batch roots are attached under ``parent_id`` (or
+        stay roots when it is ``None``).  Start times are preserved:
+        ``perf_counter_ns`` is comparable across processes within one OS
+        boot, so adopted spans land correctly on a shared timeline.
+        """
+        if not self.enabled:
+            return
+        payloads = list(payloads)
+        id_map: Dict[int, int] = {}
+        for payload in payloads:
+            id_map[payload["span_id"]] = self._next_id
+            self._next_id += 1
+        for payload in payloads:
+            original_parent = payload.get("parent_id")
+            span = Span(
+                payload["name"],
+                id_map[payload["span_id"]],
+                id_map.get(original_parent, parent_id),
+                payload["start_ns"],
+                dict(payload.get("attributes") or {}),
+            )
+            span.end_ns = payload["start_ns"] + payload.get("duration_ns", 0)
+            self._finished.append(span)
 
     # -- inspection --------------------------------------------------------
 

@@ -6,6 +6,15 @@ of each, and keeps the best.  Exponential, but exact -- the test suite
 validates the dynamic-programming optimizers against it on every small
 database, and the paper's examples are all small enough to settle
 exhaustively.
+
+Candidates compete through a :class:`PlanReducer`, which keeps the
+incumbent minimum under the deterministic order ``(cost, describe())``
+and renders each incumbent's description lazily exactly once.  Because
+``describe()`` is injective on strategy trees, that order is total, so
+the minimum is unique -- which is why the parallel path
+(:mod:`repro.parallel.exhaustive`, ``jobs=``) can reduce per-chunk
+minima with the *same* reducer and provably pick the same plan as the
+sequential scan.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ from repro.strategy.cost import tau_cost
 from repro.strategy.enumerate import strategies_in_space
 from repro.strategy.tree import Strategy
 
-__all__ = ["optimize_exhaustive"]
+__all__ = ["PlanReducer", "optimize_exhaustive"]
 
 # Search-effort telemetry (docs/observability.md), mirroring optimize_dp:
 # a span per optimization and a counter of strategies costed.
@@ -32,10 +41,53 @@ _STRATEGIES = _METRICS.counter(
 )
 
 
+class PlanReducer:
+    """The running minimum of a costed strategy stream.
+
+    The order is ``(cost, describe())`` -- strictly cheaper always wins,
+    ties go to the lexicographically smaller description.  The
+    incumbent's description is rendered at most once (on the first tie
+    it must settle) and cached until the incumbent changes.
+
+    Anything with ``describe()`` can compete, so the parallel driver
+    merges chunk winners -- carried across the process boundary as
+    (cost, label, spec) -- through this same reduction.
+    """
+
+    __slots__ = ("best", "best_cost", "considered", "_label")
+
+    def __init__(self):
+        self.best = None
+        self.best_cost = 0
+        self.considered = 0
+        self._label: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        """The incumbent's description (rendered lazily, once)."""
+        if self._label is None:
+            self._label = self.best.describe()
+        return self._label
+
+    def offer(self, candidate, candidate_cost: int) -> None:
+        """Fold one costed candidate into the running minimum."""
+        self.considered += 1
+        if self.best is None or candidate_cost < self.best_cost:
+            self.best = candidate
+            self.best_cost = candidate_cost
+            self._label = None
+        elif candidate_cost == self.best_cost:
+            label = candidate.describe()
+            if label < self.label:
+                self.best = candidate
+                self._label = label
+
+
 def optimize_exhaustive(
     db: Database,
     space: SearchSpace = SearchSpace.ALL,
     cost: Callable[[Strategy], int] = tau_cost,
+    jobs: Optional[int] = None,
 ) -> OptimizationResult:
     """Find a cheapest strategy in ``space`` by full enumeration.
 
@@ -45,11 +97,20 @@ def optimize_exhaustive(
     intermediate joins.  Raises :class:`~repro.errors.OptimizerError` when
     the subspace is empty (e.g. linear-and-CP-avoiding over an unconnected
     scheme with two multi-relation components).
+
+    ``jobs`` stripes the strategy stream across worker processes (see
+    docs/performance.md); the winning plan, cost, and considered count
+    are identical for any worker count.
     """
-    best: Optional[Strategy] = None
-    best_cost = 0
-    best_label = ""
-    considered = 0
+    if jobs is not None:
+        from repro.parallel import resolve_jobs
+
+        workers = resolve_jobs(jobs)
+        if workers > 1:
+            from repro.parallel.exhaustive import optimize_exhaustive_parallel
+
+            return optimize_exhaustive_parallel(db, space, cost, workers)
+    reducer = PlanReducer()
     with _TRACER.span(
         "optimize.exhaustive", space=space.value, relations=len(db.scheme)
     ) as span:
@@ -58,22 +119,15 @@ def optimize_exhaustive(
             linear=space.linear_only,
             avoid_cartesian_products=space.avoids_cartesian_products,
         ):
-            considered += 1
-            candidate_cost = cost(candidate)
-            if best is None or candidate_cost < best_cost:
-                best, best_cost, best_label = candidate, candidate_cost, ""
-            elif candidate_cost == best_cost:
-                if not best_label:
-                    best_label = best.describe()
-                label = candidate.describe()
-                if label < best_label:
-                    best, best_label = candidate, label
-        if best is None:
+            reducer.offer(candidate, cost(candidate))
+        if reducer.best is None:
             raise OptimizerError(
                 f"the {space.describe()} subspace is empty for {db.scheme}"
             )
-        span.set_attribute("strategies", considered)
-        span.set_attribute("cost", best_cost)
+        span.set_attribute("strategies", reducer.considered)
+        span.set_attribute("cost", reducer.best_cost)
     if _METRICS.enabled:
-        _STRATEGIES.inc(considered, space=space.value)
-    return OptimizationResult(best, best_cost, space, "exhaustive", considered)
+        _STRATEGIES.inc(reducer.considered, space=space.value)
+    return OptimizationResult(
+        reducer.best, reducer.best_cost, space, "exhaustive", reducer.considered
+    )

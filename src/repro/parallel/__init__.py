@@ -1,0 +1,44 @@
+"""Process-pool fan-out for the library's embarrassingly parallel sweeps.
+
+The paper's decision procedures quantify over connected-subset pairs,
+its counterexample campaigns over independently sampled databases, and
+exhaustive optimization over independently costed strategy trees.  All
+three decompose into independent tasks; this package runs those tasks
+across a pool of forked workers while guaranteeing **byte-identical
+results** with the sequential code paths.
+
+The layering is deliberate:
+
+* :mod:`repro.parallel.context` -- the generic machinery: a picklable
+  :class:`DatabaseSnapshot`, the worker lifecycle, and the merge of
+  per-worker tau-cache entries, metrics, and trace spans back into the
+  parent (:class:`ParallelContext`).
+* :mod:`repro.parallel.conditions`, :mod:`~repro.parallel.campaign`,
+  and :mod:`~repro.parallel.exhaustive` -- one driver per sweep shape.
+
+Only the context helpers are re-exported here.  The driver modules
+import their sequential counterparts (``conditions/checks.py`` and
+friends), which in turn lazily import :mod:`repro.parallel` to resolve
+a ``jobs=`` argument -- keeping the drivers out of this namespace
+avoids the cycle.
+"""
+
+from repro.parallel.context import (
+    NO_CANCEL,
+    START_METHOD,
+    DatabaseSnapshot,
+    ParallelContext,
+    parallel_available,
+    resolve_jobs,
+    warm_connected_taus,
+)
+
+__all__ = [
+    "NO_CANCEL",
+    "START_METHOD",
+    "DatabaseSnapshot",
+    "ParallelContext",
+    "parallel_available",
+    "resolve_jobs",
+    "warm_connected_taus",
+]

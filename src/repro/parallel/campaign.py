@@ -1,0 +1,72 @@
+"""Fan a randomized search campaign's seed stream across workers.
+
+Campaign seeds are independent by construction -- every seed feeds its
+own ``random.Random(seed)`` -- so the split is the classic round-robin
+``seed + worker_id`` scheme: worker ``w`` of ``n`` owns seeds
+``w, w + n, w + 2n, ...``.  Each worker evaluates its seeds with the
+exact per-seed function the sequential loop uses, and the caller
+replays the verdict map in ascending seed order, so the campaign's
+outcome does not depend on the worker count.
+
+A terminal verdict (a found counterexample, or the Theorem 2 tripwire)
+lowers the shared cancellation signal to its seed; other workers stop
+evaluating later seeds.  Earlier seeds are always evaluated, which is
+what the caller's ordered replay relies on.
+
+The evaluation function and its kwargs travel through the fork-inherited
+pool initializer (``extra``), so closures and bound arguments need not
+be picklable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.parallel.context import ParallelContext
+
+__all__ = ["run_campaign"]
+
+#: Statuses that end a campaign (see ``conditions/search.py``).
+_TERMINAL = ("found", "contradiction")
+
+
+def _campaign_chunk(db, extra, signal, seeds):
+    """Worker body: evaluate one worker's seed stream."""
+    evaluate = extra["evaluate"]
+    kwargs = extra["kwargs"]
+    rows = []
+    for seed in seeds:
+        if seed > signal.value:
+            continue
+        eligible, status = evaluate(seed, **kwargs)
+        if status in _TERMINAL:
+            with signal.get_lock():
+                if seed < signal.value:
+                    signal.value = seed
+        rows.append((seed, eligible, status))
+    return tuple(rows)
+
+
+def run_campaign(
+    evaluate: Callable[..., Tuple[bool, str]],
+    samples: int,
+    workers: int,
+    **kwargs: Any,
+) -> Dict[int, Tuple[bool, str]]:
+    """Evaluate seeds ``0..samples-1`` across ``workers`` processes.
+
+    Returns seed -> ``(eligible, status)``; seeds cancelled in flight
+    (strictly beyond the first terminal seed) are absent.
+    """
+    streams = [
+        tuple(range(worker, samples, workers)) for worker in range(workers)
+    ]
+    streams = [stream for stream in streams if stream]
+    extra = {"evaluate": evaluate, "kwargs": kwargs}
+    with ParallelContext(db=None, jobs=workers, extra=extra) as ctx:
+        results = ctx.run(_campaign_chunk, [(stream,) for stream in streams])
+    return {
+        seed: (eligible, status)
+        for rows in results
+        for seed, eligible, status in rows
+    }

@@ -1,0 +1,146 @@
+"""Fan one condition check out across forked workers.
+
+The sequential checker (:mod:`repro.conditions.checks`) already
+decomposes the quantifier space into canonically ordered *units*; this
+driver strides those unit positions into chunks, evaluates the chunks
+in parallel, and replays the per-unit results in canonical order, so
+the report -- verdict, ``instances_checked``, witnesses and their order
+-- is byte-identical to the sequential one.
+
+Short-circuiting (``all_witnesses=False``) crosses workers through the
+shared cancellation value: the worker that finds a violation at
+canonical position ``p`` lowers the signal to ``p`` and every worker
+skips positions beyond the current signal.  The first (minimum)
+violating position can never be skipped -- a position is only skipped
+when it lies *beyond* an already-found violation -- so the parent's
+ascending replay always reaches it before reaching any gap, and the
+short-circuited parallel answer equals the sequential early return.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.conditions.checks import (
+    ConditionReport,
+    Witness,
+    _connected_subsets,
+    _eval_unit,
+    _published,
+    _SPECS,
+    _units_for,
+    _witness_for,
+)
+from repro.database import Database
+from repro.errors import ReproError
+from repro.parallel.context import ParallelContext, warm_connected_taus
+
+__all__ = ["check_condition_parallel"]
+
+#: Chunks per worker: small enough to amortize task dispatch, large
+#: enough that uneven unit costs still balance across the pool.
+_CHUNKS_PER_WORKER = 4
+
+
+def _condition_chunk(db, extra, signal, positions):
+    """Worker body: evaluate one chunk of unit positions.
+
+    The unit list itself arrives through ``extra`` -- building it is an
+    O(subsets^2) linked/disjoint sweep, far too expensive to repeat per
+    chunk -- and indexes into the worker's own connected-subset list,
+    which :meth:`Database.connected_subsets` derives (and memoizes) in
+    the same canonical order as the parent's.
+
+    Returns ``(pos, checked, violations)`` rows; ``violations`` are the
+    raw index rows of ``_eval_unit`` (witnesses are rebuilt parent-side
+    against the parent's subset objects).
+    """
+    condition = extra["condition"]
+    stop = extra["stop"]
+    units = extra["units"]
+    kind, ok = _SPECS[condition]
+    connected = _connected_subsets(db)
+    rows = []
+    for pos in positions:
+        if stop and pos > signal.value:
+            continue
+        checked, violations = _eval_unit(db, kind, connected, units[pos], ok, stop)
+        if violations and stop:
+            with signal.get_lock():
+                if pos < signal.value:
+                    signal.value = pos
+        rows.append((pos, checked, violations))
+    return tuple(rows)
+
+
+def check_condition_parallel(
+    db: Database,
+    condition: str,
+    all_witnesses: bool,
+    workers: int,
+) -> ConditionReport:
+    """The parallel twin of ``checks._check_sequential``."""
+    kind, _ = _SPECS[condition]
+    stop = not all_witnesses
+    connected = _connected_subsets(db)
+    units = _units_for(kind, connected)
+    if not units:
+        return _published(ConditionReport(condition, True, 0, []), jobs=workers)
+
+    # A full sweep touches the tau of (nearly) every connected subset
+    # from every unit, so warm that shared table first -- in parallel --
+    # and let it ride into the sweep workers through the snapshot.  In
+    # short-circuit mode the sweep may end after a handful of units, so
+    # eagerly counting every subset could dwarf the check itself: skip
+    # the warm phase and let the cancellation signal bound the waste.
+    if not stop:
+        warm_connected_taus(db, workers)
+
+    # Contiguous position ranges, not strides: the canonical unit order
+    # groups units sharing an outer subset (the same E, hence the same
+    # cached rhs taus), and keeping a group on one worker keeps those
+    # taus in that worker's cache.  Striding would scatter each group
+    # across every worker and recompute its taus once per worker.
+    chunk_count = min(len(units), workers * _CHUNKS_PER_WORKER)
+    base, leftover = divmod(len(units), chunk_count)
+    chunks = []
+    start = 0
+    for index in range(chunk_count):
+        width = base + (1 if index < leftover else 0)
+        chunks.append(tuple(range(start, start + width)))
+        start += width
+    extra = {"condition": condition, "stop": stop, "units": units}
+    with ParallelContext(db=db, jobs=workers, extra=extra) as ctx:
+        results = ctx.run(_condition_chunk, [(chunk,) for chunk in chunks])
+
+    by_pos = {pos: (checked, violations) for rows in results for pos, checked, violations in rows}
+
+    # Replay in canonical unit order -- this reconstructs exactly the
+    # sequential walk, including where it would have returned early.
+    checked = 0
+    witnesses: List[Witness] = []
+    for pos in range(len(units)):
+        entry = by_pos.get(pos)
+        if entry is None:
+            if not stop:
+                raise ReproError(
+                    f"parallel {condition} check lost unit {pos} (library bug)"
+                )
+            # Skipped units lie strictly beyond the first violation, and
+            # the replay returns at that violation before reaching them.
+            raise ReproError(
+                f"parallel {condition} check skipped unit {pos} before any "
+                "violation (library bug)"
+            )
+        unit_checked, unit_violations = entry
+        checked += unit_checked
+        witnesses.extend(
+            _witness_for(kind, connected, units[pos], v) for v in unit_violations
+        )
+        if witnesses and stop:
+            return _published(
+                ConditionReport(condition, False, checked, witnesses), jobs=workers
+            )
+    return _published(
+        ConditionReport(condition, not witnesses, checked, witnesses), jobs=workers
+    )

@@ -1,0 +1,330 @@
+"""The process-pool execution layer: snapshots, workers, and merging.
+
+Three problems make naive ``multiprocessing.Pool`` use wrong or slow
+here, and this module solves each once so the sweep drivers stay small:
+
+1. **Databases are not directly picklable.**  Row values are interned
+   into process-wide id tables (:mod:`repro.relational.columnar`), so a
+   raw id tuple means nothing in another process.  A
+   :class:`DatabaseSnapshot` captures each relation's columnar table
+   *plus* the slice of the interning table it references; ``restore()``
+   re-interns the values in the worker and translates the id tuples.
+   The snapshot is built once per :class:`ParallelContext`, shipped to
+   each worker through the pool initializer, and rehydrated once per
+   worker -- tasks then reference the shared worker database instead of
+   pickling relations per task.
+
+2. **Telemetry lives in per-process singletons.**  Work done in a
+   worker would silently vanish from the parent's tracer, metrics
+   registry, and tau-cache.  Each task result therefore travels inside
+   a :class:`WorkerEnvelope` carrying the spans, metric rows, and fresh
+   tau-cache entries the task produced; :meth:`ParallelContext.run`
+   merges them on arrival (``Tracer.adopt``, ``MetricsRegistry.absorb``,
+   ``Database.tau_cache_import``), so ``jobs=4`` runs are observable
+   through the same `obs` surface as sequential ones.
+
+3. **Short-circuiting must cross process boundaries.**  When a driver
+   only needs the *first* witness (``all_witnesses=False``) the workers
+   share a :data:`NO_CANCEL`-initialised ``multiprocessing.Value``;
+   whoever finds a violation lowers it to the violation's canonical
+   position and everyone else stops evaluating later positions.  The
+   drivers then replay results in canonical order, which is what makes
+   the short-circuited parallel answer byte-identical to sequential.
+
+Workers are **forked**, never spawned: fork inherits the interning
+tables, the kernel switch, and ``PYTHONHASHSEED``, and lets the pool
+initializer receive non-picklable extras (closures, cost functions)
+for free.  On platforms without fork, :func:`resolve_jobs` degrades to
+``1`` and callers take their sequential path unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.database import Database
+from repro.errors import ReproError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+from repro.relational.attributes import AttributeSet
+from repro.relational.columnar import ColumnarTable, intern_value, value_of
+from repro.relational.relation import Relation
+
+__all__ = [
+    "NO_CANCEL",
+    "START_METHOD",
+    "DatabaseSnapshot",
+    "ParallelContext",
+    "WorkerEnvelope",
+    "parallel_available",
+    "resolve_jobs",
+    "warm_connected_taus",
+]
+
+#: The only start method this layer uses (see the module docstring).
+START_METHOD = "fork"
+
+#: The cancellation signal's idle value: larger than any canonical task
+#: position, so ``pos > signal.value`` is False until a worker cancels.
+NO_CANCEL = 2**62
+
+_TRACER = get_tracer()
+_METRICS = get_registry()
+
+
+def parallel_available() -> bool:
+    """Whether this platform can fork worker processes."""
+    return START_METHOD in multiprocessing.get_all_start_methods()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a public ``jobs`` argument to an effective worker count.
+
+    ``None`` means sequential (1).  ``0`` means "all cores"
+    (``os.cpu_count()``).  Anything above 1 degrades to 1 on platforms
+    without fork, so callers can branch on ``resolve_jobs(jobs) > 1``
+    and otherwise run the exact sequential path.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ReproError(f"jobs must be a non-negative int or None, got {jobs}")
+    workers = jobs if jobs else (os.cpu_count() or 1)
+    if workers > 1 and not parallel_available():
+        return 1
+    return workers
+
+
+class DatabaseSnapshot:
+    """A self-contained, picklable image of a :class:`Database`.
+
+    ``tables`` holds one ``(name, order, rows)`` triple per relation
+    (rows sorted for a deterministic pickle); ``values`` maps every
+    referenced interned id to its value, so :meth:`restore` can rebuild
+    the database under a *different* process's interning table.
+    """
+
+    __slots__ = ("tables", "values", "taus")
+
+    def __init__(self, db: Database):
+        tables: List[Tuple[Optional[str], Tuple[str, ...], Tuple[Tuple[int, ...], ...]]] = []
+        values: Dict[int, Hashable] = {}
+        for rel in db.relations():
+            table = rel._table()
+            rows = tuple(sorted(table.rows))
+            for row in rows:
+                for vid in row:
+                    if vid not in values:
+                        values[vid] = value_of(vid)
+            tables.append((rel.name, table.order, rows))
+        self.tables = tuple(tables)
+        self.values = values
+        # Everything the parent already counted rides along: a worker
+        # with a cold tau-cache re-derives the shared subset taus no
+        # matter how little of the sweep it owns (see
+        # :func:`warm_connected_taus`).
+        self.taus = db.tau_cache_export()
+
+    def restore(self) -> Database:
+        """Rebuild the database in the current process.
+
+        Values are re-interned locally (a no-op under fork, where the
+        parent's table is inherited; a translation under anything else)
+        and the id tuples rewritten through the resulting mapping.
+        """
+        translate = {vid: intern_value(value) for vid, value in self.values.items()}
+        relations = []
+        for name, order, rows in self.tables:
+            translated = frozenset(
+                tuple(translate[vid] for vid in row) for row in rows
+            )
+            table = ColumnarTable(order, translated)
+            relations.append(Relation._from_table(AttributeSet(order), table, name))
+        db = Database(relations)
+        db.tau_cache_import(self.taus.items())
+        return db
+
+
+class WorkerEnvelope:
+    """One task's payload plus the telemetry it produced in the worker."""
+
+    __slots__ = ("payload", "spans", "metrics", "tau_entries")
+
+    def __init__(self, payload, spans, metrics, tau_entries):
+        self.payload = payload
+        self.spans = spans
+        self.metrics = metrics
+        self.tau_entries = tau_entries
+
+
+# -- worker side ---------------------------------------------------------------
+
+#: Per-worker state, populated by the pool initializer after fork.
+_STATE: Dict[str, Any] = {}
+
+
+def _init_worker(snapshot, extra, signal, tracer_on: bool, metrics_on: bool) -> None:
+    """Pool initializer: rehydrate the database, reset telemetry.
+
+    The worker inherits the parent's tracer/registry contents via fork;
+    both are cleared so envelopes carry only what *this worker's* tasks
+    produce, and re-enabled to match the parent's flags at fork time.
+    """
+    tracer = get_tracer()
+    tracer.enabled = tracer_on
+    tracer.clear()
+    registry = get_registry()
+    registry.enabled = metrics_on
+    registry.reset()
+    _STATE["db"] = snapshot.restore() if snapshot is not None else None
+    _STATE["extra"] = extra
+    _STATE["signal"] = signal
+    # Entries inherited through the snapshot must not be shipped back.
+    _STATE["tau_sent"] = set(snapshot.taus) if snapshot is not None else set()
+
+
+def _drain_envelope(payload) -> WorkerEnvelope:
+    """Wrap a task payload with the telemetry accumulated since the
+    previous drain (spans, metric rows, and *fresh* tau-cache entries)."""
+    tracer = get_tracer()
+    spans: Tuple[Dict[str, Any], ...] = ()
+    if tracer.enabled:
+        spans = tuple(span.to_dict() for span in tracer.finished_spans())
+        tracer.clear()
+    registry = get_registry()
+    metrics = registry.drain() if registry.enabled else []
+    tau_entries: List[Tuple[Any, int]] = []
+    db = _STATE.get("db")
+    if db is not None:
+        sent = _STATE["tau_sent"]
+        for key, tau in db.tau_cache_export().items():
+            if key not in sent:
+                sent.add(key)
+                tau_entries.append((key, tau))
+    return WorkerEnvelope(payload, spans, metrics, tau_entries)
+
+
+def _invoke(task):
+    """Run one task: ``fn(db, extra, signal, *args)`` -> indexed envelope."""
+    fn, index, args = task
+    payload = fn(_STATE["db"], _STATE["extra"], _STATE["signal"], *args)
+    return index, _drain_envelope(payload)
+
+
+def _tau_chunk(db, extra, signal, positions):
+    """Worker body for :func:`warm_connected_taus`: count the assigned
+    connected subsets (the envelope ships the fresh cache entries)."""
+    connected = db.connected_subsets()
+    for pos in positions:
+        db.tau_of(connected[pos])
+    return len(positions)
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class ParallelContext:
+    """A forked worker pool over one (optional) shared database.
+
+    Usage::
+
+        with ParallelContext(db=db, jobs=4, extra={...}) as ctx:
+            results = ctx.run(chunk_fn, [(chunk,) for chunk in chunks])
+
+    ``extra`` is delivered to workers through the fork-inherited pool
+    initializer, so it may hold anything (closures, cost functions) --
+    it is never pickled.  ``ctx.signal`` is the shared cancellation
+    value (:data:`NO_CANCEL` until a worker lowers it).
+    """
+
+    __slots__ = ("db", "jobs", "extra", "signal", "_ctx", "_pool")
+
+    def __init__(self, db: Optional[Database], jobs: int, extra: Optional[Dict[str, Any]] = None):
+        if jobs < 2:
+            raise ReproError(f"ParallelContext needs at least 2 workers, got {jobs}")
+        if not parallel_available():
+            raise ReproError("process-pool parallelism requires the fork start method")
+        self.db = db
+        self.jobs = jobs
+        self.extra = extra
+        self._ctx = multiprocessing.get_context(START_METHOD)
+        # 'q' = signed long long: positions are Python ints well below 2**62.
+        self.signal = self._ctx.Value("q", NO_CANCEL)
+        self._pool = None
+
+    def __enter__(self) -> "ParallelContext":
+        snapshot = DatabaseSnapshot(self.db) if self.db is not None else None
+        self._pool = self._ctx.Pool(
+            self.jobs,
+            initializer=_init_worker,
+            initargs=(snapshot, self.extra, self.signal, _TRACER.enabled, _METRICS.enabled),
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            if exc_type is None:
+                pool.close()
+            else:
+                pool.terminate()
+            pool.join()
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        arglists: Sequence[Tuple[Any, ...]],
+        parent_span_id: Optional[int] = None,
+    ) -> List[Any]:
+        """Fan ``fn(db, extra, signal, *args)`` out over ``arglists``.
+
+        Envelopes are merged as they arrive (unordered, so a fast
+        worker's tau entries and spans land without waiting for a slow
+        one); the returned payloads are re-sorted into ``arglists``
+        order, so callers see a deterministic sequence regardless of
+        scheduling.  Adopted worker spans are parented under
+        ``parent_span_id`` when given.
+        """
+        if self._pool is None:
+            raise ReproError("ParallelContext.run called outside the with-block")
+        tasks = [(fn, index, tuple(args)) for index, args in enumerate(arglists)]
+        payloads: Dict[int, Any] = {}
+        for index, envelope in self._pool.imap_unordered(_invoke, tasks):
+            if envelope.spans and _TRACER.enabled:
+                _TRACER.adopt(envelope.spans, parent_span_id)
+            if envelope.metrics:
+                _METRICS.absorb(envelope.metrics)
+            if envelope.tau_entries and self.db is not None:
+                self.db.tau_cache_import(envelope.tau_entries)
+            payloads[index] = envelope.payload
+        return [payloads[i] for i in range(len(tasks))]
+
+
+def warm_connected_taus(db: Database, workers: int) -> None:
+    """Fill ``db``'s tau-cache with every connected subset's count,
+    fanning the computations across ``workers`` forked processes.
+
+    The connected-subset taus are the *shared table* behind every sweep:
+    condition units and strategy costings all reduce to them (an
+    unconnected subset's tau is the product of its connected components'
+    taus), so a cold worker re-derives nearly the whole table no matter
+    how few units it owns.  Sweep drivers call this before building
+    their main pool; the warmed cache rides into the workers through the
+    database snapshot and per-worker redundancy collapses to chunk-local
+    products.
+
+    Subsets are strided across one chunk per worker (sizes -- and hence
+    costs -- interleave, so stripes balance); tables smaller than the
+    pool is worth warm in-process instead.
+    """
+    connected = db.connected_subsets()
+    if len(connected) < workers * 4:
+        for subset in connected:
+            db.tau_of(subset)
+        return
+    chunks = [tuple(range(w, len(connected), workers)) for w in range(workers)]
+    with ParallelContext(db=db, jobs=workers) as ctx:
+        ctx.run(_tau_chunk, [(chunk,) for chunk in chunks])

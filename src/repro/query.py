@@ -116,8 +116,9 @@ class JoinQuery:
     """A natural-join query over a database, with plan search and the
     paper's safety analysis."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Database, jobs: Optional[int] = None):
         self._db = db
+        self._jobs = jobs
         self._condition_cache: Dict[str, bool] = {}
 
     @property
@@ -191,7 +192,7 @@ class JoinQuery:
             checker = {"C1": check_c1, "C2": check_c2, "C3": check_c3}.get(key)
             if checker is None:
                 raise OptimizerError(f"unknown condition {name!r}")
-            self._condition_cache[key] = bool(checker(self._db))
+            self._condition_cache[key] = bool(checker(self._db, jobs=self._jobs))
         return self._condition_cache[key]
 
     def subspace_is_safe(self, space: SearchSpace) -> bool:

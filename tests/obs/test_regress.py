@@ -135,7 +135,12 @@ class TestComparison:
         assert Comparison("f", "p", 1.0, None, "missing-fresh", 0.2).ratio is None
 
 
-def _write_payloads(directory, perf_speedups=(8.0, 150.0, 3.0), overhead=0.01):
+def _write_payloads(
+    directory,
+    perf_speedups=(8.0, 150.0, 3.0),
+    overhead=0.01,
+    parallel_speedups=(2.5, 3.0),
+):
     directory.mkdir(parents=True, exist_ok=True)
     full, tau, dense = perf_speedups
     (directory / "BENCH_perf.json").write_text(
@@ -149,6 +154,15 @@ def _write_payloads(directory, perf_speedups=(8.0, 150.0, 3.0), overhead=0.01):
     )
     (directory / "BENCH_obs.json").write_text(
         json.dumps({"dormant_overhead_fraction": overhead})
+    )
+    sweep, campaign = parallel_speedups
+    (directory / "BENCH_parallel.json").write_text(
+        json.dumps(
+            {
+                "condition_sweep": {"speedup_jobs4": sweep},
+                "campaign": {"speedup_jobs4": campaign},
+            }
+        )
     )
 
 
@@ -215,6 +229,24 @@ class TestCompareFilesAndMain:
         statuses = {c["path"]: c["status"] for c in report["comparisons"]}
         assert statuses["full_join.speedup"] == "regression"
         assert statuses["tau_only.speedup"] == "ok"
+        capsys.readouterr()
+
+    def test_only_flag_restricts_guarded_files(self, tmp_path, capsys):
+        # Sweep speedup regresses, but --only on the parallel payload must
+        # ignore the (also regressed) perf payload -- and vice versa.
+        _write_payloads(tmp_path / "base")
+        _write_payloads(
+            tmp_path / "fresh",
+            perf_speedups=(5.0, 150.0, 3.0),
+            parallel_speedups=(2.5, 3.0),
+        )
+        args = ["--baseline-dir", str(tmp_path / "base"), "--fresh-dir", str(tmp_path / "fresh")]
+        assert main(args + ["--only", "BENCH_parallel.json"]) == 0
+        assert main(args + ["--only", "BENCH_perf.json"]) == 1
+        comparisons = compare_files(
+            tmp_path / "base", tmp_path / "fresh", files=["BENCH_parallel.json"]
+        )
+        assert {c.file for c in comparisons} == {"BENCH_parallel.json"}
         capsys.readouterr()
 
     def test_committed_baselines_pass_against_themselves(self, repo_root=None):
