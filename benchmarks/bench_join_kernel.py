@@ -46,7 +46,7 @@ if str(REPO_ROOT / "src") not in sys.path:  # standalone-script entry
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.database import Database  # noqa: E402
-from repro.relational.columnar import use_legacy_engine  # noqa: E402
+from repro.relational.columnar import using_engine  # noqa: E402
 from repro.report import Table  # noqa: E402
 from repro.workloads.generators import (  # noqa: E402
     WorkloadSpec,
@@ -88,7 +88,7 @@ def _median_full_join(spec: dict, legacy: bool) -> float:
     times = []
     for seed in range(spec["rounds"]):
         if legacy:
-            with use_legacy_engine():
+            with using_engine("legacy"):
                 db = _fresh_db(seed, spec)
                 start = time.perf_counter()
                 result = db.evaluate()
@@ -107,7 +107,7 @@ def _median_full_join(spec: dict, legacy: bool) -> float:
 
 def _bench_full_joins(spec: dict):
     # Same seeds -> identical databases; verify the engines agree once.
-    with use_legacy_engine():
+    with using_engine("legacy"):
         legacy_result = _fresh_db(0, spec).evaluate()
         legacy_rows = legacy_result.rows
     kernel_result = _fresh_db(0, spec).evaluate()
@@ -127,7 +127,7 @@ def _bench_tau_only(spec: dict):
     subsets = _connected_subset_keys(_fresh_db(0, spec))
 
     kernel_db = _fresh_db(0, spec)
-    with use_legacy_engine():
+    with using_engine("legacy"):
         legacy_db = _fresh_db(0, spec)
         legacy_taus = [len(legacy_db.join_of(s)) for s in subsets]
     kernel_taus = [kernel_db.tau_of(s) for s in subsets]
@@ -143,7 +143,7 @@ def _bench_tau_only(spec: dict):
         kernel_times.append(time.perf_counter() - start)
         # The pre-kernel implementation: materialize the subset join
         # (row-at-a-time, memoized), then count it.
-        with use_legacy_engine():
+        with using_engine("legacy"):
             db = _fresh_db(seed, spec)
             start = time.perf_counter()
             for subset in subsets:

@@ -18,7 +18,6 @@ and is assembled into RESULTS.md by ``collect_results.py``.
 """
 
 import pathlib
-import random
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -28,26 +27,28 @@ if str(REPO_ROOT / "src") not in sys.path:  # standalone-script entry
 import repro.obs as obs  # noqa: E402
 from repro.obs.profile import RunReport  # noqa: E402
 from repro.optimizer.dp import optimize_dp  # noqa: E402
-from repro.workloads.generators import (  # noqa: E402
-    WorkloadSpec,
-    chain_scheme,
-    generate_database,
-)
+from repro.workloads.generators import WorkloadSpec  # noqa: E402
 
 RELATIONS = 6
-SPEC = WorkloadSpec(size=20, domain=6)
+SPEC = WorkloadSpec(size=20, domain=6, shape="chain", relations=RELATIONS, seed=0)
 
 
 def _db(seed: int = 0):
-    return generate_database(chain_scheme(RELATIONS), random.Random(seed), SPEC)
+    spec = SPEC
+    if seed != SPEC.seed:
+        spec = WorkloadSpec(
+            size=SPEC.size,
+            domain=SPEC.domain,
+            shape=SPEC.shape,
+            relations=SPEC.relations,
+            seed=seed,
+        )
+    return spec.build()
 
 
 def test_profiler_accounting(record):
     assert not obs.is_enabled()
-    report = RunReport.capture(
-        _db(),
-        workload={"shape": "chain", "relations": RELATIONS, "seed": 0},
-    )
+    report = RunReport.capture(_db(), workload=SPEC)
     assert not obs.is_enabled(), "capture must restore the observability state"
 
     # tau(S) = sum of the steps' actual taus, and it matches the DP optimum.

@@ -21,7 +21,10 @@ The library implements the paper end to end:
 * Section 5's union/intersection strategies (:mod:`repro.settheory`);
 * execution tracing and metrics -- per-step tau spans, optimizer search
   counters, estimator Q-error telemetry (:mod:`repro.obs`, off by
-  default and free when off).
+  default and free when off);
+* a resilient execution runtime -- deadlines, work budgets, cooperative
+  cancellation, and graceful degradation to greedy fallback plans
+  (:mod:`repro.runtime`; see docs/api.md).
 
 Quickstart::
 
@@ -81,10 +84,12 @@ from repro.strategy import (
     parse_strategy,
     tau_cost,
 )
-from repro.query import JoinQuery, Plan
+from repro.query import JoinQuery, Plan, PlanProvenance
+from repro.runtime import CancelToken, Deadline, Runtime, WorkBudget
+from repro.errors import OperationCancelled
 from repro.theorems import check_theorem1, check_theorem2, check_theorem3
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Database",
@@ -129,5 +134,11 @@ __all__ = [
     "check_theorem3",
     "JoinQuery",
     "Plan",
+    "PlanProvenance",
+    "Runtime",
+    "Deadline",
+    "WorkBudget",
+    "CancelToken",
+    "OperationCancelled",
     "__version__",
 ]

@@ -19,6 +19,12 @@ Six commands, each a small window onto the reproduction:
 * ``conditions --example N`` -- the C1/C1'/C2/C3 verdicts for a paper
   example;
 * ``sample`` -- the cost distribution of uniformly sampled strategies.
+
+``optimize``, ``explain``, and ``conditions`` accept ``--timeout-ms``
+and ``--budget``: the run then executes under a
+:class:`~repro.runtime.Runtime` and *degrades* instead of overrunning --
+exact searches fall back to a greedy plan (the output says so), and
+condition checks may report ``timed-out`` (see docs/api.md).
 """
 
 from __future__ import annotations
@@ -31,19 +37,13 @@ from typing import List, Optional
 import repro.obs as obs
 from repro import __version__
 from repro.conditions.checks import check_condition
-from repro.relational.columnar import set_kernel_enabled
+from repro.relational.columnar import set_engine
 from repro.optimizer.spaces import SearchSpace
-from repro.query import JoinQuery
+from repro.query import JoinQuery, Plan
 from repro.report import Table, render_kv
+from repro.runtime import Runtime
 from repro.strategy.enumerate import count_all_strategies, count_linear_strategies
-from repro.workloads.generators import (
-    WorkloadSpec,
-    chain_scheme,
-    clique_scheme,
-    cycle_scheme,
-    generate_database,
-    star_scheme,
-)
+from repro.workloads.generators import SHAPES, WorkloadSpec
 from repro.workloads.paper import (
     example1,
     example2_c2_only,
@@ -60,13 +60,6 @@ _EXAMPLES = {
     "3": example3,
     "4": example4,
     "5": example5,
-}
-
-_SHAPES = {
-    "chain": chain_scheme,
-    "star": star_scheme,
-    "cycle": cycle_scheme,
-    "clique": clique_scheme,
 }
 
 
@@ -96,8 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
     census.add_argument("--max-n", type=int, default=8)
 
     def add_workload_flags(command: argparse.ArgumentParser) -> None:
-        """The synthetic-workload flags shared by optimize and explain."""
-        command.add_argument("--shape", choices=sorted(_SHAPES), default="chain")
+        """The synthetic-workload flags shared by optimize and explain
+        (lifted into a :class:`WorkloadSpec` by ``from_args``)."""
+        command.add_argument("--shape", choices=sorted(SHAPES), default="chain")
         command.add_argument("--relations", type=int, default=5)
         command.add_argument("--seed", type=int, default=0)
         command.add_argument("--size", type=int, default=20)
@@ -105,10 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--skew", type=float, default=0.0)
         command.add_argument(
             "--space",
-            choices=[s.value for s in SearchSpace],
+            choices=[s.value for s in SearchSpace] + ["exhaustive"],
             default=SearchSpace.ALL.value,
+            help="search subspace; 'exhaustive' searches all strategies "
+            "by full enumeration instead of the subset DP",
         )
         add_jobs_flag(command)
+        add_runtime_flags(command)
 
     def add_jobs_flag(command: argparse.ArgumentParser) -> None:
         command.add_argument(
@@ -118,6 +115,26 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="fan the search across N worker processes (0 = all "
             "cores; default sequential; see docs/performance.md)",
+        )
+
+    def add_runtime_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--timeout-ms",
+            type=float,
+            default=None,
+            metavar="MS",
+            help="deadline for the run; exact searches degrade to a "
+            "greedy plan and condition checks report timed-out instead "
+            "of overrunning (docs/api.md)",
+        )
+        command.add_argument(
+            "--budget",
+            type=int,
+            default=None,
+            metavar="UNITS",
+            help="work-unit budget (candidates costed / DP states / "
+            "condition instances); same degradation semantics as "
+            "--timeout-ms",
         )
 
     optimize = sub.add_parser("optimize", help="plan a synthetic database")
@@ -174,11 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conditions.add_argument("--example", choices=sorted(_EXAMPLES), required=True)
     add_jobs_flag(conditions)
+    add_runtime_flags(conditions)
 
     sample = sub.add_parser(
         "sample", help="cost distribution of uniformly sampled strategies"
     )
-    sample.add_argument("--shape", choices=sorted(_SHAPES), default="chain")
+    sample.add_argument("--shape", choices=sorted(SHAPES), default="chain")
     sample.add_argument("--relations", type=int, default=6)
     sample.add_argument("--seed", type=int, default=0)
     sample.add_argument("--samples", type=int, default=200)
@@ -250,36 +268,57 @@ def _render_stats(plan, profile) -> str:
     return "\n".join(lines)
 
 
-def _workload_db(args: argparse.Namespace):
-    """The synthetic database described by the shared workload flags."""
-    rng = random.Random(args.seed)
-    schemes = _SHAPES[args.shape](args.relations)
-    return generate_database(
-        schemes, rng, WorkloadSpec(size=args.size, domain=args.domain, skew=args.skew)
+def _runtime_from(args: argparse.Namespace) -> Optional[Runtime]:
+    """The run's :class:`Runtime`, or ``None`` when neither
+    ``--timeout-ms`` nor ``--budget`` was given."""
+    return Runtime.with_limits(
+        timeout_ms=getattr(args, "timeout_ms", None),
+        budget=getattr(args, "budget", None),
     )
 
 
-def _workload_description(args: argparse.Namespace) -> dict:
-    """The workload flags as a dict (recorded in profile exports)."""
-    return {
-        "shape": args.shape,
-        "relations": args.relations,
-        "seed": args.seed,
-        "size": args.size,
-        "domain": args.domain,
-        "skew": args.skew,
-    }
+def _space_of(args: argparse.Namespace) -> SearchSpace:
+    """The requested subspace (``--space exhaustive`` searches ALL)."""
+    return (
+        SearchSpace.ALL if args.space == "exhaustive" else SearchSpace(args.space)
+    )
+
+
+def _plan(args: argparse.Namespace, query: JoinQuery) -> Plan:
+    """The requested plan: the subset DP, or -- under ``--space
+    exhaustive`` -- full enumeration (fanned out by ``--jobs``)."""
+    if args.space == "exhaustive":
+        from repro.optimizer.exhaustive import optimize_exhaustive
+
+        return Plan.from_result(
+            optimize_exhaustive(
+                query.database,
+                SearchSpace.ALL,
+                jobs=args.jobs,
+                runtime=query.runtime,
+            )
+        )
+    return query.optimize(_space_of(args))
+
+
+def _safety_pairs(query: JoinQuery):
+    """The safety report as render-ready pairs; three-valued verdicts
+    print as ``timed-out`` instead of raising on truth-testing."""
+    pairs = []
+    for name, value in sorted(query.safety_report().items()):
+        pairs.append((name, value if isinstance(value, bool) else "timed-out"))
+    return pairs
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     tracing = args.trace or args.trace_json is not None
-    db = _workload_db(args)
-    query = JoinQuery(db, jobs=args.jobs)
+    db = WorkloadSpec.from_args(args).build()
+    query = JoinQuery(db, jobs=args.jobs, runtime=_runtime_from(args))
     if not tracing:
-        plan = query.optimize(SearchSpace(args.space))
+        plan = _plan(args, query)
         print(plan.explain())
         print()
-        print(render_kv(sorted(query.safety_report().items())))
+        print(render_kv(_safety_pairs(query)))
         return 0
 
     from repro.optimizer.estimate import qerror_profile
@@ -294,15 +333,15 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             relations=args.relations,
             space=args.space,
         ):
-            plan = query.optimize(SearchSpace(args.space))
+            plan = _plan(args, query)
             # The paper's per-step accounting, as join.step events ...
             obs.record_strategy_steps(plan.strategy)
             # ... and where classical estimation goes wrong on this plan.
             profile = qerror_profile(db, plan.strategy)
-            safety = query.safety_report()
+            safety = _safety_pairs(query)
         print(plan.explain())
         print()
-        print(render_kv(sorted(safety.items())))
+        print(render_kv(safety))
         print()
         print(_render_stats(plan, profile))
         print()
@@ -323,16 +362,18 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.obs.profile import RunReport
 
-    db = _workload_db(args)
+    spec = WorkloadSpec.from_args(args)
+    db = spec.build()
     # A clean slate so the exports below carry exactly this run.
     obs.reset()
     try:
         report = RunReport.capture(
             db,
-            SearchSpace(args.space),
-            workload=_workload_description(args),
+            _space_of(args),
+            workload=spec,
             track_memory=not args.no_memory,
             jobs=args.jobs,
+            runtime=_runtime_from(args),
         )
         print(report.render())
         if args.profile_json is not None:
@@ -352,9 +393,13 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_conditions(args: argparse.Namespace) -> int:
     db = _EXAMPLES[args.example]()
+    runtime = _runtime_from(args)
     pairs = []
     for name in ("C1", "C1'", "C2", "C3", "C4"):
-        pairs.append((name, bool(check_condition(db, name, jobs=args.jobs))))
+        report = check_condition(db, name, jobs=args.jobs, runtime=runtime)
+        # Decided verdicts render yes/no; an exhausted sweep renders its
+        # three-valued verdict instead of raising on truth-testing.
+        pairs.append((name, report.holds if report.decided else report.verdict()))
     print(render_kv(pairs))
     return 0
 
@@ -367,9 +412,13 @@ def _cmd_sample(args: argparse.Namespace) -> int:
         sample_strategy,
     )
 
-    rng = random.Random(args.seed)
-    schemes = _SHAPES[args.shape](args.relations)
-    db = generate_database(schemes, rng, WorkloadSpec(size=15, domain=5))
+    db = WorkloadSpec(
+        size=15,
+        domain=5,
+        shape=args.shape,
+        relations=args.relations,
+        seed=args.seed,
+    ).build()
     sampler = sample_linear_strategy if args.linear else sample_strategy
     summary = cost_distribution(
         db,
@@ -386,7 +435,7 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    set_kernel_enabled(args.engine != "legacy")
+    set_engine(args.engine)
     if args.command == "examples":
         return _cmd_examples()
     if args.command == "census":

@@ -40,6 +40,7 @@ from repro.obs.trace import get_tracer
 from repro.schemegraph.scheme import DatabaseScheme
 
 __all__ = [
+    "TimedOut",
     "Witness",
     "ConditionReport",
     "check_c1",
@@ -49,6 +50,41 @@ __all__ = [
     "check_c4",
     "check_condition",
 ]
+
+
+class TimedOut:
+    """The third verdict value of a runtime-bounded condition check.
+
+    A checker running under a :class:`~repro.runtime.Runtime` that
+    exhausts its deadline or budget mid-sweep cannot answer ``True``
+    (unchecked instances might violate) and must not answer ``False``
+    (no violation was found), so its report's ``holds`` is a
+    ``TimedOut`` carrying the exhaustion ``trigger`` (``"deadline"`` /
+    ``"budget"``) and how many quantifier instances were examined.
+
+    Truth-testing a ``TimedOut`` raises: code written for the two-valued
+    world fails loudly instead of silently treating a timeout as a
+    verdict.  Branch on ``report.decided`` / ``report.timed_out``.
+    """
+
+    __slots__ = ("trigger", "units_examined")
+
+    def __init__(self, trigger: str, units_examined: int):
+        self.trigger = trigger
+        self.units_examined = units_examined
+
+    def __bool__(self) -> bool:
+        raise ReproError(
+            f"condition check timed out ({self.trigger} after "
+            f"{self.units_examined} instances); the verdict is undecided -- "
+            "check report.decided before truth-testing"
+        )
+
+    def to_dict(self):
+        return {"trigger": self.trigger, "units_examined": self.units_examined}
+
+    def __repr__(self) -> str:
+        return f"<TimedOut {self.trigger} after {self.units_examined} instances>"
 
 
 class Witness:
@@ -73,14 +109,21 @@ class Witness:
 
 
 class ConditionReport:
-    """The outcome of checking one condition on one database."""
+    """The outcome of checking one condition on one database.
+
+    ``holds`` is three-valued: ``True``, ``False``, or a
+    :class:`TimedOut` when a :class:`~repro.runtime.Runtime` stopped the
+    sweep before it could decide.  Truth-testing a timed-out report
+    raises (see :class:`TimedOut`); ``decided``/``timed_out`` branch
+    safely.
+    """
 
     __slots__ = ("condition", "holds", "instances_checked", "violations")
 
     def __init__(
         self,
         condition: str,
-        holds: bool,
+        holds,
         instances_checked: int,
         violations: List[Witness],
     ):
@@ -89,11 +132,33 @@ class ConditionReport:
         self.instances_checked = instances_checked
         self.violations = violations
 
+    @property
+    def decided(self) -> bool:
+        """True when the sweep finished (or found a violation)."""
+        return isinstance(self.holds, bool)
+
+    @property
+    def timed_out(self) -> Optional[TimedOut]:
+        """The :class:`TimedOut` marker, or ``None`` when decided."""
+        return None if isinstance(self.holds, bool) else self.holds
+
+    def verdict(self) -> str:
+        """``"holds"`` / ``"fails"`` / ``"timed-out"`` -- the rendered
+        three-valued verdict (CLI and telemetry use this form)."""
+        if not self.decided:
+            return "timed-out"
+        return "holds" if self.holds else "fails"
+
     def __bool__(self) -> bool:
-        return self.holds
+        return bool(self.holds)
 
     def __repr__(self) -> str:
-        verdict = "holds" if self.holds else f"fails ({len(self.violations)} witnesses)"
+        if not self.decided:
+            verdict = repr(self.holds)
+        elif self.holds:
+            verdict = "holds"
+        else:
+            verdict = f"fails ({len(self.violations)} witnesses)"
         return (
             f"<{self.condition} {verdict}; "
             f"{self.instances_checked} instances checked>"
@@ -118,7 +183,7 @@ def _published(report: "ConditionReport", jobs: int = 1) -> "ConditionReport":
         attributes = {
             "condition": report.condition,
             "instances": report.instances_checked,
-            "holds": report.holds,
+            "holds": report.holds if report.decided else "timed-out",
         }
         if jobs > 1:
             from repro.parallel import START_METHOD
@@ -189,11 +254,30 @@ _SPECS = {
 # -- the unit decomposition ----------------------------------------------------
 
 
-def _triple_units(connected: Sequence[DatabaseScheme]) -> List[Tuple[int, int]]:
+class _SweepStopped(Exception):
+    """Internal control flow: the runtime stopped a check before the
+    unit list was even built (zero instances examined)."""
+
+    def __init__(self, trigger: str):
+        self.trigger = trigger
+
+
+def _triple_units(
+    connected: Sequence[DatabaseScheme], runtime=None
+) -> List[Tuple[int, int]]:
     """The (E, E1) outer pairs of the C1-style quantifier, in canonical
-    order: disjoint connected subsets with ``E`` linked to ``E1``."""
+    order: disjoint connected subsets with ``E`` linked to ``E1``.
+
+    Building this list is itself an O(subsets^2) sweep -- on dense
+    schemes it dwarfs small deadlines -- so a ``runtime`` is polled once
+    per outer row (cheap inner iterations amortize the poll).
+    """
     units = []
     for i, e in enumerate(connected):
+        if runtime is not None:
+            trigger = runtime.exhausted()
+            if trigger is not None:
+                raise _SweepStopped(trigger)
         for j, e1 in enumerate(connected):
             if _disjoint(e, e1) and e.is_linked_to(e1):
                 units.append((i, j))
@@ -212,14 +296,18 @@ def _eval_triple_unit(
     unit: Tuple[int, int],
     ok: Callable[[int, int], bool],
     stop_at_first: bool,
-) -> Tuple[int, List[Tuple[int, int, int]]]:
-    """All E2 instances of one (E, E1) unit: ``(checked, violations)``
-    with violations as ``(k, lhs, rhs)`` rows.
+    runtime=None,
+) -> Tuple[int, List[Tuple[int, int, int]], Optional[str]]:
+    """All E2 instances of one (E, E1) unit:
+    ``(checked, violations, trigger)`` with violations as
+    ``(k, lhs, rhs)`` rows and ``trigger`` non-``None`` when the runtime
+    stopped the unit mid-sweep.
 
     ``lhs = tau(R_E ⋈ R_E1)`` is independent of ``E2``, so it is computed
     lazily once per unit rather than inside the loop.  With
     ``stop_at_first`` the unit stops *counting and evaluating* at its
-    first violation, matching the sequential early return.
+    first violation, matching the sequential early return.  One budget
+    unit is charged per instance (each costs subset-join taus).
     """
     i, j = unit
     e, e1 = connected[i], connected[j]
@@ -229,6 +317,10 @@ def _eval_triple_unit(
     for k, e2 in enumerate(connected):
         if not _disjoint(e, e1, e2) or e.is_linked_to(e2):
             continue
+        if runtime is not None:
+            trigger = runtime.charge()
+            if trigger is not None:
+                return checked, violations, trigger
         checked += 1
         if lhs is None:
             lhs = _tau_join(db, e, e1)
@@ -237,7 +329,7 @@ def _eval_triple_unit(
             violations.append((k, lhs, rhs))
             if stop_at_first:
                 break
-    return checked, violations
+    return checked, violations, None
 
 
 def _eval_pair_unit(
@@ -246,9 +338,11 @@ def _eval_pair_unit(
     i: int,
     ok: Callable[[int, int, int], bool],
     stop_at_first: bool,
-) -> Tuple[int, List[Tuple[int, int, int, int]]]:
-    """All E2 instances of one E1 unit: ``(checked, violations)`` with
-    violations as ``(j, joined, tau1, tau2)`` rows.
+    runtime=None,
+) -> Tuple[int, List[Tuple[int, int, int, int]], Optional[str]]:
+    """All E2 instances of one E1 unit: ``(checked, violations, trigger)``
+    with violations as ``(j, joined, tau1, tau2)`` rows (``trigger`` as
+    in :func:`_eval_triple_unit`).
 
     The conditions are symmetric in ``E1, E2``, so unordered pairs are
     checked once (``j > i``).  ``tau(R_E1)`` is hoisted (lazily) out of
@@ -262,6 +356,10 @@ def _eval_pair_unit(
         e2 = connected[j]
         if not _disjoint(e1, e2) or not e1.is_linked_to(e2):
             continue
+        if runtime is not None:
+            trigger = runtime.charge()
+            if trigger is not None:
+                return checked, violations, trigger
         checked += 1
         if tau1 is None:
             tau1 = db.tau_of(e1)
@@ -271,7 +369,7 @@ def _eval_pair_unit(
             violations.append((j, joined, tau1, tau2))
             if stop_at_first:
                 break
-    return checked, violations
+    return checked, violations, None
 
 
 def _triple_witness(
@@ -287,8 +385,12 @@ def _pair_witness(connected: Sequence[DatabaseScheme], i: int, violation) -> Wit
     return Witness((connected[i], connected[j], None), joined, (tau1, tau2))
 
 
-def _units_for(kind: str, connected: Sequence[DatabaseScheme]) -> List:
-    return _triple_units(connected) if kind == "triple" else _pair_units(connected)
+def _units_for(
+    kind: str, connected: Sequence[DatabaseScheme], runtime=None
+) -> List:
+    if kind == "triple":
+        return _triple_units(connected, runtime)
+    return _pair_units(connected)
 
 
 def _eval_unit(
@@ -298,10 +400,11 @@ def _eval_unit(
     unit,
     ok: Callable,
     stop_at_first: bool,
-) -> Tuple[int, List]:
+    runtime=None,
+) -> Tuple[int, List, Optional[str]]:
     if kind == "triple":
-        return _eval_triple_unit(db, connected, unit, ok, stop_at_first)
-    return _eval_pair_unit(db, connected, unit, ok, stop_at_first)
+        return _eval_triple_unit(db, connected, unit, ok, stop_at_first, runtime)
+    return _eval_pair_unit(db, connected, unit, ok, stop_at_first, runtime)
 
 
 def _witness_for(kind: str, connected: Sequence[DatabaseScheme], unit, violation) -> Witness:
@@ -313,20 +416,55 @@ def _witness_for(kind: str, connected: Sequence[DatabaseScheme], unit, violation
 # -- checking ------------------------------------------------------------------
 
 
+def _timed_out_report(
+    condition: str,
+    trigger: str,
+    checked: int,
+    violations: List[Witness],
+    runtime,
+    jobs: int = 1,
+) -> ConditionReport:
+    """The undecided report an exhausted check returns (and its
+    telemetry).  A violation found *before* exhaustion is definitive, so
+    callers only land here with an empty (or incomplete-but-clean)
+    sweep."""
+    if runtime is not None:
+        runtime.record_exhaustion(trigger, "conditions")
+    return _published(
+        ConditionReport(condition, TimedOut(trigger, checked), checked, violations),
+        jobs=jobs,
+    )
+
+
 def _check_sequential(
     db: Database,
     condition: str,
     kind: str,
     ok: Callable,
     stop_at_first: bool,
+    runtime=None,
 ) -> ConditionReport:
-    """Walk the units in canonical order on this process."""
+    """Walk the units in canonical order on this process.
+
+    Under a ``runtime``, one budget unit is charged per quantifier
+    instance.  Exhaustion mid-sweep yields a :class:`TimedOut` verdict
+    -- unless a violation was already found, which decides ``False``
+    regardless of how much of the sweep remains.
+    """
+    if runtime is not None:
+        trigger = runtime.exhausted()
+        if trigger is not None:
+            return _timed_out_report(condition, trigger, 0, [], runtime)
     connected = _connected_subsets(db)
     checked = 0
     violations: List[Witness] = []
-    for unit in _units_for(kind, connected):
-        unit_checked, unit_violations = _eval_unit(
-            db, kind, connected, unit, ok, stop_at_first
+    try:
+        units = _units_for(kind, connected, runtime)
+    except _SweepStopped as stop:
+        return _timed_out_report(condition, stop.trigger, 0, [], runtime)
+    for unit in units:
+        unit_checked, unit_violations, trigger = _eval_unit(
+            db, kind, connected, unit, ok, stop_at_first, runtime
         )
         checked += unit_checked
         violations.extend(
@@ -334,6 +472,14 @@ def _check_sequential(
         )
         if violations and stop_at_first:
             return _published(ConditionReport(condition, False, checked, violations))
+        if trigger is not None:
+            if violations:
+                # A witness decides the condition even though the sweep
+                # is incomplete (the witness list may be partial).
+                return _published(
+                    ConditionReport(condition, False, checked, violations)
+                )
+            return _timed_out_report(condition, trigger, checked, [], runtime)
     return _published(ConditionReport(condition, not violations, checked, violations))
 
 
@@ -342,6 +488,7 @@ def _check(
     condition: str,
     all_witnesses: bool,
     jobs: Optional[int],
+    runtime=None,
 ) -> ConditionReport:
     kind, ok = _SPECS[condition]
     if jobs is not None:
@@ -351,49 +498,66 @@ def _check(
         if workers > 1:
             from repro.parallel.conditions import check_condition_parallel
 
-            return check_condition_parallel(db, condition, all_witnesses, workers)
-    return _check_sequential(db, condition, kind, ok, not all_witnesses)
+            return check_condition_parallel(
+                db, condition, all_witnesses, workers, runtime
+            )
+    return _check_sequential(db, condition, kind, ok, not all_witnesses, runtime)
 
 
 def check_c1(
-    db: Database, all_witnesses: bool = False, jobs: Optional[int] = None
+    db: Database,
+    all_witnesses: bool = False,
+    jobs: Optional[int] = None,
+    runtime=None,
 ) -> ConditionReport:
     """Condition C1: joining with a linked subset never produces more
     tuples than the Cartesian product with an unlinked one
     (``tau(R_E ⋈ R_E1) <= tau(R_E ⋈ R_E2)``)."""
-    return _check(db, "C1", all_witnesses, jobs)
+    return _check(db, "C1", all_witnesses, jobs, runtime)
 
 
 def check_c1_strict(
-    db: Database, all_witnesses: bool = False, jobs: Optional[int] = None
+    db: Database,
+    all_witnesses: bool = False,
+    jobs: Optional[int] = None,
+    runtime=None,
 ) -> ConditionReport:
     """Condition C1': the strict version required by Theorem 1
     (``tau(R_E ⋈ R_E1) < tau(R_E ⋈ R_E2)``)."""
-    return _check(db, "C1'", all_witnesses, jobs)
+    return _check(db, "C1'", all_witnesses, jobs, runtime)
 
 
 def check_c2(
-    db: Database, all_witnesses: bool = False, jobs: Optional[int] = None
+    db: Database,
+    all_witnesses: bool = False,
+    jobs: Optional[int] = None,
+    runtime=None,
 ) -> ConditionReport:
     """Condition C2: a linked join shrinks at least one side
     (``tau(R_E1 ⋈ R_E2) <= tau(R_E1)`` **or** ``<= tau(R_E2)``)."""
-    return _check(db, "C2", all_witnesses, jobs)
+    return _check(db, "C2", all_witnesses, jobs, runtime)
 
 
 def check_c3(
-    db: Database, all_witnesses: bool = False, jobs: Optional[int] = None
+    db: Database,
+    all_witnesses: bool = False,
+    jobs: Optional[int] = None,
+    runtime=None,
 ) -> ConditionReport:
     """Condition C3: a linked join shrinks *both* sides
     (``tau(R_E1 ⋈ R_E2) <= tau(R_E1)`` **and** ``<= tau(R_E2)``)."""
-    return _check(db, "C3", all_witnesses, jobs)
+    return _check(db, "C3", all_witnesses, jobs, runtime)
 
 
 def check_c4(
-    db: Database, all_witnesses: bool = False, jobs: Optional[int] = None
+    db: Database,
+    all_witnesses: bool = False,
+    jobs: Optional[int] = None,
+    runtime=None,
 ) -> ConditionReport:
     """Condition C4 (Section 5): a linked join *grows* both sides
     (``tau(R_E1 ⋈ R_E2) >= tau(R_E1)`` **and** ``>= tau(R_E2)``)."""
-    return _check(db, "C4", all_witnesses, jobs)
+    return _check(db, "C4", all_witnesses, jobs, runtime)
 
 
 def check_condition(
@@ -401,12 +565,14 @@ def check_condition(
     name: str,
     all_witnesses: bool = False,
     jobs: Optional[int] = None,
+    runtime=None,
 ) -> ConditionReport:
     """Check a condition by name (``"C1"``, ``"C1'"``, ``"C2"``, ``"C3"``,
-    ``"C4"``)."""
+    ``"C4"``).  ``runtime`` bounds the sweep; an exhausted check returns
+    a report whose ``holds`` is a :class:`TimedOut` (docs/api.md)."""
     condition = name.upper().replace("′", "'")
     if condition not in _SPECS:
         raise ReproError(
             f"unknown condition {name!r}; expected one of {sorted(_SPECS)}"
         )
-    return _check(db, condition, all_witnesses, jobs)
+    return _check(db, condition, all_witnesses, jobs, runtime)

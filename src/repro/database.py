@@ -51,7 +51,7 @@ from repro.errors import AcyclicityError, SchemaError
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.relational.attributes import AttributeSet, AttrsLike, attrs, format_attrs
-from repro.relational.columnar import _picker
+from repro.relational.columnar import ENGINES, _picker, current_engine, using_engine
 from repro.relational.relation import Relation
 from repro.schemegraph.jointree import build_join_tree
 from repro.schemegraph.scheme import DatabaseScheme
@@ -221,6 +221,7 @@ class Database:
         "_tau_hits",
         "_computed",
         "_connected",
+        "_engine",
     )
 
     #: Default bound of the tau-cache.  Counts are a single int per subset,
@@ -233,7 +234,25 @@ class Database:
         *,
         join_cache_size: Optional[int] = None,
         tau_cache_size: Optional[int] = DEFAULT_TAU_CACHE_SIZE,
+        engine: Optional[str] = None,
+        use_legacy_engine: Optional[bool] = None,
     ):
+        if use_legacy_engine is not None:
+            import warnings
+
+            warnings.warn(
+                "the use_legacy_engine= keyword is deprecated; pass "
+                "engine=\"legacy\" (or engine=\"columnar\") instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if engine is None:
+                engine = "legacy" if use_legacy_engine else "columnar"
+        if engine is not None and engine not in ENGINES:
+            raise SchemaError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self._engine = engine
         relations = tuple(relations)
         if not relations:
             raise SchemaError("a database must contain at least one relation")
@@ -354,6 +373,13 @@ class Database:
             raise SchemaError("cannot join an empty subset of relations")
         return chosen
 
+    @property
+    def engine(self) -> str:
+        """The execution engine this database's joins run on: the
+        pinned ``engine=`` choice, or the process-wide engine when
+        unpinned."""
+        return self._engine if self._engine is not None else current_engine()
+
     def join_of(self, subset: Optional[Iterable[AttrsLike]] = None) -> Relation:
         """``R_E``: the natural join of the states of ``E ⊆ D``.
 
@@ -361,7 +387,10 @@ class Database:
         memoized per subset; the memo is filled recursively so overlapping
         subsets share work.
         """
-        return self._join_memo(self._resolve_subset(subset))
+        if self._engine is None:
+            return self._join_memo(self._resolve_subset(subset))
+        with using_engine(self._engine):
+            return self._join_memo(self._resolve_subset(subset))
 
     def _join_memo(self, chosen: SubsetKey) -> Relation:
         """Compute (and memoize) the subset join.
@@ -446,6 +475,12 @@ class Database:
         the module docstring) and only cyclic subsets fall back to
         ``len(join_of(...))``.
         """
+        if self._engine is None:
+            return self._tau_of(subset)
+        with using_engine(self._engine):
+            return self._tau_of(subset)
+
+    def _tau_of(self, subset: Optional[Iterable[AttrsLike]] = None) -> int:
         chosen = self._resolve_subset(subset)
         cached = self._join_cache.get(chosen)
         if cached is not None:
@@ -633,7 +668,7 @@ class Database:
             chosen = subset.schemes
         else:
             chosen = frozenset(attrs(s) for s in subset)
-        return Database(self._relations[s] for s in chosen)
+        return Database((self._relations[s] for s in chosen), engine=self._engine)
 
     def with_state(self, replacement: Relation) -> "Database":
         """A database with the state over ``replacement.scheme`` replaced."""
@@ -643,7 +678,7 @@ class Database:
             )
         updated = dict(self._relations)
         updated[replacement.scheme] = replacement
-        return Database(updated.values())
+        return Database(updated.values(), engine=self._engine)
 
     # -- presentation ------------------------------------------------------------------
 

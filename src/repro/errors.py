@@ -24,6 +24,7 @@ __all__ = [
     "OptimizerError",
     "DependencyError",
     "AcyclicityError",
+    "OperationCancelled",
 ]
 
 
@@ -66,6 +67,16 @@ class AcyclicityError(ReproError):
 
     Raised, for example, when a join tree is requested for a scheme that is
     not alpha-acyclic.
+    """
+
+
+class OperationCancelled(ReproError):
+    """An operation was abandoned through its
+    :class:`~repro.runtime.CancelToken`.
+
+    Raised from :meth:`repro.runtime.Runtime.charge` when the token is
+    cancelled.  This is distinct from deadline/budget *exhaustion*, which
+    never raises -- exhausted searches degrade to a fallback result.
     """
 
 

@@ -219,6 +219,7 @@ class RunReport:
         "planner_cache",
         "executor_cache",
         "workload",
+        "degradation",
     )
 
     def __init__(
@@ -231,6 +232,7 @@ class RunReport:
         planner_cache: CacheStats,
         executor_cache: CacheStats,
         workload: Optional[Dict[str, Any]] = None,
+        degradation=None,
     ):
         self.strategy = strategy
         self.space = space
@@ -239,7 +241,10 @@ class RunReport:
         self.phases = phases
         self.planner_cache = planner_cache
         self.executor_cache = executor_cache
+        if workload is not None and hasattr(workload, "to_dict"):
+            workload = workload.to_dict()
         self.workload = dict(workload) if workload else {}
+        self.degradation = degradation
 
     # -- capture -----------------------------------------------------------
 
@@ -252,8 +257,17 @@ class RunReport:
         workload: Optional[Dict[str, Any]] = None,
         track_memory: bool = True,
         jobs: Optional[int] = None,
+        runtime=None,
     ) -> "RunReport":
         """Profile one run of ``db``: plan, estimate, and execute per step.
+
+        ``workload`` may be a plain dict or a
+        :class:`~repro.workloads.generators.WorkloadSpec` (recorded via
+        its ``to_dict``).  ``runtime`` (a
+        :class:`~repro.runtime.Runtime`) bounds the *plan* phase: on
+        exhaustion the profiled plan is the greedy fallback and the
+        report's ``degradation`` records why.  The execute phase always
+        runs the served plan to completion.
 
         * **plan** -- the subset DP finds the tau-optimal strategy in
           ``space`` (skipped when ``strategy`` is passed in); with
@@ -276,6 +290,7 @@ class RunReport:
         """
         clock = _PhaseClock(track_memory)
         optimizer = "manual"
+        degradation = None
         try:
             with obs.observed():
                 with clock.phase("plan"):
@@ -288,11 +303,14 @@ class RunReport:
                         if workers > 1:
                             from repro.optimizer.exhaustive import optimize_exhaustive
 
-                            result = optimize_exhaustive(db, space, jobs=workers)
+                            result = optimize_exhaustive(
+                                db, space, jobs=workers, runtime=runtime
+                            )
                         else:
-                            result = optimize_dp(db, space)
+                            result = optimize_dp(db, space, runtime=runtime)
                         strategy = result.strategy
                         optimizer = result.optimizer
+                        degradation = result.degradation
                 planner_cache = db.cache_stats()
                 with clock.phase("statistics"):
                     estimator = CardinalityEstimator.from_database(db)
@@ -341,6 +359,7 @@ class RunReport:
             planner_cache=planner_cache,
             executor_cache=executor_cache,
             workload=workload,
+            degradation=degradation,
         )
 
     # -- derived quantities ------------------------------------------------
@@ -394,6 +413,16 @@ class RunReport:
         pairs = [
             ("space", self.space),
             ("optimizer", self.optimizer),
+        ]
+        if self.degradation is not None:
+            pairs.append(
+                (
+                    "degraded",
+                    f"{self.degradation.trigger} exhausted; served "
+                    f"{self.degradation.fallback}",
+                )
+            )
+        pairs += [
             ("plan tau", self.tau),
             ("execute wall (ms)", f"{self.execute_wall_ms:.3f}"),
             ("q-error max", f"{aggregates['max']:.2f}"),
@@ -417,6 +446,10 @@ class RunReport:
             "plan": self.strategy.describe(),
             "space": self.space,
             "optimizer": self.optimizer,
+            "degraded": self.degradation is not None,
+            "degradation": (
+                self.degradation.to_dict() if self.degradation is not None else None
+            ),
             "tau": self.tau,
             "workload": dict(self.workload),
             "steps": [step.to_dict() for step in self.steps],

@@ -121,10 +121,18 @@ def _nocp_filter(
             yield part1, part2
 
 
+class _Exhausted(Exception):
+    """Internal control flow: the runtime stopped the DP mid-recursion."""
+
+    def __init__(self, trigger: str):
+        self.trigger = trigger
+
+
 def optimize_dp(
     db: Database,
     space: SearchSpace = SearchSpace.ALL,
     subset_cost=None,
+    runtime=None,
 ) -> OptimizationResult:
     """Find a cheapest strategy in ``space`` by subset dynamic programming.
 
@@ -137,6 +145,11 @@ def optimize_dp(
     :mod:`repro.optimizer.estimate`).  Raises
     :class:`~repro.errors.OptimizerError` when the space is empty for the
     database's scheme.
+
+    ``runtime`` bounds the search (docs/api.md): one budget unit is
+    charged per DP state expanded.  On deadline/budget exhaustion the DP
+    *does not raise* -- it abandons the memo table and serves a
+    deterministic greedy fallback with ``degraded=True`` provenance.
     """
     if subset_cost is None:
         subset_cost = db.tau_of
@@ -159,6 +172,10 @@ def optimize_dp(
         if key in memo:
             memo_hits += 1
             return memo[key]
+        if runtime is not None:
+            trigger = runtime.charge()
+            if trigger is not None:
+                raise _Exhausted(trigger)
         states_solved += 1
         if len(key) == 1:
             (scheme,) = key
@@ -185,7 +202,17 @@ def optimize_dp(
     with _TRACER.span(
         "optimize.dp", space=space.value, relations=len(db.scheme)
     ) as span:
-        result = best(frozenset(db.scheme.schemes))
+        try:
+            result = best(frozenset(db.scheme.schemes))
+        except _Exhausted as stop:
+            span.set_attribute("degraded", True)
+            span.set_attribute("trigger", stop.trigger)
+            span.set_attribute("covered", states_solved)
+            from repro.optimizer.fallback import degrade_to_greedy
+
+            return degrade_to_greedy(
+                db, space, stop.trigger, states_solved, runtime, "dp"
+            )
         if result is None:
             raise OptimizerError(
                 f"the {space.describe()} subspace is empty for {db.scheme}"

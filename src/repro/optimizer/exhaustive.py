@@ -88,6 +88,7 @@ def optimize_exhaustive(
     space: SearchSpace = SearchSpace.ALL,
     cost: Callable[[Strategy], int] = tau_cost,
     jobs: Optional[int] = None,
+    runtime=None,
 ) -> OptimizationResult:
     """Find a cheapest strategy in ``space`` by full enumeration.
 
@@ -101,6 +102,14 @@ def optimize_exhaustive(
     ``jobs`` stripes the strategy stream across worker processes (see
     docs/performance.md); the winning plan, cost, and considered count
     are identical for any worker count.
+
+    ``runtime`` bounds the search (docs/api.md): one budget unit is
+    charged per strategy costed, and on deadline/budget exhaustion the
+    search *does not raise* -- it serves a deterministic greedy fallback
+    whose :class:`~repro.optimizer.spaces.Degradation` provenance
+    records the trigger and how many candidates were covered.  The
+    degraded plan is identical for any ``jobs`` value (partial exact
+    results are discarded, never merged).
     """
     if jobs is not None:
         from repro.parallel import resolve_jobs
@@ -109,7 +118,13 @@ def optimize_exhaustive(
         if workers > 1:
             from repro.parallel.exhaustive import optimize_exhaustive_parallel
 
-            return optimize_exhaustive_parallel(db, space, cost, workers)
+            return optimize_exhaustive_parallel(db, space, cost, workers, runtime)
+    if runtime is not None:
+        trigger = runtime.exhausted()
+        if trigger is not None:
+            from repro.optimizer.fallback import degrade_to_greedy
+
+            return degrade_to_greedy(db, space, trigger, 0, runtime, "exhaustive")
     reducer = PlanReducer()
     with _TRACER.span(
         "optimize.exhaustive", space=space.value, relations=len(db.scheme)
@@ -119,6 +134,17 @@ def optimize_exhaustive(
             linear=space.linear_only,
             avoid_cartesian_products=space.avoids_cartesian_products,
         ):
+            if runtime is not None:
+                trigger = runtime.charge()
+                if trigger is not None:
+                    span.set_attribute("degraded", True)
+                    span.set_attribute("trigger", trigger)
+                    span.set_attribute("covered", reducer.considered)
+                    from repro.optimizer.fallback import degrade_to_greedy
+
+                    return degrade_to_greedy(
+                        db, space, trigger, reducer.considered, runtime, "exhaustive"
+                    )
             reducer.offer(candidate, cost(candidate))
         if reducer.best is None:
             raise OptimizerError(

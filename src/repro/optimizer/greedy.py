@@ -45,17 +45,35 @@ def _publish(algorithm: str, span, joins_considered: int, cost: int) -> None:
         _CANDIDATES.inc(joins_considered, algorithm=algorithm)
 
 
+def _charge(runtime) -> None:
+    # Greedy is the degradation floor, so exhaustion triggers returned by
+    # charge() are deliberately dropped -- the pass must finish its plan.
+    # Cancellation still raises promptly from inside charge().
+    if runtime is not None:
+        runtime.charge()
+
+
 def _pair_tau(db: Database, left: Strategy, right: Strategy) -> int:
     return db.tau_of(left.scheme_set.union(right.scheme_set))
 
 
-def greedy_bushy(db: Database, avoid_cartesian_products: bool = True) -> OptimizationResult:
+def greedy_bushy(
+    db: Database,
+    avoid_cartesian_products: bool = True,
+    runtime=None,
+) -> OptimizationResult:
     """Greedy operator ordering over bushy trees.
 
     At each round, join the pair of forest roots producing the smallest
     intermediate result.  With ``avoid_cartesian_products`` (default), a
     non-linked pair is chosen only when no linked pair exists, which makes
     the result avoid Cartesian products in the paper's sense.
+
+    ``runtime`` charges one budget unit per candidate join scored and
+    honors cooperative cancellation.  Deadline/budget *exhaustion* does
+    not stop the pass: the greedy heuristics are the engine's degradation
+    floor (polynomial, no cheaper fallback exists), so they always finish
+    their plan -- exhaustion is simply left recorded on the shared budget.
     """
     forest: List[Strategy] = [Strategy.leaf(db, s) for s in db.scheme.sorted_schemes()]
     joins_considered = 0
@@ -70,6 +88,7 @@ def greedy_bushy(db: Database, avoid_cartesian_products: bool = True) -> Optimiz
                     if avoid_cartesian_products and not linked:
                         continue
                     joins_considered += 1
+                    _charge(runtime)
                     size = _pair_tau(db, forest[i], forest[j])
                     candidate = (size, i, j, int(not linked))
                     if best_choice is None or candidate < best_choice:
@@ -80,6 +99,7 @@ def greedy_bushy(db: Database, avoid_cartesian_products: bool = True) -> Optimiz
                 for i in range(len(forest)):
                     for j in range(i + 1, len(forest)):
                         joins_considered += 1
+                        _charge(runtime)
                         size = _pair_tau(db, forest[i], forest[j])
                         candidate = (size, i, j, 1)
                         if best_choice is None or candidate < best_choice:
@@ -97,13 +117,21 @@ def greedy_bushy(db: Database, avoid_cartesian_products: bool = True) -> Optimiz
     )
 
 
-def greedy_linear(db: Database, avoid_cartesian_products: bool = True) -> OptimizationResult:
+def greedy_linear(
+    db: Database,
+    avoid_cartesian_products: bool = True,
+    runtime=None,
+) -> OptimizationResult:
     """Smallest-next linear heuristic.
 
     Starts from the relation pair with the smallest join (preferring
     linked pairs when ``avoid_cartesian_products``), then repeatedly
     appends the relation minimizing the next intermediate size, again
     preferring linked relations.
+
+    ``runtime`` is honored exactly as in :func:`greedy_bushy`: work is
+    charged and cancellation raises, but exhaustion never truncates the
+    plan (greedy is the degradation floor).
     """
     leaves = {s: Strategy.leaf(db, s) for s in db.scheme.sorted_schemes()}
     remaining = list(db.scheme.sorted_schemes())
@@ -121,6 +149,7 @@ def greedy_linear(db: Database, avoid_cartesian_products: bool = True) -> Optimi
             for j in range(i + 1, len(remaining)):
                 linked = remaining[i].is_linked_to(remaining[j])
                 joins_considered += 1
+                _charge(runtime)
                 size = db.tau_of([remaining[i], remaining[j]])
                 not_linked_penalty = int(avoid_cartesian_products and not linked)
                 candidate = (not_linked_penalty, size, i, j)
@@ -136,6 +165,7 @@ def greedy_linear(db: Database, avoid_cartesian_products: bool = True) -> Optimi
             for k, scheme in enumerate(remaining):
                 linked = chain.scheme_set.is_linked_to(DatabaseScheme([scheme]))
                 joins_considered += 1
+                _charge(runtime)
                 size = db.tau_of(chain.scheme_set.union(DatabaseScheme([scheme])))
                 not_linked_penalty = int(avoid_cartesian_products and not linked)
                 candidate = (not_linked_penalty, size, k)

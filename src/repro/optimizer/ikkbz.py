@@ -166,7 +166,9 @@ def estimated_linear_cost(
 
 
 def ikkbz(
-    db: Database, estimator: Optional[CardinalityEstimator] = None
+    db: Database,
+    estimator: Optional[CardinalityEstimator] = None,
+    runtime=None,
 ) -> OptimizationResult:
     """The IK/KBZ optimal linear order under estimated costs.
 
@@ -175,6 +177,11 @@ def ikkbz(
     whose ``cost`` is the *estimated* cost (compare with the true tau of
     ``result.strategy`` to measure estimation damage), and whose
     ``considered`` counts the roots tried.
+
+    ``runtime`` charges one budget unit per root ranked and honors
+    cooperative cancellation; like the greedy passes, IKKBZ is
+    polynomial, so exhaustion does not truncate it -- the algorithm
+    always finishes and returns its exact (estimated-cost) optimum.
 
     Raises :class:`~repro.errors.OptimizerError` when the query graph is
     not a tree (IK's algorithm is defined for tree queries).
@@ -190,6 +197,8 @@ def ikkbz(
         best_order: Optional[List[AttributeSet]] = None
         best_cost = 0.0
         for root in schemes:
+            if runtime is not None:
+                runtime.charge()  # cancellation raises; exhaustion ignored
             order, cost = _chain_for_root(db, est, adjacency, root)
             if best_order is None or cost < best_cost:
                 best_order, best_cost = order, cost

@@ -15,9 +15,11 @@ carries the flags the enumerators/optimizers consume.
 from __future__ import annotations
 
 import enum
+from typing import Any, Dict, Optional
+
 from repro.strategy.tree import Strategy
 
-__all__ = ["SearchSpace", "OptimizationResult"]
+__all__ = ["SearchSpace", "Degradation", "OptimizationResult"]
 
 
 class SearchSpace(enum.Enum):
@@ -56,15 +58,66 @@ class SearchSpace(enum.Enum):
         }[self]
 
 
+class Degradation:
+    """How and why a search gave up on exactness (docs/api.md).
+
+    Attached to an :class:`OptimizationResult` (and surfaced through
+    :class:`~repro.query.PlanProvenance`) when a
+    :class:`~repro.runtime.Runtime` stopped the search:
+
+    * ``trigger`` -- ``"deadline"`` or ``"budget"``;
+    * ``covered`` -- candidates/states the exact search examined before
+      exhaustion (how much of the space was covered);
+    * ``fallback`` -- the polynomial optimizer that produced the served
+      plan (``"greedy-bushy"`` / ``"greedy-linear"``);
+    * ``fallback_space`` -- the subspace the fallback searched, chosen
+      via the runtime's cached condition verdicts when those license a
+      restriction (Theorem 2: C1 ∧ C2 makes NOCP safe; Theorem 3: C3
+      makes the linear spaces safe).
+    """
+
+    __slots__ = ("trigger", "covered", "fallback", "fallback_space")
+
+    def __init__(
+        self,
+        trigger: str,
+        covered: int,
+        fallback: str,
+        fallback_space: "SearchSpace",
+    ):
+        self.trigger = trigger
+        self.covered = covered
+        self.fallback = fallback
+        self.fallback_space = fallback_space
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready image (part of ``Plan.to_dict()``)."""
+        return {
+            "trigger": self.trigger,
+            "covered": self.covered,
+            "fallback": self.fallback,
+            "fallback_space": self.fallback_space.value,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Degradation {self.trigger}: fell back to {self.fallback}/"
+            f"{self.fallback_space.value} after {self.covered} covered>"
+        )
+
+
 class OptimizationResult:
     """The outcome of one optimizer run.
 
     ``considered`` counts enumerated candidates (exhaustive) or solved DP
     states (dynamic programming) -- the search-effort number the paper's
-    tractability discussion is about.
+    tractability discussion is about.  ``degradation`` is ``None`` for an
+    exact result; a degraded run (deadline/budget exhaustion under a
+    :class:`~repro.runtime.Runtime`) carries the :class:`Degradation`
+    record and ``considered`` counts the *fallback's* own effort.
     """
 
-    __slots__ = ("strategy", "cost", "space", "optimizer", "considered")
+    __slots__ = ("strategy", "cost", "space", "optimizer", "considered", "degradation")
 
     def __init__(
         self,
@@ -73,16 +126,24 @@ class OptimizationResult:
         space: SearchSpace,
         optimizer: str,
         considered: int,
+        degradation: Optional[Degradation] = None,
     ):
         self.strategy = strategy
         self.cost = cost
         self.space = space
         self.optimizer = optimizer
         self.considered = considered
+        self.degradation = degradation
+
+    @property
+    def degraded(self) -> bool:
+        """True when the search exhausted its runtime and fell back."""
+        return self.degradation is not None
 
     def __repr__(self) -> str:
+        suffix = " degraded" if self.degraded else ""
         return (
             f"<OptimizationResult {self.optimizer}/{self.space.value}: "
             f"{self.strategy.describe()} @ tau={self.cost} "
-            f"({self.considered} considered)>"
+            f"({self.considered} considered){suffix}>"
         )

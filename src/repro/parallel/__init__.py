@@ -31,6 +31,7 @@ from repro.parallel.context import (
     parallel_available,
     resolve_jobs,
     warm_connected_taus,
+    worker_runtime,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "parallel_available",
     "resolve_jobs",
     "warm_connected_taus",
+    "worker_runtime",
 ]

@@ -28,12 +28,14 @@ from repro.conditions.checks import (
     _eval_unit,
     _published,
     _SPECS,
+    _SweepStopped,
+    _timed_out_report,
     _units_for,
     _witness_for,
 )
 from repro.database import Database
 from repro.errors import ReproError
-from repro.parallel.context import ParallelContext, warm_connected_taus
+from repro.parallel.context import ParallelContext, warm_connected_taus, worker_runtime
 
 __all__ = ["check_condition_parallel"]
 
@@ -51,26 +53,34 @@ def _condition_chunk(db, extra, signal, positions):
     which :meth:`Database.connected_subsets` derives (and memoizes) in
     the same canonical order as the parent's.
 
-    Returns ``(pos, checked, violations)`` rows; ``violations`` are the
-    raw index rows of ``_eval_unit`` (witnesses are rebuilt parent-side
-    against the parent's subset objects).
+    Returns ``(rows, trigger)`` with ``(pos, checked, violations)``
+    rows; ``violations`` are the raw index rows of ``_eval_unit``
+    (witnesses are rebuilt parent-side against the parent's subset
+    objects).  ``trigger`` is non-``None`` when this worker's runtime
+    clone exhausted mid-chunk (remaining positions are abandoned); a
+    cancelled token raises out of the chunk instead.
     """
     condition = extra["condition"]
     stop = extra["stop"]
     units = extra["units"]
     kind, ok = _SPECS[condition]
     connected = _connected_subsets(db)
+    runtime = worker_runtime()
     rows = []
     for pos in positions:
         if stop and pos > signal.value:
             continue
-        checked, violations = _eval_unit(db, kind, connected, units[pos], ok, stop)
+        checked, violations, trigger = _eval_unit(
+            db, kind, connected, units[pos], ok, stop, runtime
+        )
         if violations and stop:
             with signal.get_lock():
                 if pos < signal.value:
                     signal.value = pos
         rows.append((pos, checked, violations))
-    return tuple(rows)
+        if trigger is not None:
+            return tuple(rows), trigger
+    return tuple(rows), None
 
 
 def check_condition_parallel(
@@ -78,12 +88,29 @@ def check_condition_parallel(
     condition: str,
     all_witnesses: bool,
     workers: int,
+    runtime=None,
 ) -> ConditionReport:
-    """The parallel twin of ``checks._check_sequential``."""
+    """The parallel twin of ``checks._check_sequential``.
+
+    Under a ``runtime``: an already-exhausted runtime times out before
+    paying the fork cost; workers run under clones and report partial
+    chunks; the parent replays what arrived -- a violation found
+    anywhere decides ``False``, otherwise any exhausted chunk makes the
+    verdict :class:`~repro.conditions.checks.TimedOut` (with the total
+    instances examined across workers, which, unlike a decided verdict,
+    may vary run to run).
+    """
     kind, _ = _SPECS[condition]
     stop = not all_witnesses
+    if runtime is not None:
+        trigger = runtime.exhausted()
+        if trigger is not None:
+            return _timed_out_report(condition, trigger, 0, [], runtime, jobs=workers)
     connected = _connected_subsets(db)
-    units = _units_for(kind, connected)
+    try:
+        units = _units_for(kind, connected, runtime)
+    except _SweepStopped as stopped:
+        return _timed_out_report(condition, stopped.trigger, 0, [], runtime, jobs=workers)
     if not units:
         return _published(ConditionReport(condition, True, 0, []), jobs=workers)
 
@@ -93,7 +120,9 @@ def check_condition_parallel(
     # short-circuit mode the sweep may end after a handful of units, so
     # eagerly counting every subset could dwarf the check itself: skip
     # the warm phase and let the cancellation signal bound the waste.
-    if not stop:
+    # Bounded runs skip it too (the warm sweep does not poll the
+    # runtime and could eat the whole allowance).
+    if not stop and runtime is None:
         warm_connected_taus(db, workers)
 
     # Contiguous position ranges, not strides: the canonical unit order
@@ -110,10 +139,16 @@ def check_condition_parallel(
         chunks.append(tuple(range(start, start + width)))
         start += width
     extra = {"condition": condition, "stop": stop, "units": units}
-    with ParallelContext(db=db, jobs=workers, extra=extra) as ctx:
+    with ParallelContext(db=db, jobs=workers, extra=extra, runtime=runtime) as ctx:
         results = ctx.run(_condition_chunk, [(chunk,) for chunk in chunks])
 
-    by_pos = {pos: (checked, violations) for rows in results for pos, checked, violations in rows}
+    trigger = None
+    by_pos = {}
+    for rows, chunk_trigger in results:
+        if chunk_trigger is not None and trigger is None:
+            trigger = chunk_trigger
+        for pos, row_checked, row_violations in rows:
+            by_pos[pos] = (row_checked, row_violations)
 
     # Replay in canonical unit order -- this reconstructs exactly the
     # sequential walk, including where it would have returned early.
@@ -122,6 +157,11 @@ def check_condition_parallel(
     for pos in range(len(units)):
         entry = by_pos.get(pos)
         if entry is None:
+            if trigger is not None:
+                # Exhausted chunks abandon their tail positions; any
+                # violation already replayed decides the condition,
+                # otherwise the sweep is undecided.
+                break
             if not stop:
                 raise ReproError(
                     f"parallel {condition} check lost unit {pos} (library bug)"
@@ -141,6 +181,15 @@ def check_condition_parallel(
             return _published(
                 ConditionReport(condition, False, checked, witnesses), jobs=workers
             )
+    if trigger is not None and not witnesses:
+        total_checked = sum(row_checked for row_checked, _ in by_pos.values())
+        return _timed_out_report(
+            condition, trigger, total_checked, [], runtime, jobs=workers
+        )
+    if trigger is not None:
+        return _published(
+            ConditionReport(condition, False, checked, witnesses), jobs=workers
+        )
     return _published(
         ConditionReport(condition, not witnesses, checked, witnesses), jobs=workers
     )

@@ -61,6 +61,7 @@ __all__ = [
     "parallel_available",
     "resolve_jobs",
     "warm_connected_taus",
+    "worker_runtime",
 ]
 
 #: The only start method this layer uses (see the module docstring).
@@ -106,7 +107,7 @@ class DatabaseSnapshot:
     the database under a *different* process's interning table.
     """
 
-    __slots__ = ("tables", "values", "taus")
+    __slots__ = ("tables", "values", "taus", "engine")
 
     def __init__(self, db: Database):
         tables: List[Tuple[Optional[str], Tuple[str, ...], Tuple[Tuple[int, ...], ...]]] = []
@@ -126,6 +127,9 @@ class DatabaseSnapshot:
         # matter how little of the sweep it owns (see
         # :func:`warm_connected_taus`).
         self.taus = db.tau_cache_export()
+        # A per-database engine pin (Database(engine=...)) rides into the
+        # worker's rebuilt database.
+        self.engine = db._engine
 
     def restore(self) -> Database:
         """Rebuild the database in the current process.
@@ -142,7 +146,7 @@ class DatabaseSnapshot:
             )
             table = ColumnarTable(order, translated)
             relations.append(Relation._from_table(AttributeSet(order), table, name))
-        db = Database(relations)
+        db = Database(relations, engine=self.engine)
         db.tau_cache_import(self.taus.items())
         return db
 
@@ -165,12 +169,19 @@ class WorkerEnvelope:
 _STATE: Dict[str, Any] = {}
 
 
-def _init_worker(snapshot, extra, signal, tracer_on: bool, metrics_on: bool) -> None:
+def _init_worker(
+    snapshot, extra, signal, tracer_on: bool, metrics_on: bool, runtime=None
+) -> None:
     """Pool initializer: rehydrate the database, reset telemetry.
 
     The worker inherits the parent's tracer/registry contents via fork;
     both are cleared so envelopes carry only what *this worker's* tasks
     produce, and re-enabled to match the parent's flags at fork time.
+
+    ``runtime`` (fork-inherited, never pickled) is installed as a
+    :meth:`~repro.runtime.Runtime.worker_clone`: same deadline instant
+    and cancel token (whose shared cell was created before the fork),
+    fresh budget of the parent's remaining units.
     """
     tracer = get_tracer()
     tracer.enabled = tracer_on
@@ -181,8 +192,16 @@ def _init_worker(snapshot, extra, signal, tracer_on: bool, metrics_on: bool) -> 
     _STATE["db"] = snapshot.restore() if snapshot is not None else None
     _STATE["extra"] = extra
     _STATE["signal"] = signal
+    _STATE["runtime"] = runtime.worker_clone() if runtime is not None else None
     # Entries inherited through the snapshot must not be shipped back.
     _STATE["tau_sent"] = set(snapshot.taus) if snapshot is not None else set()
+
+
+def worker_runtime():
+    """The current worker's :class:`~repro.runtime.Runtime` clone, or
+    ``None`` (also ``None`` on the parent process).  Chunk bodies poll
+    this instead of growing a parameter."""
+    return _STATE.get("runtime")
 
 
 def _drain_envelope(payload) -> WorkerEnvelope:
@@ -237,11 +256,25 @@ class ParallelContext:
     initializer, so it may hold anything (closures, cost functions) --
     it is never pickled.  ``ctx.signal`` is the shared cancellation
     value (:data:`NO_CANCEL` until a worker lowers it).
+
+    ``runtime`` extends the request's resilience bounds into the pool:
+    the token's shared cell is created *before* the fork (so a
+    parent-side ``cancel()`` is visible in every worker) and the token
+    is bound to ``ctx.signal``, so cancelling also trips the
+    short-circuit position signal; each worker then runs under a
+    :meth:`~repro.runtime.Runtime.worker_clone` (see
+    :func:`worker_runtime`).
     """
 
-    __slots__ = ("db", "jobs", "extra", "signal", "_ctx", "_pool")
+    __slots__ = ("db", "jobs", "extra", "runtime", "signal", "_ctx", "_pool")
 
-    def __init__(self, db: Optional[Database], jobs: int, extra: Optional[Dict[str, Any]] = None):
+    def __init__(
+        self,
+        db: Optional[Database],
+        jobs: int,
+        extra: Optional[Dict[str, Any]] = None,
+        runtime=None,
+    ):
         if jobs < 2:
             raise ReproError(f"ParallelContext needs at least 2 workers, got {jobs}")
         if not parallel_available():
@@ -249,9 +282,13 @@ class ParallelContext:
         self.db = db
         self.jobs = jobs
         self.extra = extra
+        self.runtime = runtime
         self._ctx = multiprocessing.get_context(START_METHOD)
         # 'q' = signed long long: positions are Python ints well below 2**62.
         self.signal = self._ctx.Value("q", NO_CANCEL)
+        if runtime is not None and runtime.token is not None:
+            runtime.token.share(self._ctx)
+            runtime.token.bind_cell(self.signal)
         self._pool = None
 
     def __enter__(self) -> "ParallelContext":
@@ -259,7 +296,14 @@ class ParallelContext:
         self._pool = self._ctx.Pool(
             self.jobs,
             initializer=_init_worker,
-            initargs=(snapshot, self.extra, self.signal, _TRACER.enabled, _METRICS.enabled),
+            initargs=(
+                snapshot,
+                self.extra,
+                self.signal,
+                _TRACER.enabled,
+                _METRICS.enabled,
+                self.runtime,
+            ),
         )
         return self
 

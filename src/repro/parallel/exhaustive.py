@@ -27,7 +27,12 @@ from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.optimizer.exhaustive import PlanReducer
 from repro.optimizer.spaces import OptimizationResult, SearchSpace
-from repro.parallel.context import START_METHOD, ParallelContext, warm_connected_taus
+from repro.parallel.context import (
+    START_METHOD,
+    ParallelContext,
+    warm_connected_taus,
+    worker_runtime,
+)
 from repro.relational.attributes import AttributeSet
 from repro.strategy.cost import tau_cost
 from repro.strategy.enumerate import strategies_in_space
@@ -72,10 +77,20 @@ class _ChunkWinner:
 
 
 def _cost_chunk(db, extra, signal, worker_index):
-    """Worker body: cost this worker's stripe of the strategy stream."""
+    """Worker body: cost this worker's stripe of the strategy stream.
+
+    Returns ``(winner, considered, trigger)``.  Under a runtime, one
+    budget unit is charged per strategy *costed* (matching the
+    sequential checker); on exhaustion the stripe stops and reports the
+    trigger -- the parent then discards every stripe's partial winner
+    and serves the deterministic greedy fallback, so a degraded plan is
+    identical for any worker count.
+    """
     space = extra["space"]
     cost = extra["cost"]
     stride = extra["stride"]
+    runtime = worker_runtime()
+    trigger = None
     reducer = PlanReducer()
     for index, candidate in enumerate(
         strategies_in_space(
@@ -86,11 +101,15 @@ def _cost_chunk(db, extra, signal, worker_index):
     ):
         if index % stride != worker_index:
             continue
+        if runtime is not None:
+            trigger = runtime.charge()
+            if trigger is not None:
+                break
         reducer.offer(candidate, cost(candidate))
     if reducer.best is None:
-        return None, 0
+        return None, reducer.considered, trigger
     winner = (reducer.best_cost, reducer.label, _strategy_spec(reducer.best))
-    return winner, reducer.considered
+    return winner, reducer.considered, trigger
 
 
 def optimize_exhaustive_parallel(
@@ -98,8 +117,24 @@ def optimize_exhaustive_parallel(
     space: SearchSpace,
     cost,
     workers: int,
+    runtime=None,
 ) -> OptimizationResult:
-    """The parallel twin of :func:`~repro.optimizer.exhaustive.optimize_exhaustive`."""
+    """The parallel twin of :func:`~repro.optimizer.exhaustive.optimize_exhaustive`.
+
+    ``runtime`` bounds the sweep exactly like the sequential path: an
+    already-exhausted runtime degrades before paying the fork cost, and
+    if *any* stripe exhausts mid-sweep every stripe's partial winner is
+    discarded in favor of the deterministic greedy fallback (so the
+    degraded plan is byte-identical for any ``jobs``).  A cancelled
+    token raises :class:`~repro.errors.OperationCancelled` out of the
+    workers and terminates the pool.
+    """
+    if runtime is not None:
+        trigger = runtime.exhausted()
+        if trigger is not None:
+            from repro.optimizer.fallback import degrade_to_greedy
+
+            return degrade_to_greedy(db, space, trigger, 0, runtime, "exhaustive")
     with _TRACER.span(
         "optimize.exhaustive",
         space=space.value,
@@ -112,10 +147,13 @@ def optimize_exhaustive_parallel(
         # workers inherit it through the snapshot instead of each
         # re-deriving it.  Custom cost functions may not touch taus at
         # all, so only the default costing triggers the warm phase.
-        if cost is tau_cost:
+        # Bounded runs skip it: the warm sweep does not poll the
+        # runtime, so on a tight deadline it could eat the whole
+        # allowance before any strategy was costed.
+        if cost is tau_cost and runtime is None:
             warm_connected_taus(db, workers)
         extra = {"space": space, "cost": cost, "stride": workers}
-        with ParallelContext(db=db, jobs=workers, extra=extra) as ctx:
+        with ParallelContext(db=db, jobs=workers, extra=extra, runtime=runtime) as ctx:
             results = ctx.run(
                 _cost_chunk,
                 [(worker,) for worker in range(workers)],
@@ -123,11 +161,21 @@ def optimize_exhaustive_parallel(
             )
         reducer = PlanReducer()
         considered = 0
-        for winner, chunk_considered in results:
+        trigger = None
+        for winner, chunk_considered, chunk_trigger in results:
             considered += chunk_considered
+            if chunk_trigger is not None and trigger is None:
+                trigger = chunk_trigger
             if winner is not None:
                 chunk_cost, label, spec = winner
                 reducer.offer(_ChunkWinner(spec, label), chunk_cost)
+        if trigger is not None:
+            span.set_attribute("degraded", True)
+            span.set_attribute("trigger", trigger)
+            span.set_attribute("covered", considered)
+            from repro.optimizer.fallback import degrade_to_greedy
+
+            return degrade_to_greedy(db, space, trigger, considered, runtime, "exhaustive")
         if reducer.best is None:
             raise OptimizerError(
                 f"the {space.describe()} subspace is empty for {db.scheme}"

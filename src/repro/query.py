@@ -16,11 +16,16 @@ subspace was safe*::
 The safety test is exactly the paper's contribution: Theorem 2 makes
 ``NOCP`` safe under C1 ∧ C2, Theorem 3 makes ``LINEAR_NOCP`` (and
 ``LINEAR``) safe under C3.
+
+Pass a :class:`~repro.runtime.Runtime` to bound the whole session:
+searches degrade to a greedy plan instead of raising, and condition
+checks may report a three-valued timed-out verdict
+(:class:`~repro.conditions.checks.TimedOut`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.conditions.checks import check_c1, check_c2, check_c3
 from repro.database import Database
@@ -28,12 +33,63 @@ from repro.errors import OptimizerError
 from repro.optimizer.dp import optimize_dp
 from repro.optimizer.estimate import CardinalityEstimator
 from repro.optimizer.greedy import greedy_bushy, greedy_linear
-from repro.optimizer.spaces import OptimizationResult, SearchSpace
+from repro.optimizer.spaces import Degradation, OptimizationResult, SearchSpace
 from repro.relational.relation import Relation
+from repro.runtime.core import Runtime
 from repro.strategy.cost import step_costs, tau_cost
 from repro.strategy.tree import Strategy, parse_strategy
 
-__all__ = ["JoinQuery", "Plan"]
+__all__ = ["JoinQuery", "Plan", "PlanProvenance"]
+
+
+class PlanProvenance:
+    """Where a plan came from and what it claims.
+
+    ``cost`` is the plan's true tau; ``space`` the subspace it was
+    requested from; ``optimizer`` the algorithm that produced it; and
+    ``degradation`` -- ``None`` for an exact result -- the
+    :class:`~repro.optimizer.spaces.Degradation` record when a bounded
+    search exhausted its :class:`~repro.runtime.Runtime` and served the
+    greedy fallback instead.
+    """
+
+    __slots__ = ("cost", "space", "optimizer", "degradation")
+
+    def __init__(
+        self,
+        cost: int,
+        space: SearchSpace,
+        optimizer: str,
+        degradation: Optional[Degradation] = None,
+    ):
+        self.cost = cost
+        self.space = space
+        self.optimizer = optimizer
+        self.degradation = degradation
+
+    @property
+    def degraded(self) -> bool:
+        """True when the plan is a runtime-exhaustion fallback."""
+        return self.degradation is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready image (embedded in ``Plan.to_dict()``)."""
+        return {
+            "cost": self.cost,
+            "space": self.space.value,
+            "optimizer": self.optimizer,
+            "degraded": self.degraded,
+            "degradation": (
+                self.degradation.to_dict() if self.degradation is not None else None
+            ),
+        }
+
+    def __repr__(self) -> str:
+        suffix = " degraded" if self.degraded else ""
+        return (
+            f"<PlanProvenance {self.optimizer}/{self.space.value} "
+            f"tau={self.cost}{suffix}>"
+        )
 
 
 class Plan:
@@ -41,9 +97,11 @@ class Plan:
 
     Plans are produced by :class:`JoinQuery`; ``execute`` returns the
     final relation, ``explain`` renders the tree with per-step sizes.
+    ``cost``/``space``/``optimizer`` read through to the
+    :class:`PlanProvenance` record in ``plan.provenance``.
     """
 
-    __slots__ = ("strategy", "cost", "space", "optimizer")
+    __slots__ = ("strategy", "provenance")
 
     def __init__(
         self,
@@ -51,16 +109,56 @@ class Plan:
         cost: int,
         space: SearchSpace,
         optimizer: str,
+        degradation: Optional[Degradation] = None,
     ):
         self.strategy = strategy
-        self.cost = cost
-        self.space = space
-        self.optimizer = optimizer
+        self.provenance = PlanProvenance(cost, space, optimizer, degradation)
 
     @classmethod
     def from_result(cls, result: OptimizationResult) -> "Plan":
-        """Wrap an optimizer result."""
-        return cls(result.strategy, result.cost, result.space, result.optimizer)
+        """Wrap an optimizer result (degradation rides along)."""
+        return cls(
+            result.strategy,
+            result.cost,
+            result.space,
+            result.optimizer,
+            degradation=result.degradation,
+        )
+
+    @property
+    def cost(self) -> int:
+        """The plan's true tau (from the provenance record)."""
+        return self.provenance.cost
+
+    @property
+    def space(self) -> SearchSpace:
+        """The subspace the plan was requested from."""
+        return self.provenance.space
+
+    @property
+    def optimizer(self) -> str:
+        """The algorithm that produced the plan."""
+        return self.provenance.optimizer
+
+    @property
+    def degradation(self) -> Optional[Degradation]:
+        """The degradation record, or ``None`` for an exact plan."""
+        return self.provenance.degradation
+
+    @property
+    def degraded(self) -> bool:
+        """True when the plan is a runtime-exhaustion fallback."""
+        return self.provenance.degraded
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready image of the plan and its provenance."""
+        out = {
+            "strategy": self.strategy.describe(),
+            "linear": self.is_linear,
+            "cartesian_products": self.uses_cartesian_products,
+        }
+        out.update(self.provenance.to_dict())
+        return out
 
     def execute(self) -> Relation:
         """The final relation (the engine computes each step's join via
@@ -79,6 +177,13 @@ class Plan:
             f"space: {self.space.describe()}  optimizer: {self.optimizer}  "
             f"tau: {self.cost}",
         ]
+        if self.degraded:
+            record = self.provenance.degradation
+            lines.append(
+                f"degraded: {record.trigger} exhausted; served "
+                f"{record.fallback} over {record.fallback_space.describe()} "
+                f"({record.covered} candidates covered before exhaustion)"
+            )
 
         def walk(node: Strategy, depth: int) -> None:
             indent = "  " * depth
@@ -114,12 +219,32 @@ class Plan:
 
 class JoinQuery:
     """A natural-join query over a database, with plan search and the
-    paper's safety analysis."""
+    paper's safety analysis.
 
-    def __init__(self, db: Database, jobs: Optional[int] = None):
+    ``runtime`` (a :class:`~repro.runtime.Runtime`, optional) bounds all
+    work launched through the query: exact searches degrade to greedy
+    fallbacks on exhaustion, and condition checks may return the
+    three-valued :class:`~repro.conditions.checks.TimedOut` verdict.
+    Decided condition verdicts are fed back into
+    ``runtime.condition_verdicts`` so a later degraded search can pick a
+    theorem-licensed fallback subspace.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        jobs: Optional[int] = None,
+        runtime: Optional[Runtime] = None,
+    ):
         self._db = db
         self._jobs = jobs
+        self._runtime = runtime
         self._condition_cache: Dict[str, bool] = {}
+
+    @property
+    def runtime(self) -> Optional[Runtime]:
+        """The runtime bounding this query's work (or ``None``)."""
+        return self._runtime
 
     @property
     def database(self) -> Database:
@@ -143,19 +268,26 @@ class JoinQuery:
         if use_estimates:
             estimator = CardinalityEstimator.from_database(self._db)
             believed = optimize_dp(
-                self._db, space, subset_cost=lambda key: estimator.estimate(key)
+                self._db,
+                space,
+                subset_cost=lambda key: estimator.estimate(key),
+                runtime=self._runtime,
             )
             return Plan(
                 believed.strategy,
                 tau_cost(believed.strategy),
                 space,
-                "dp+estimates",
+                "dp+estimates" if not believed.degraded else believed.optimizer,
+                degradation=believed.degradation,
             )
-        return Plan.from_result(optimize_dp(self._db, space))
+        return Plan.from_result(optimize_dp(self._db, space, runtime=self._runtime))
 
     def plan_greedy(self, linear: bool = False) -> Plan:
         """A polynomial-time heuristic plan (GOO-style or linear)."""
-        result = greedy_linear(self._db) if linear else greedy_bushy(self._db)
+        if linear:
+            result = greedy_linear(self._db, runtime=self._runtime)
+        else:
+            result = greedy_bushy(self._db, runtime=self._runtime)
         return Plan.from_result(result)
 
     def plan_ikkbz(self) -> Plan:
@@ -168,7 +300,7 @@ class JoinQuery:
         """
         from repro.optimizer.ikkbz import ikkbz
 
-        result = ikkbz(self._db)
+        result = ikkbz(self._db, runtime=self._runtime)
         return Plan(
             result.strategy, tau_cost(result.strategy), SearchSpace.LINEAR, "ikkbz"
         )
@@ -185,17 +317,29 @@ class JoinQuery:
 
     # -- the paper's safety analysis -----------------------------------------------
 
-    def condition(self, name: str) -> bool:
-        """Cached verdict of one of C1 / C2 / C3 on this database."""
+    def condition(self, name: str):
+        """Cached verdict of one of C1 / C2 / C3 on this database.
+
+        Three-valued under a runtime: ``True``, ``False``, or a
+        :class:`~repro.conditions.checks.TimedOut` when the bounded
+        sweep could not decide.  Timed-out verdicts are **not** cached
+        (a later call with allowance left may decide); decided verdicts
+        are cached and fed into ``runtime.condition_verdicts``.
+        """
         key = name.upper()
         if key not in self._condition_cache:
             checker = {"C1": check_c1, "C2": check_c2, "C3": check_c3}.get(key)
             if checker is None:
                 raise OptimizerError(f"unknown condition {name!r}")
-            self._condition_cache[key] = bool(checker(self._db, jobs=self._jobs))
+            report = checker(self._db, jobs=self._jobs, runtime=self._runtime)
+            if not report.decided:
+                return report.holds
+            self._condition_cache[key] = report.holds
+            if self._runtime is not None:
+                self._runtime.condition_verdicts[key] = report.holds
         return self._condition_cache[key]
 
-    def subspace_is_safe(self, space: SearchSpace) -> bool:
+    def subspace_is_safe(self, space: SearchSpace):
         """True when the paper *guarantees* the subspace contains a
         tau-optimum strategy for this database:
 
@@ -204,18 +348,32 @@ class JoinQuery:
         * ``LINEAR`` and ``LINEAR_NOCP`` -- under C3 (Theorem 3).
 
         ``False`` means "no guarantee", not "provably unsafe" (the
-        theorems are sufficient conditions).
+        theorems are sufficient conditions).  Under a runtime the answer
+        is three-valued: a :class:`~repro.conditions.checks.TimedOut`
+        comes back when the deciding check could not finish -- unless a
+        decided ``False`` already settles the question.
         """
         if not self._db.scheme.is_connected() or not self._db.is_nonnull():
             return space is SearchSpace.ALL
         if space is SearchSpace.ALL:
             return True
         if space is SearchSpace.NOCP:
-            return self.condition("C1") and self.condition("C2")
+            c1 = self.condition("C1")
+            c2 = self.condition("C2")
+            # A decided False settles "no guarantee" even when the other
+            # check timed out; only an undecided conjunction stays open.
+            if c1 is False or c2 is False:
+                return False
+            if not isinstance(c1, bool):
+                return c1
+            if not isinstance(c2, bool):
+                return c2
+            return True
         return self.condition("C3")
 
-    def safety_report(self) -> Dict[str, bool]:
-        """Conditions and per-space safety in one dictionary."""
+    def safety_report(self) -> Dict[str, object]:
+        """Conditions and per-space safety in one dictionary.  Values
+        are three-valued under a runtime (see :meth:`condition`)."""
         report = {name: self.condition(name) for name in ("C1", "C2", "C3")}
         for space in SearchSpace:
             report[f"safe[{space.value}]"] = self.subspace_is_safe(space)

@@ -14,8 +14,10 @@ and the tableau chase used to decide lossless joins.
 Execution runs on the columnar kernel (:mod:`repro.relational.columnar`):
 interned value ids, positional id tuples, and hash joins over column
 blocks, with ``Row`` objects materialized only at API boundaries.  See
-docs/performance.md; :func:`set_kernel_enabled` /
-:func:`use_legacy_engine` switch back to the row-at-a-time engine.
+docs/performance.md; :func:`set_engine`/:func:`using_engine` select the
+``"columnar"`` or ``"legacy"`` (row-at-a-time) engine by name, and
+:class:`~repro.database.Database` accepts an ``engine=`` keyword to pin
+one database's joins.  :func:`use_legacy_engine` is deprecated.
 """
 
 from repro.relational.attributes import (
@@ -24,10 +26,14 @@ from repro.relational.attributes import (
     format_attrs,
 )
 from repro.relational.columnar import (
+    ENGINES,
     ColumnarTable,
+    current_engine,
     kernel_enabled,
+    set_engine,
     set_kernel_enabled,
     use_legacy_engine,
+    using_engine,
 )
 from repro.relational.relation import (
     Relation,
@@ -56,10 +62,14 @@ __all__ = [
     "AttributeSet",
     "attrs",
     "format_attrs",
+    "ENGINES",
     "ColumnarTable",
+    "current_engine",
     "kernel_enabled",
+    "set_engine",
     "set_kernel_enabled",
     "use_legacy_engine",
+    "using_engine",
     "Relation",
     "RelationSchema",
     "Row",

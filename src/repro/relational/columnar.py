@@ -26,10 +26,15 @@ evaluating many overlapping natural joins).  The kernel removes that cost:
   objects are materialized only at API boundaries, lazily (see
   ``Relation.rows``).
 
-The kernel is on by default; :func:`set_kernel_enabled` /
-:func:`use_legacy_engine` switch the whole engine back to the historical
-row-at-a-time paths (used by ``benchmarks/bench_join_kernel.py`` for
-old-vs-new comparisons and by the equivalence property suite).
+The kernel is on by default.  The public engine switch is by *name*:
+:func:`set_engine`/:func:`current_engine` select ``"columnar"`` or
+``"legacy"`` process-wide, and :func:`using_engine` scopes the choice to
+a block (used by ``benchmarks/bench_join_kernel.py`` for old-vs-new
+comparisons and by the equivalence property suite).  A single
+:class:`~repro.database.Database` can also pin its own engine via the
+``engine=`` constructor keyword.  :func:`set_kernel_enabled` remains the
+low-level boolean toggle; the old :func:`use_legacy_engine` context
+manager is deprecated in favor of ``using_engine("legacy")``.
 
 Telemetry (docs/observability.md): kernel joins emit the ``join.*``
 counters.  ``join.probes`` counts hash-table lookups (one per probe-side
@@ -63,6 +68,10 @@ __all__ = [
     "kernel_enabled",
     "set_kernel_enabled",
     "use_legacy_engine",
+    "ENGINES",
+    "current_engine",
+    "set_engine",
+    "using_engine",
 ]
 
 #: A tuple of interned value ids, positionally aligned with a table order.
@@ -364,15 +373,60 @@ def set_kernel_enabled(enabled: bool) -> None:
     _KERNEL.enabled = bool(enabled)
 
 
-@contextmanager
-def use_legacy_engine() -> Iterator[None]:
-    """Context manager: run the enclosed block on the legacy engine.
+#: The engine names :func:`set_engine` accepts.
+ENGINES = ("columnar", "legacy")
 
-    Used by the old-vs-new benchmark and the equivalence property suite.
+
+def _engine_enabled(engine: str) -> bool:
+    if engine not in ENGINES:
+        raise RelationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine == "columnar"
+
+
+def current_engine() -> str:
+    """The name of the engine currently executing the relational
+    algebra: ``"columnar"`` (the kernel, default) or ``"legacy"``."""
+    return "columnar" if _KERNEL.enabled else "legacy"
+
+
+def set_engine(engine: str) -> None:
+    """Select the process-wide execution engine by name
+    (``"columnar"`` or ``"legacy"``).
+
+    Raises :class:`~repro.errors.RelationError` for unknown names.
     """
+    _KERNEL.enabled = _engine_enabled(engine)
+
+
+@contextmanager
+def using_engine(engine: str) -> Iterator[None]:
+    """Context manager: run the enclosed block on the named engine,
+    restoring the previous engine afterwards."""
+    enabled = _engine_enabled(engine)
     previous = _KERNEL.enabled
-    _KERNEL.enabled = False
+    _KERNEL.enabled = enabled
     try:
         yield
     finally:
         _KERNEL.enabled = previous
+
+
+def use_legacy_engine() -> Iterator[None]:
+    """Deprecated alias for ``using_engine("legacy")``.
+
+    .. deprecated:: 1.5
+       Use :func:`using_engine` (or the ``engine="legacy"`` keyword on
+       :class:`~repro.database.Database`).  Will be removed one release
+       after 1.5.
+    """
+    import warnings
+
+    warnings.warn(
+        "use_legacy_engine() is deprecated; use using_engine(\"legacy\") or "
+        "Database(..., engine=\"legacy\") instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return using_engine("legacy")

@@ -96,26 +96,28 @@ def _splits(schemes: Tuple[AttributeSet, ...]) -> Iterator[Tuple[Tuple[Attribute
 
 
 def _iter_all(db: Database, subset=None) -> Iterator[Strategy]:
-    memo: Dict[SchemeKey, Tuple[Strategy, ...]] = {}
+    """Stream every strategy, lazily.
 
-    def build(key: SchemeKey) -> Tuple[Strategy, ...]:
-        cached = memo.get(key)
-        if cached is not None:
-            return cached
-        ordered = tuple(sorted(key, key=lambda s: s.sorted()))
+    The recursion yields as it goes instead of materializing per-subset
+    result tuples: the first candidate arrives in microseconds even when
+    the full space is astronomically large, which is what lets a
+    runtime-bounded consumer (docs/api.md) stop after a few candidates
+    without paying for -- or holding in memory -- the whole subspace.
+    Subsets of the sorted scheme tuple stay sorted, so the yield order is
+    deterministic (the parallel driver stripes over it by position).
+    """
+
+    def build(ordered: Tuple[AttributeSet, ...]) -> Iterator[Strategy]:
         if len(ordered) == 1:
-            result: Tuple[Strategy, ...] = (Strategy.leaf(db, ordered[0]),)
-        else:
-            built: List[Strategy] = []
-            for part1, part2 in _splits(ordered):
-                for left in build(frozenset(part1)):
-                    for right in build(frozenset(part2)):
-                        built.append(Strategy.join(left, right))
-            result = tuple(built)
-        memo[key] = result
-        return result
+            yield Strategy.leaf(db, ordered[0])
+            return
+        for part1, part2 in _splits(ordered):
+            for left in build(part1):
+                for right in build(part2):
+                    yield Strategy.join(left, right)
 
-    yield from build(_subset_key(db, subset))
+    key = _subset_key(db, subset)
+    yield from build(tuple(sorted(key, key=lambda s: s.sorted())))
 
 
 def _iter_linear(db: Database, subset=None) -> Iterator[Strategy]:
@@ -144,57 +146,56 @@ def _iter_linear(db: Database, subset=None) -> Iterator[Strategy]:
             yield strategy
 
 
+def _part_connected(
+    part: Tuple[AttributeSet, ...], conn: Dict[SchemeKey, bool]
+) -> bool:
+    """Connectivity of one split part, memoized per frozenset across the
+    whole enumeration -- the same part shows up in many candidate splits,
+    and each connectivity check is a component DFS."""
+    part_key = frozenset(part)
+    known = conn.get(part_key)
+    if known is None:
+        known = conn[part_key] = DatabaseScheme(part).is_connected()
+    return known
+
+
 def _connected_strategies(
     db: Database,
-    key: SchemeKey,
-    memo: Dict[SchemeKey, Tuple[Strategy, ...]],
+    ordered: Tuple[AttributeSet, ...],
     conn: Dict[SchemeKey, bool],
-) -> Tuple[Strategy, ...]:
-    """All CP-free strategies for a *connected* scheme subset.
+) -> Iterator[Strategy]:
+    """Stream all CP-free strategies for a *connected* scheme subset.
 
-    ``conn`` memoizes part connectivity per frozenset across the whole
-    enumeration -- the same part shows up in many candidate splits, and
-    each connectivity check is a component DFS.
+    Lazy for the same reason as :func:`_iter_all`: a runtime-bounded
+    consumer must see the first candidate promptly, however large the
+    subspace.  Only the connectivity verdicts are memoized (``conn``).
     """
-    cached = memo.get(key)
-    if cached is not None:
-        return cached
-    ordered = tuple(sorted(key, key=lambda s: s.sorted()))
     if len(ordered) == 1:
-        result: Tuple[Strategy, ...] = (Strategy.leaf(db, ordered[0]),)
-    else:
-        built: List[Strategy] = []
-
-        def connected(part: Tuple[AttributeSet, ...]) -> bool:
-            part_key = frozenset(part)
-            known = conn.get(part_key)
-            if known is None:
-                known = conn[part_key] = DatabaseScheme(part).is_connected()
-            return known
-
-        for part1, part2 in _splits(ordered):
-            if not (connected(part1) and connected(part2)):
-                continue
-            for left in _connected_strategies(db, frozenset(part1), memo, conn):
-                for right in _connected_strategies(db, frozenset(part2), memo, conn):
-                    built.append(Strategy.join(left, right))
-        result = tuple(built)
-    memo[key] = result
-    return result
+        yield Strategy.leaf(db, ordered[0])
+        return
+    for part1, part2 in _splits(ordered):
+        if not (_part_connected(part1, conn) and _part_connected(part2, conn)):
+            continue
+        for left in _connected_strategies(db, part1, conn):
+            for right in _connected_strategies(db, part2, conn):
+                yield Strategy.join(left, right)
 
 
 def _iter_nocp(db: Database, subset=None) -> Iterator[Strategy]:
     key = _subset_key(db, subset)
     scheme = DatabaseScheme(key)
     components = scheme.components()
-    memo: Dict[SchemeKey, Tuple[Strategy, ...]] = {}
     conn: Dict[SchemeKey, bool] = {}
+
+    def sorted_schemes(schemes) -> Tuple[AttributeSet, ...]:
+        return tuple(sorted(schemes, key=lambda s: s.sorted()))
+
     if len(components) == 1:
-        yield from _connected_strategies(db, key, memo, conn)
+        yield from _connected_strategies(db, sorted_schemes(key), conn)
         return
 
     per_component: List[Tuple[Strategy, ...]] = [
-        _connected_strategies(db, frozenset(component.schemes), memo, conn)
+        tuple(_connected_strategies(db, sorted_schemes(component.schemes), conn))
         for component in components
     ]
 
@@ -223,8 +224,9 @@ def _iter_nocp(db: Database, subset=None) -> Iterator[Strategy]:
 def all_strategies(db: Database, subset=None) -> Iterator[Strategy]:
     """Every strategy for the database (or for a subset of its schemes).
 
-    Enumerates ``(2n-3)!!`` trees; results within one call are memoized
-    per scheme subset so shared substrategies are built once.
+    Enumerates ``(2n-3)!!`` trees, lazily -- the stream starts
+    immediately and holds no per-subset result tables, so consumers can
+    abandon it early (runtime-bounded searches do).
     """
     return _counted(_iter_all(db, subset), "all")
 

@@ -40,6 +40,7 @@ from repro.relational.relation import Relation
 from repro.schemegraph.consistency import full_reduce
 
 __all__ = [
+    "SHAPES",
     "WorkloadSpec",
     "chain_scheme",
     "star_scheme",
@@ -137,25 +138,102 @@ def random_tree_scheme(n: int, rng: random.Random) -> List[AttributeSet]:
     return [AttributeSet(s) for s in schemes]
 
 
-class WorkloadSpec:
-    """Parameters for random state generation.
+#: The named scheme shapes a :class:`WorkloadSpec` can carry (the
+#: seedless generators; ``random_tree_scheme`` needs its own RNG and is
+#: excluded).  The CLI's ``--shape`` choices come from here.
+SHAPES: Dict[str, Callable[[int], List[AttributeSet]]] = {
+    "chain": chain_scheme,
+    "star": star_scheme,
+    "cycle": cycle_scheme,
+    "clique": clique_scheme,
+}
 
-    ``size`` tuples are drawn per relation; each attribute value is drawn
-    from ``1..domain`` either uniformly or zipf-skewed with exponent
-    ``skew`` (0 = uniform).  Duplicate draws collapse under set semantics,
-    so relations may come out slightly smaller than ``size``.
+
+class WorkloadSpec:
+    """One synthetic workload: scheme shape plus state-generation
+    parameters.
+
+    The state half: ``size`` tuples are drawn per relation; each
+    attribute value is drawn from ``1..domain`` either uniformly or
+    zipf-skewed with exponent ``skew`` (0 = uniform).  Duplicate draws
+    collapse under set semantics, so relations may come out slightly
+    smaller than ``size``.
+
+    The scheme half is optional: with ``shape`` (a :data:`SHAPES` name),
+    ``relations``, and ``seed`` set, the spec describes a *complete*
+    workload and :meth:`build` generates the database.  This is the one
+    record the CLI, the benchmarks, and
+    :meth:`~repro.obs.profile.RunReport.capture` share --
+    :meth:`from_args` lifts parsed CLI flags into a spec and
+    :meth:`to_dict` is the JSON image profile exports embed.
     """
 
-    __slots__ = ("size", "domain", "skew")
+    __slots__ = ("size", "domain", "skew", "shape", "relations", "seed")
 
-    def __init__(self, size: int = 30, domain: int = 10, skew: float = 0.0):
+    def __init__(
+        self,
+        size: int = 30,
+        domain: int = 10,
+        skew: float = 0.0,
+        shape: Optional[str] = None,
+        relations: Optional[int] = None,
+        seed: int = 0,
+    ):
         if size < 1 or domain < 1:
             raise ReproError("size and domain must be positive")
         if skew < 0:
             raise ReproError("skew must be nonnegative")
+        if shape is not None and shape not in SHAPES:
+            raise ReproError(
+                f"unknown workload shape {shape!r}; expected one of {sorted(SHAPES)}"
+            )
+        if shape is not None and relations is None:
+            raise ReproError("a shaped workload needs relations=")
         self.size = size
         self.domain = domain
         self.skew = skew
+        self.shape = shape
+        self.relations = relations
+        self.seed = seed
+
+    @classmethod
+    def from_args(cls, args) -> "WorkloadSpec":
+        """Lift the CLI's shared workload flags (``--shape``,
+        ``--relations``, ``--seed``, ``--size``, ``--domain``,
+        ``--skew``) out of a parsed namespace."""
+        return cls(
+            size=args.size,
+            domain=args.domain,
+            skew=args.skew,
+            shape=args.shape,
+            relations=args.relations,
+            seed=args.seed,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready image (embedded in profile exports)."""
+        out: Dict[str, object] = {
+            "size": self.size,
+            "domain": self.domain,
+            "skew": self.skew,
+        }
+        if self.shape is not None:
+            out["shape"] = self.shape
+            out["relations"] = self.relations
+            out["seed"] = self.seed
+        return out
+
+    def build(self) -> Database:
+        """Generate the described database (requires the scheme half:
+        ``shape`` and ``relations``)."""
+        if self.shape is None:
+            raise ReproError(
+                "WorkloadSpec.build() needs shape= and relations= "
+                "(this spec only describes relation states)"
+            )
+        rng = random.Random(self.seed)
+        schemes = SHAPES[self.shape](self.relations)
+        return generate_database(schemes, rng, self)
 
     def draw_value(self, rng: random.Random) -> int:
         """One attribute value under the spec's distribution."""
@@ -173,7 +251,15 @@ class WorkloadSpec:
         return self.domain
 
     def __repr__(self) -> str:
-        return f"WorkloadSpec(size={self.size}, domain={self.domain}, skew={self.skew})"
+        scheme = (
+            f", shape={self.shape!r}, relations={self.relations}, seed={self.seed}"
+            if self.shape is not None
+            else ""
+        )
+        return (
+            f"WorkloadSpec(size={self.size}, domain={self.domain}, "
+            f"skew={self.skew}{scheme})"
+        )
 
 
 def generate_database(

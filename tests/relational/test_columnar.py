@@ -17,13 +17,17 @@ import random
 import pytest
 
 from repro.database import Database
+from repro.errors import RelationError
 from repro.relational.columnar import (
     ColumnarTable,
+    current_engine,
     intern_value,
     join_tables,
     kernel_enabled,
+    set_engine,
     set_kernel_enabled,
     use_legacy_engine,
+    using_engine,
 )
 from repro.relational.relation import Relation, Row, relation
 from repro.workloads.generators import (
@@ -65,12 +69,29 @@ def _assert_same(kernel_result, legacy_result):
 class TestEngineSwitch:
     def test_kernel_on_by_default(self):
         assert kernel_enabled()
+        assert current_engine() == "columnar"
 
-    def test_use_legacy_engine_restores(self):
+    def test_using_engine_restores(self):
         assert kernel_enabled()
-        with use_legacy_engine():
+        with using_engine("legacy"):
             assert not kernel_enabled()
+            assert current_engine() == "legacy"
         assert kernel_enabled()
+
+    def test_set_engine_round_trip(self):
+        set_engine("legacy")
+        try:
+            assert current_engine() == "legacy"
+        finally:
+            set_engine("columnar")
+        assert current_engine() == "columnar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(RelationError):
+            set_engine("vectorized")
+        with pytest.raises(RelationError):
+            with using_engine("blob"):
+                pass  # pragma: no cover
 
     def test_set_kernel_enabled_round_trip(self):
         set_kernel_enabled(False)
@@ -79,6 +100,13 @@ class TestEngineSwitch:
         finally:
             set_kernel_enabled(True)
         assert kernel_enabled()
+
+    def test_use_legacy_engine_deprecated_but_works(self):
+        with pytest.warns(DeprecationWarning, match="using_engine"):
+            context = use_legacy_engine()
+        with context:
+            assert current_engine() == "legacy"
+        assert current_engine() == "columnar"
 
 
 class TestJoinEquivalence:
@@ -104,7 +132,7 @@ class TestJoinEquivalence:
         left = _random_relation(rng, left_scheme, size, domain)
         right = _random_relation(rng, right_scheme, rng.randint(0, 25), domain)
         kernel = left.join(right)
-        with use_legacy_engine():
+        with using_engine("legacy"):
             legacy = left.join(right)
         _assert_same(kernel, legacy)
 
@@ -120,7 +148,7 @@ class TestJoinEquivalence:
         left = relation("AB", rows_l)
         right = relation("AC", rows_r)
         kernel = left.join(right)
-        with use_legacy_engine():
+        with using_engine("legacy"):
             legacy = left.join(right)
         _assert_same(kernel, legacy)
 
@@ -129,7 +157,7 @@ class TestJoinEquivalence:
         nonempty = relation("BC", [(1, 2), (3, 4)])
         for l, r in [(empty, nonempty), (nonempty, empty), (empty, empty)]:
             kernel = l.join(r)
-            with use_legacy_engine():
+            with using_engine("legacy"):
                 legacy = l.join(r)
             _assert_same(kernel, legacy)
             assert len(kernel) == 0
@@ -144,7 +172,7 @@ class TestJoinEquivalence:
         left = relation("AB", [("p", None), ("q", (1, 2))])
         right = relation("BC", [(None, frozenset({7})), ((1, 2), "x")])
         kernel = left.join(right)
-        with use_legacy_engine():
+        with using_engine("legacy"):
             legacy = left.join(right)
         _assert_same(kernel, legacy)
         assert len(kernel) == 2
@@ -161,7 +189,7 @@ class TestOtherOperators:
             (left.semijoin(right), None),
             (left.antijoin(right), None),
         ]
-        with use_legacy_engine():
+        with using_engine("legacy"):
             legacy = [
                 left.project("AB"),
                 left.semijoin(right),
@@ -186,7 +214,7 @@ class TestOtherOperators:
         ka = a.join(relation("AB", [(v, w) for v in range(1, 4) for w in range(1, 4)]))
         kb = b.join(relation("AB", [(v, w) for v in range(1, 4) for w in range(1, 4)]))
         kernel = [ka | kb, ka & kb, ka - kb]
-        with use_legacy_engine():
+        with using_engine("legacy"):
             la, lb = (
                 Relation("AB", ka.rows),
                 Relation("AB", kb.rows),
@@ -297,7 +325,7 @@ class TestTauOnlyCounting:
             frozenset(s.schemes): kernel_db.tau_of(s)
             for s in kernel_db.scheme.subsets()
         }
-        with use_legacy_engine():
+        with using_engine("legacy"):
             legacy_db = make()
             for subset, tau in taus.items():
                 assert legacy_db.tau_of(subset) == tau
