@@ -75,11 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["columnar", "legacy"],
-        default="columnar",
-        help="relational execution engine: the columnar join kernel "
-        "(default) or the legacy row-at-a-time paths "
-        "(see docs/performance.md)",
+        choices=["vector", "columnar", "legacy"],
+        default="vector",
+        help="relational execution engine: the vectorized batch kernel "
+        "(default), the classic per-row columnar kernel, or the legacy "
+        "row-at-a-time paths (see docs/performance.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

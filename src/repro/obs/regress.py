@@ -18,7 +18,12 @@ Verdicts per metric:
 * ``missing-fresh`` -- the fresh run lacks the metric or file (treated
   as a regression: silence must not pass);
 * ``missing-baseline`` -- the baseline predates the metric (reported,
-  not failed, so adding benchmarks does not break old baselines).
+  not failed, so adding benchmarks does not break old baselines);
+* ``skipped`` -- the metric requires a minimum core count
+  (``MetricSpec.min_cpus``) and either side's payload records fewer
+  visible CPUs.  Parallel speedups measured on a starved runner are
+  noise, so they are *reported with an explicit note* rather than
+  silently compared or silently passed.
 
 Run it as a module (the CI ``perf-regression`` job does)::
 
@@ -57,13 +62,20 @@ DEFAULT_TOLERANCE = 0.20
 
 class MetricSpec:
     """One guarded metric: a dotted path into a benchmark payload and the
-    direction that counts as better."""
+    direction that counts as better.
 
-    __slots__ = ("path", "higher_is_better")
+    ``min_cpus`` marks a metric meaningless below a core count: when
+    either payload's top-level ``cpu_count`` is lower, the comparison is
+    ``skipped`` with a note instead of judged (an absent ``cpu_count``
+    counts as 1 -- unknown hardware must not silently pass).
+    """
 
-    def __init__(self, path: str, higher_is_better: bool):
+    __slots__ = ("path", "higher_is_better", "min_cpus")
+
+    def __init__(self, path: str, higher_is_better: bool, min_cpus: int = 0):
         self.path = path
         self.higher_is_better = higher_is_better
+        self.min_cpus = min_cpus
 
     def __repr__(self) -> str:
         arrow = "higher" if self.higher_is_better else "lower"
@@ -84,8 +96,8 @@ BASELINE_METRICS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("dormant_overhead_fraction", higher_is_better=False),
     ),
     "BENCH_parallel.json": (
-        MetricSpec("condition_sweep.speedup_jobs4", higher_is_better=True),
-        MetricSpec("campaign.speedup_jobs4", higher_is_better=True),
+        MetricSpec("condition_sweep.speedup_jobs4", higher_is_better=True, min_cpus=4),
+        MetricSpec("campaign.speedup_jobs4", higher_is_better=True, min_cpus=4),
     ),
 }
 
@@ -93,7 +105,7 @@ BASELINE_METRICS: Dict[str, Tuple[MetricSpec, ...]] = {
 class Comparison:
     """The verdict for one metric of one benchmark file."""
 
-    __slots__ = ("file", "path", "baseline", "fresh", "status", "tolerance")
+    __slots__ = ("file", "path", "baseline", "fresh", "status", "tolerance", "note")
 
     def __init__(
         self,
@@ -103,6 +115,7 @@ class Comparison:
         fresh: Optional[float],
         status: str,
         tolerance: float,
+        note: Optional[str] = None,
     ):
         self.file = file
         self.path = path
@@ -110,6 +123,7 @@ class Comparison:
         self.fresh = fresh
         self.status = status
         self.tolerance = tolerance
+        self.note = note
 
     @property
     def ratio(self) -> Optional[float]:
@@ -128,6 +142,7 @@ class Comparison:
             "ratio": self.ratio,
             "status": self.status,
             "tolerance": self.tolerance,
+            "note": self.note,
         }
 
     def __repr__(self) -> str:
@@ -191,14 +206,28 @@ def compare_payloads(
     for spec in specs:
         base_value = lookup(baseline, spec.path) if baseline is not None else None
         fresh_value = lookup(fresh, spec.path) if fresh is not None else None
+        status = _classify(spec, base_value, fresh_value, tolerance)
+        note = None
+        if spec.min_cpus and status not in ("missing-fresh", "missing-baseline"):
+            # Speedups measured on a starved runner are noise on either
+            # side of the comparison; say so instead of judging them.
+            fresh_cpus = int(lookup(fresh, "cpu_count") or 1)
+            base_cpus = int(lookup(baseline, "cpu_count") or 1)
+            if fresh_cpus < spec.min_cpus:
+                status = "skipped"
+                note = f"fresh run saw {fresh_cpus} CPUs (< {spec.min_cpus})"
+            elif base_cpus < spec.min_cpus:
+                status = "skipped"
+                note = f"baseline recorded {base_cpus} CPUs (< {spec.min_cpus})"
         comparisons.append(
             Comparison(
                 file=file,
                 path=spec.path,
                 baseline=base_value,
                 fresh=fresh_value,
-                status=_classify(spec, base_value, fresh_value, tolerance),
+                status=status,
                 tolerance=tolerance,
+                note=note,
             )
         )
     return comparisons
@@ -258,7 +287,7 @@ def render_report(comparisons: Sequence[Comparison]) -> str:
             "-" if c.baseline is None else f"{c.baseline:.4g}",
             "-" if c.fresh is None else f"{c.fresh:.4g}",
             "-" if c.ratio is None else f"{c.ratio:.3f}",
-            c.status,
+            c.status if c.note is None else f"{c.status}: {c.note}",
         )
     return table.render()
 

@@ -25,22 +25,28 @@ avoids the cycle.
 
 from repro.parallel.context import (
     NO_CANCEL,
+    SEGMENT_PREFIX,
     START_METHOD,
     DatabaseSnapshot,
     ParallelContext,
+    live_segments,
     parallel_available,
     resolve_jobs,
+    shared_memory_available,
     warm_connected_taus,
     worker_runtime,
 )
 
 __all__ = [
     "NO_CANCEL",
+    "SEGMENT_PREFIX",
     "START_METHOD",
     "DatabaseSnapshot",
     "ParallelContext",
+    "live_segments",
     "parallel_available",
     "resolve_jobs",
+    "shared_memory_available",
     "warm_connected_taus",
     "worker_runtime",
 ]

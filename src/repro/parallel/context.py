@@ -1,6 +1,6 @@
 """The process-pool execution layer: snapshots, workers, and merging.
 
-Three problems make naive ``multiprocessing.Pool`` use wrong or slow
+Four problems make naive ``multiprocessing.Pool`` use wrong or slow
 here, and this module solves each once so the sweep drivers stay small:
 
 1. **Databases are not directly picklable.**  Row values are interned
@@ -14,7 +14,22 @@ here, and this module solves each once so the sweep drivers stay small:
    worker -- tasks then reference the shared worker database instead of
    pickling relations per task.
 
-2. **Telemetry lives in per-process singletons.**  Work done in a
+2. **Copying the database per worker starves the fan-out.**  The column
+   data therefore lives in a ``multiprocessing.shared_memory`` segment:
+   the snapshot packs every relation into one flat row-major ``int64``
+   buffer, writes it to the segment once at pool creation, and each
+   worker *attaches* -- a ``memoryview`` cast over the same physical
+   pages, no unpickling, no copy-on-write of refcounted row objects.
+   Only the interner slice, the tau-cache, and per-table metadata
+   travel by value.  ``restore()`` is O(#tables), not O(#rows); column
+   blocks decode lazily in whichever worker actually touches them.  The
+   segment's lifecycle is explicit: created in
+   :meth:`ParallelContext.__enter__`, unlinked in ``__exit__`` (even on
+   exceptions), with a module-level registry plus ``atexit`` guard so a
+   crashed campaign cannot leave ``/dev/shm`` residue behind
+   (:func:`live_segments` is the test hook).
+
+3. **Telemetry lives in per-process singletons.**  Work done in a
    worker would silently vanish from the parent's tracer, metrics
    registry, and tau-cache.  Each task result therefore travels inside
    a :class:`WorkerEnvelope` carrying the spans, metric rows, and fresh
@@ -23,7 +38,7 @@ here, and this module solves each once so the sweep drivers stay small:
    ``Database.tau_cache_import``), so ``jobs=4`` runs are observable
    through the same `obs` surface as sequential ones.
 
-3. **Short-circuiting must cross process boundaries.**  When a driver
+4. **Short-circuiting must cross process boundaries.**  When a driver
    only needs the *first* witness (``all_witnesses=False``) the workers
    share a :data:`NO_CANCEL`-initialised ``multiprocessing.Value``;
    whoever finds a violation lowers it to the violation's canonical
@@ -31,17 +46,25 @@ here, and this module solves each once so the sweep drivers stay small:
    drivers then replay results in canonical order, which is what makes
    the short-circuited parallel answer byte-identical to sequential.
 
-Workers are **forked**, never spawned: fork inherits the interning
-tables, the kernel switch, and ``PYTHONHASHSEED``, and lets the pool
-initializer receive non-picklable extras (closures, cost functions)
-for free.  On platforms without fork, :func:`resolve_jobs` degrades to
-``1`` and callers take their sequential path unchanged.
+Workers are **forked** by default: fork inherits the interning tables,
+the kernel switch, ``PYTHONHASHSEED``, and the already-attached
+shared-memory mapping, and lets the pool initializer receive
+non-picklable extras (closures, cost functions) for free.  The snapshot
+itself is nevertheless spawn-viable: its pickled form carries the
+segment *name*, ``restore()`` re-attaches by name, and the interner
+slice re-interns under a fresh table (see
+:func:`~repro.relational.columnar.interner_import`).  On platforms
+without fork, :func:`resolve_jobs` degrades to ``1`` and callers take
+their sequential path unchanged.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import secrets
+from array import array
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.database import Database
@@ -52,14 +75,22 @@ from repro.relational.attributes import AttributeSet
 from repro.relational.columnar import ColumnarTable, intern_value, value_of
 from repro.relational.relation import Relation
 
+try:  # pragma: no cover - absent only on exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
 __all__ = [
     "NO_CANCEL",
+    "SEGMENT_PREFIX",
     "START_METHOD",
     "DatabaseSnapshot",
     "ParallelContext",
     "WorkerEnvelope",
+    "live_segments",
     "parallel_available",
     "resolve_jobs",
+    "shared_memory_available",
     "warm_connected_taus",
     "worker_runtime",
 ]
@@ -98,30 +129,122 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return workers
 
 
-class DatabaseSnapshot:
-    """A self-contained, picklable image of a :class:`Database`.
+# -- shared-memory segment lifecycle -------------------------------------------
 
-    ``tables`` holds one ``(name, order, rows)`` triple per relation
-    (rows sorted for a deterministic pickle); ``values`` maps every
-    referenced interned id to its value, so :meth:`restore` can rebuild
-    the database under a *different* process's interning table.
+#: Every segment this layer creates is named with this prefix, so leak
+#: checks (tests and the CI ``/dev/shm`` residue step) can spot ours.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Segments created by *this* process that have not been unlinked yet:
+#: name -> SharedMemory.  The atexit guard below is the backstop for a
+#: crashed campaign; the normal path is ParallelContext.__exit__ ->
+#: DatabaseSnapshot.close().
+_LIVE_SEGMENTS: Dict[str, Any] = {}
+
+
+def shared_memory_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` is usable here."""
+    return _shared_memory is not None
+
+
+def live_segments() -> Tuple[str, ...]:
+    """The names of shared-memory segments this process created and has
+    not yet unlinked (the leak-guard introspection hook; empty after
+    every pool teardown)."""
+    return tuple(sorted(_LIVE_SEGMENTS))
+
+
+def _release_mapping(shm) -> None:
+    """Close ``shm``'s mapping, tolerating live views.
+
+    A same-process ``restore()`` hands out memoryview slices over the
+    segment; ``mmap.close()`` then raises :class:`BufferError`.  The
+    mapping is handed over to those views instead (it is freed when the
+    last view dies), and the references are dropped so the object's
+    ``__del__`` does not re-raise at collection time.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        shm._buf = None
+        shm._mmap = None
+
+
+def _unlink_segment(name: str) -> None:
+    shm = _LIVE_SEGMENTS.pop(name, None)
+    if shm is None:
+        return
+    _release_mapping(shm)
+    # A fork-started worker that attached by name shares this process's
+    # resource tracker, and the attach-time unregister in ``_attach``
+    # dropped our registration with it.  Re-registering is an idempotent
+    # set-add, and balances the unregister that ``unlink`` sends -- the
+    # tracker would otherwise log a KeyError at exit.
+    try:  # pragma: no cover - tracker internals vary by version
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def _cleanup_segments() -> None:
+    """atexit backstop: unlink anything a crashed run left behind."""
+    for name in list(_LIVE_SEGMENTS):
+        _unlink_segment(name)
+
+
+atexit.register(_cleanup_segments)
+
+
+class DatabaseSnapshot:
+    """A self-contained, picklable image of a :class:`Database`, with
+    the column data in a shared-memory segment.
+
+    ``tables`` holds one ``(name, order, offset, nrows)`` quadruple per
+    relation; the rows themselves live sorted and flattened (row-major
+    ``int64``) in one shared-memory segment -- or, when shared memory is
+    unavailable or the database is empty, in the ``inline`` bytes
+    fallback.  ``values`` maps every referenced interned id to its
+    value, so :meth:`restore` can rebuild the database under a
+    *different* process's interning table.
+
+    Pickling ships only the metadata, the interner slice, the tau-cache,
+    and the segment *name*; fork-started workers inherit the mapping
+    itself and attach with zero copies.  The creating process owns the
+    segment and must :meth:`close` it (``ParallelContext`` does, even on
+    exceptions; an ``atexit`` guard backstops crashes).
     """
 
-    __slots__ = ("tables", "values", "taus", "engine")
+    __slots__ = (
+        "tables",
+        "values",
+        "taus",
+        "engine",
+        "segment",
+        "nbytes",
+        "inline",
+        "_shm",
+        "_owner_pid",
+    )
 
-    def __init__(self, db: Database):
-        tables: List[Tuple[Optional[str], Tuple[str, ...], Tuple[Tuple[int, ...], ...]]] = []
-        values: Dict[int, Hashable] = {}
+    def __init__(self, db: Database, use_shared_memory: bool = True):
+        flat = array("q")
+        extend = flat.extend
+        tables: List[Tuple[Optional[str], Tuple[str, ...], int, int]] = []
         for rel in db.relations():
             table = rel._table()
-            rows = tuple(sorted(table.rows))
-            for row in rows:
-                for vid in row:
-                    if vid not in values:
-                        values[vid] = value_of(vid)
-            tables.append((rel.name, table.order, rows))
+            offset = len(flat)
+            extend(table.to_packed())
+            tables.append((rel.name, table.order, offset, len(table)))
         self.tables = tuple(tables)
-        self.values = values
+        # One C-speed dedup over the whole buffer collects every
+        # referenced id exactly once.
+        self.values = {vid: value_of(vid) for vid in set(flat)}
         # Everything the parent already counted rides along: a worker
         # with a cold tau-cache re-derives the shared subset taus no
         # matter how little of the sweep it owns (see
@@ -130,21 +253,123 @@ class DatabaseSnapshot:
         # A per-database engine pin (Database(engine=...)) rides into the
         # worker's rebuilt database.
         self.engine = db._engine
+        self.nbytes = len(flat) * flat.itemsize
+        self.segment: Optional[str] = None
+        self.inline: Optional[bytes] = None
+        self._shm = None
+        self._owner_pid = os.getpid()
+        if use_shared_memory and self.nbytes and shared_memory_available():
+            name = SEGMENT_PREFIX + secrets.token_hex(8)
+            shm = _shared_memory.SharedMemory(name=name, create=True, size=self.nbytes)
+            shm.buf[: self.nbytes] = memoryview(flat).cast("B")
+            self.segment = name
+            self._shm = shm
+            _LIVE_SEGMENTS[name] = shm
+        else:
+            self.inline = flat.tobytes()
+
+    # -- pickling (spawn-start workers) ------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "tables": self.tables,
+            "values": self.values,
+            "taus": self.taus,
+            "engine": self.engine,
+            "segment": self.segment,
+            "nbytes": self.nbytes,
+            "inline": self.inline,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for key, value in state.items():
+            setattr(self, key, value)
+        self._shm = None
+        self._owner_pid = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _attach(self):
+        """Attach to the segment by name (spawn-started workers; the
+        fork path inherits ``_shm`` and never comes here)."""
+        shm = _shared_memory.SharedMemory(name=self.segment)
+        # CPython < 3.13 registers attached segments with the resource
+        # tracker as if this process owned them, and would unlink the
+        # segment when this process exits.  The creating process owns
+        # the lifecycle; undo the registration.
+        try:  # pragma: no cover - tracker internals vary by version
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        self._shm = shm
+        return shm
+
+    def close(self, unlink: Optional[bool] = None) -> None:
+        """Release this snapshot's shared-memory segment.
+
+        ``unlink`` defaults to True in the creating process and False
+        everywhere else -- workers drop their mapping, the owner removes
+        the segment.  Safe to call twice.
+        """
+        if self.segment is None:
+            return
+        if unlink is None:
+            unlink = self._owner_pid == os.getpid()
+        if unlink:
+            _unlink_segment(self.segment)
+        shm = self._shm
+        self._shm = None
+        # An attached clone's SharedMemory is a distinct object on the
+        # same name; only skip the close when this is literally the
+        # owner's object that _unlink_segment already handled.
+        if shm is not None and _LIVE_SEGMENTS.get(shm.name) is not shm:
+            _release_mapping(shm)
+
+    def _buffer(self):
+        """The flat ``int64`` view over the column data (shared segment
+        or inline fallback), or ``None`` for an all-empty database."""
+        if self.segment is not None:
+            shm = self._shm
+            if shm is None:
+                shm = self._attach()
+            return memoryview(shm.buf)[: self.nbytes].cast("q")
+        if self.inline:
+            return memoryview(self.inline).cast("q")
+        return None
 
     def restore(self) -> Database:
         """Rebuild the database in the current process.
 
-        Values are re-interned locally (a no-op under fork, where the
-        parent's table is inherited; a translation under anything else)
-        and the id tuples rewritten through the resulting mapping.
+        Values are re-interned locally; when every id survives unchanged
+        (always true under fork, where the parent's interning table is
+        inherited) the relations wrap the shared buffer **zero-copy** --
+        column blocks decode lazily on first kernel use.  Under a fresh
+        interning table (spawn) the id tuples are rewritten through the
+        translation map instead.
         """
         translate = {vid: intern_value(value) for vid, value in self.values.items()}
+        zero_copy = all(vid == local for vid, local in translate.items())
+        buf = self._buffer()
         relations = []
-        for name, order, rows in self.tables:
-            translated = frozenset(
-                tuple(translate[vid] for vid in row) for row in rows
-            )
-            table = ColumnarTable(order, translated)
+        for name, order, offset, nrows in self.tables:
+            width = len(order)
+            if nrows == 0:
+                table = ColumnarTable(order)
+            elif zero_copy:
+                table = ColumnarTable.from_packed(
+                    order, buf[offset : offset + nrows * width], nrows
+                )
+            else:
+                view = buf[offset : offset + nrows * width]
+                table = ColumnarTable(
+                    order,
+                    frozenset(
+                        tuple(map(translate.__getitem__, row))
+                        for row in zip(*(view[i::width] for i in range(width)))
+                    ),
+                )
             relations.append(Relation._from_table(AttributeSet(order), table, name))
         db = Database(relations, engine=self.engine)
         db.tau_cache_import(self.taus.items())
@@ -266,7 +491,7 @@ class ParallelContext:
     :func:`worker_runtime`).
     """
 
-    __slots__ = ("db", "jobs", "extra", "runtime", "signal", "_ctx", "_pool")
+    __slots__ = ("db", "jobs", "extra", "runtime", "signal", "_ctx", "_pool", "_snapshot")
 
     def __init__(
         self,
@@ -290,32 +515,49 @@ class ParallelContext:
             runtime.token.share(self._ctx)
             runtime.token.bind_cell(self.signal)
         self._pool = None
+        self._snapshot = None
 
     def __enter__(self) -> "ParallelContext":
         snapshot = DatabaseSnapshot(self.db) if self.db is not None else None
-        self._pool = self._ctx.Pool(
-            self.jobs,
-            initializer=_init_worker,
-            initargs=(
-                snapshot,
-                self.extra,
-                self.signal,
-                _TRACER.enabled,
-                _METRICS.enabled,
-                self.runtime,
-            ),
-        )
+        self._snapshot = snapshot
+        try:
+            self._pool = self._ctx.Pool(
+                self.jobs,
+                initializer=_init_worker,
+                initargs=(
+                    snapshot,
+                    self.extra,
+                    self.signal,
+                    _TRACER.enabled,
+                    _METRICS.enabled,
+                    self.runtime,
+                ),
+            )
+        except BaseException:
+            self._snapshot = None
+            if snapshot is not None:
+                snapshot.close()
+            raise
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         pool = self._pool
         self._pool = None
-        if pool is not None:
-            if exc_type is None:
-                pool.close()
-            else:
-                pool.terminate()
-            pool.join()
+        snapshot = self._snapshot
+        self._snapshot = None
+        try:
+            if pool is not None:
+                if exc_type is None:
+                    pool.close()
+                else:
+                    pool.terminate()
+                pool.join()
+        finally:
+            # Unlink the segment only after every worker has exited: the
+            # mapping survives in the workers regardless, but unlinking
+            # last keeps /dev/shm accounting exact for the leak guard.
+            if snapshot is not None:
+                snapshot.close()
 
     def run(
         self,

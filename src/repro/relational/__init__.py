@@ -15,7 +15,8 @@ Execution runs on the columnar kernel (:mod:`repro.relational.columnar`):
 interned value ids, positional id tuples, and hash joins over column
 blocks, with ``Row`` objects materialized only at API boundaries.  See
 docs/performance.md; :func:`set_engine`/:func:`using_engine` select the
-``"columnar"`` or ``"legacy"`` (row-at-a-time) engine by name, and
+``"vector"`` (batch-at-a-time, the default), ``"columnar"`` (classic
+per-row kernel), or ``"legacy"`` (row-at-a-time) engine by name, and
 :class:`~repro.database.Database` accepts an ``engine=`` keyword to pin
 one database's joins.  :func:`use_legacy_engine` is deprecated.
 """
@@ -29,6 +30,8 @@ from repro.relational.columnar import (
     ENGINES,
     ColumnarTable,
     current_engine,
+    interner_export,
+    interner_import,
     kernel_enabled,
     set_engine,
     set_kernel_enabled,
@@ -65,6 +68,8 @@ __all__ = [
     "ENGINES",
     "ColumnarTable",
     "current_engine",
+    "interner_export",
+    "interner_import",
     "kernel_enabled",
     "set_engine",
     "set_kernel_enabled",

@@ -11,44 +11,90 @@ evaluating many overlapping natural joins).  The kernel removes that cost:
   integer id (:func:`intern_value`).  Interning uses the same dict-key
   equivalence as the row-level engine (``hash`` + ``==``), so two values
   receive the same id exactly when the legacy hash join would have put
-  them in the same bucket.  Ids are process-wide and never recycled.
+  them in the same bucket.  Ids are process-wide, never recycled, and
+  allocation is guarded by a lock so concurrent threads (the planned
+  async server) cannot race an id.  :func:`interner_export` /
+  :func:`interner_import` round-trip the table across process
+  boundaries, which is what makes spawn-started workers viable (fork
+  inherits the table for free).
 * **Columnar tables** -- a :class:`ColumnarTable` is a relation state
   encoded as positional tuples of value ids over a fixed, sorted
-  attribute order; per-attribute columns are exposed via
-  :meth:`ColumnarTable.column`.  Because the order is always the sorted
-  scheme, two tables over the same scheme are positionally aligned and
-  set operations are raw ``frozenset`` ops on id tuples.
-* **Kernel operators** -- :func:`join_tables`, :func:`semijoin_tables`,
-  :func:`antijoin_tables`, and :func:`project_table` work directly on id
-  tuples.  A natural join builds its hash table on the smaller input,
-  probes with the larger, and composes output tuples by positional picks
-  -- no dicts, no Row objects, no per-tuple scheme validation.  ``Row``
-  objects are materialized only at API boundaries, lazily (see
-  ``Relation.rows``).
+  attribute order.  Internally a table holds whichever of three
+  synchronized representations it was born with, converting lazily:
+
+  - a ``frozenset`` of id tuples (canonical for set ops and equality),
+  - an ordered, duplicate-free *row list* (what the vector kernel
+    emits -- natural-join outputs are provably duplicate-free, so no
+    hashing happens until someone actually needs set semantics),
+  - a *packed* flat ``int64`` buffer (``array('q')`` / ``memoryview``),
+    row-major -- the zero-copy exchange format used by the
+    shared-memory :class:`~repro.parallel.context.DatabaseSnapshot`.
+
+  Because the attribute order is always the sorted scheme, two tables
+  over the same scheme are positionally aligned and set operations are
+  raw ``frozenset`` ops on id tuples.
+* **Vector kernel operators** -- the default engine (``"vector"``)
+  evaluates :func:`join_tables`, :func:`semijoin_tables`,
+  :func:`antijoin_tables`, and :func:`project_table` batch-at-a-time
+  over columns instead of row-at-a-time over tuples: composite join
+  keys are built for a whole column block with one bulk ``zip`` (one C
+  call, no per-row ``itemgetter``), the hash build maps each key to an
+  array of build-side row indices, and the probe is a single pass that
+  emits output *columns* through C-speed ``map``/``zip`` pipelines --
+  no per-pair tuple concatenation, no intermediate ``set``.  Dedup is
+  paid only where set semantics require it (projection); join outputs
+  are duplicate-free by construction because an output row restricted
+  to either input scheme recovers the input row that produced it.
+  Per-row ``struct.pack`` byte keys were measured slower than bulk-zip
+  tuple keys in pure Python (packing cannot be bulk-vectorized without
+  first building the very tuples it would replace), so tuple keys are
+  the packed-key representation of choice; packed ``int64`` buffers
+  are used where they do win -- the shared-memory snapshot format.
+
+The previous per-row-tuple kernel is kept verbatim as the
+``"columnar"`` engine: it is the equivalence baseline the vector
+property suite compares against, and the conservative fallback.
 
 The kernel is on by default.  The public engine switch is by *name*:
-:func:`set_engine`/:func:`current_engine` select ``"columnar"`` or
-``"legacy"`` process-wide, and :func:`using_engine` scopes the choice to
-a block (used by ``benchmarks/bench_join_kernel.py`` for old-vs-new
-comparisons and by the equivalence property suite).  A single
-:class:`~repro.database.Database` can also pin its own engine via the
-``engine=`` constructor keyword.  :func:`set_kernel_enabled` remains the
-low-level boolean toggle; the old :func:`use_legacy_engine` context
-manager is deprecated in favor of ``using_engine("legacy")``.
+:func:`set_engine`/:func:`current_engine` select ``"vector"`` (default),
+``"columnar"``, or ``"legacy"`` process-wide, and :func:`using_engine`
+scopes the choice to a block (used by ``benchmarks/bench_join_kernel.py``
+for old-vs-new comparisons and by the equivalence property suites).  A
+single :class:`~repro.database.Database` can also pin its own engine via
+the ``engine=`` constructor keyword.  :func:`set_kernel_enabled` remains
+the low-level boolean toggle (``False`` = legacy row-at-a-time paths;
+``True`` = the current columnar/vector selection); the old
+:func:`use_legacy_engine` context manager is deprecated in favor of
+``using_engine("legacy")``.
 
 Telemetry (docs/observability.md): kernel joins emit the ``join.*``
 counters.  ``join.probes`` counts hash-table lookups (one per probe-side
 row); ``join.comparisons`` counts the candidate row pairs examined after
 a bucket hit -- in a natural join the bucket key is the entire shared
 scheme, so every candidate pair merges and ``comparisons`` equals the
-merged pair count pre-dedup.  See the docs for the distinction.
+merged pair count pre-dedup.  The vector and classic kernels count
+identically, so profiles are comparable across engines.
 """
 
 from __future__ import annotations
 
+import threading
+from array import array
 from contextlib import contextmanager
-from operator import itemgetter
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
+from functools import partial
+from itertools import chain, compress, count, repeat
+from operator import is_not, itemgetter, not_
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import RelationError
 from repro.obs.metrics import get_registry
@@ -60,6 +106,8 @@ __all__ = [
     "lookup_value",
     "value_of",
     "interned_count",
+    "interner_export",
+    "interner_import",
     "decode_row",
     "join_tables",
     "semijoin_tables",
@@ -94,13 +142,19 @@ _OUTPUT_TUPLES = _METRICS.counter("join.output_tuples", "tuples produced by join
 
 _IDS: Dict[Hashable, int] = {}
 _VALUES: List[Hashable] = []
+#: Guards id allocation.  Lookups stay lock-free (a dict read under the
+#: GIL either sees the id or misses and takes the lock); allocation is
+#: append-then-publish under the lock so a concurrent reader never sees
+#: an id without its value.
+_INTERN_LOCK = threading.Lock()
 
 
 def intern_value(value: Hashable) -> int:
     """The process-wide id of ``value`` (allocating one on first sight).
 
-    Raises :class:`~repro.errors.RelationError` for unhashable values --
-    the same contract the row-level engine enforces.
+    Thread-safe: concurrent first sights of the same value converge on
+    one id.  Raises :class:`~repro.errors.RelationError` for unhashable
+    values -- the same contract the row-level engine enforces.
     """
     try:
         vid = _IDS.get(value)
@@ -109,9 +163,12 @@ def intern_value(value: Hashable) -> int:
             f"tuple values must be hashable, got {value!r}"
         ) from exc
     if vid is None:
-        vid = len(_VALUES)
-        _IDS[value] = vid
-        _VALUES.append(value)
+        with _INTERN_LOCK:
+            vid = _IDS.get(value)
+            if vid is None:
+                vid = len(_VALUES)
+                _VALUES.append(value)
+                _IDS[value] = vid
     return vid
 
 
@@ -133,6 +190,28 @@ def interned_count() -> int:
     return len(_VALUES)
 
 
+def interner_export() -> Tuple[Hashable, ...]:
+    """A snapshot of the interner's value table (position = id).
+
+    Ship this to a spawn-started worker (fork-started workers inherit
+    the live table) and rebuild the mapping there with
+    :func:`interner_import`.
+    """
+    with _INTERN_LOCK:
+        return tuple(_VALUES)
+
+
+def interner_import(values: Iterable[Hashable]) -> List[int]:
+    """Intern an exported value table; returns the translation list
+    mapping the exporting process's ids (list positions) to local ids.
+
+    In a process that inherited the exporter's table (fork) the
+    translation is the identity; in a fresh process it is a dense
+    re-numbering.  Either way ``translation[old_id]`` is the local id.
+    """
+    return [intern_value(value) for value in values]
+
+
 def decode_row(order: Tuple[str, ...], idrow: IdRow) -> Tuple[Tuple[str, Hashable], ...]:
     """The (attribute, value) pairs of an id row, in table order."""
     return tuple(zip(order, map(_VALUES.__getitem__, idrow)))
@@ -148,40 +227,145 @@ class ColumnarTable:
     canonical layout per scheme, so equal-scheme tables are always
     positionally aligned.  ``rows`` is a frozenset of id tuples; its size
     is the paper's ``tau`` without any Row object ever existing.
+
+    A table is born in one of three representations and converts lazily
+    (each conversion cached; tables are immutable):
+
+    * ``ColumnarTable(order, rows)`` -- from any iterable of id tuples
+      (deduplicated into a frozenset, the historical constructor);
+    * :meth:`from_rowlist` -- from an ordered, *already duplicate-free*
+      row list (vector-kernel outputs: no hashing until set semantics
+      are actually demanded);
+    * :meth:`from_packed` -- zero-copy over a flat row-major ``int64``
+      buffer (a ``memoryview`` into a shared-memory segment, or an
+      ``array('q')``); rows and columns decode lazily on first use.
     """
 
-    __slots__ = ("order", "rows", "_columns")
+    __slots__ = ("order", "_rows", "_rowlist", "_packed", "_nrows", "_columns", "_decoded")
 
     def __init__(self, order: Iterable[str], rows: Iterable[IdRow] = ()):
         self.order: Tuple[str, ...] = tuple(order)
-        self.rows: FrozenSet[IdRow] = (
+        self._rows: Optional[FrozenSet[IdRow]] = (
             rows if isinstance(rows, frozenset) else frozenset(rows)
         )
-        self._columns: Optional[Dict[str, Tuple[int, ...]]] = None
+        self._rowlist: Optional[List[IdRow]] = None
+        self._packed = None
+        self._nrows = len(self._rows)
+        self._columns: Optional[Dict[str, Sequence[int]]] = None
+        self._decoded: Optional[Dict[str, Tuple[Hashable, ...]]] = None
+
+    @classmethod
+    def from_rowlist(cls, order: Iterable[str], rowlist: List[IdRow]) -> "ColumnarTable":
+        """Wrap an ordered row list that is guaranteed duplicate-free
+        (the vector kernel's output contract).  No frozenset is built
+        until :attr:`rows` is actually read."""
+        table = object.__new__(cls)
+        table.order = tuple(order)
+        table._rows = None
+        table._rowlist = rowlist
+        table._packed = None
+        table._nrows = len(rowlist)
+        table._columns = None
+        table._decoded = None
+        return table
+
+    @classmethod
+    def from_columns(
+        cls, order: Iterable[str], cols: Dict[str, Sequence[int]], nrows: int
+    ) -> "ColumnarTable":
+        """Wrap already-built, position-aligned columns whose implied
+        rows are duplicate-free (the vector kernel's output contract).
+        Neither row tuples nor a frozenset exist until demanded, so a
+        chain of joins never transposes back and forth."""
+        table = object.__new__(cls)
+        table.order = tuple(order)
+        table._rows = None
+        table._rowlist = None
+        table._packed = None
+        table._nrows = nrows
+        table._columns = cols
+        table._decoded = None
+        return table
+
+    @classmethod
+    def from_packed(cls, order: Iterable[str], buffer, nrows: int) -> "ColumnarTable":
+        """Wrap a flat row-major ``int64`` buffer of ``nrows`` rows
+        without copying it.  ``buffer`` must support ``len``, step
+        slicing, and integer items -- a ``memoryview(...).cast("q")``
+        over a shared-memory segment, or an ``array('q')``.  Rows in the
+        buffer must be distinct (snapshots pack deduplicated tables)."""
+        table = object.__new__(cls)
+        table.order = tuple(order)
+        table._rows = None
+        table._rowlist = None
+        table._packed = buffer
+        table._nrows = nrows
+        table._columns = None
+        table._decoded = None
+        return table
+
+    @property
+    def rows(self) -> FrozenSet[IdRow]:
+        """The tuple set (built lazily from the row list or the packed
+        buffer on first use)."""
+        r = self._rows
+        if r is None:
+            r = self._rows = frozenset(self.row_list())
+        return r
+
+    def row_list(self) -> List[IdRow]:
+        """The rows as an ordered, duplicate-free list (computed once).
+
+        Positions align with :meth:`columns`: row ``i`` of the list is
+        the tuple of position ``i`` of every column.
+        """
+        rl = self._rowlist
+        if rl is None:
+            packed = self._packed
+            cols = self._columns
+            if cols is not None:
+                rl = list(zip(*(cols[attr] for attr in self.order)))
+            elif packed is not None:
+                width = len(self.order)
+                rl = list(zip(*(packed[i::width] for i in range(width))))
+            else:
+                rl = list(self._rows)
+            self._rowlist = rl
+        return rl
+
+    def to_packed(self) -> array:
+        """The rows sorted and flattened into a fresh ``array('q')`` --
+        the deterministic payload a shared-memory snapshot stores."""
+        return array("q", chain.from_iterable(sorted(self.rows)))
 
     @property
     def tau(self) -> int:
         """The tuple count (``tau`` of the encoded relation)."""
-        return len(self.rows)
+        return self._nrows
 
     def columns(self) -> Dict[str, Tuple[int, ...]]:
         """Per-attribute id columns (computed once, then cached).
 
-        Column positions are aligned across attributes: position ``i`` of
-        every column belongs to the same (arbitrary but fixed) row.
+        Column positions are aligned across attributes and with
+        :meth:`row_list`: position ``i`` of every column belongs to row
+        ``i`` of the list.
         """
-        if self._columns is None:
-            if self.rows:
-                transposed = tuple(zip(*self.rows))
+        cols = self._columns
+        if cols is None:
+            width = len(self.order)
+            packed = self._packed
+            if packed is not None and self._rowlist is None:
+                # Strided slices of the flat buffer: one C-speed copy
+                # per column, no row tuples ever built.
+                series = [tuple(packed[i::width]) for i in range(width)]
             else:
-                transposed = tuple(() for _ in self.order)
-            self._columns = {
-                attr: transposed[i] for i, attr in enumerate(self.order)
-            }
-        return self._columns
+                rl = self.row_list()
+                series = list(zip(*rl)) if rl else [() for _ in range(width)]
+            cols = self._columns = dict(zip(self.order, series))
+        return cols
 
     def column(self, attribute: str) -> Tuple[int, ...]:
-        """The id column for one attribute."""
+        """The id column for one attribute (cached with the rest)."""
         try:
             return self.columns()[attribute]
         except KeyError:
@@ -190,15 +374,22 @@ class ColumnarTable:
             ) from None
 
     def decoded_column(self, attribute: str) -> Tuple[Hashable, ...]:
-        """The value column for one attribute (ids resolved)."""
-        values = _VALUES
-        return tuple(values[vid] for vid in self.column(attribute))
+        """The value column for one attribute (ids resolved; cached)."""
+        decoded = self._decoded
+        if decoded is None:
+            decoded = self._decoded = {}
+        col = decoded.get(attribute)
+        if col is None:
+            col = decoded[attribute] = tuple(
+                map(_VALUES.__getitem__, self.column(attribute))
+            )
+        return col
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._nrows
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<ColumnarTable {''.join(self.order)}: {len(self.rows)} rows>"
+        return f"<ColumnarTable {''.join(self.order)}: {self._nrows} rows>"
 
 
 # -- kernel operators ----------------------------------------------------------
@@ -220,13 +411,105 @@ def _picker(indices: Tuple[int, ...]):
     return itemgetter(*indices)
 
 
-def join_tables(left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
-    """Natural join of two tables (Cartesian product on disjoint orders).
+def _keys_of(cols: Dict[str, Sequence[int]], common: List[str]):
+    """All composite join keys of a table in row-list order, built with
+    one bulk ``zip`` (single-attribute keys are the column itself)."""
+    if len(common) == 1:
+        return cols[common[0]]
+    return list(zip(*(cols[attr] for attr in common)))
 
-    Hash join on the shared attributes: build on the smaller input, probe
-    with the larger, compose output id tuples by positional picks.  The
-    output order is the sorted union of the input orders.
+
+#: ``partial(is_not, None)`` -- a C-speed "was there a bucket hit" test.
+_HIT = partial(is_not, None)
+
+
+def _vector_join(left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
+    """Batch-at-a-time natural join: bulk-zip keys, key->row-index-array
+    hash build, single-pass probe emitting output columns.
+
+    The only Python-level loop is the hash build over the *smaller*
+    input; the probe is a ``map``/``compress``/``chain`` pipeline that
+    runs entirely in C: one bulk pass looks every probe key up, one
+    flattens the hit index arrays, and one repeats each probe index by
+    its hit count.  Output columns are then gathered per attribute with
+    a C-speed ``map`` over the matched index arrays.
+
+    The output is materialized as columns, **not** a set: an output row
+    restricted to the probe scheme recovers the probe row and restricted
+    to the build scheme recovers the build row (shared attributes carry
+    equal ids on a match), so distinct matched pairs produce distinct
+    outputs and no dedup is needed.
     """
+    lcols = left.columns()
+    rcols = right.columns()
+    common = [attr for attr in left.order if attr in rcols]
+    out_order = tuple(sorted(set(left.order) | set(right.order)))
+    enabled = _METRICS.enabled
+    n_left, n_right = len(left), len(right)
+
+    if not common:
+        # Cartesian product, by block repetition: the left column value
+        # for row i repeats n_right times; the right column tiles whole.
+        if n_left and n_right:
+            out_cols: Dict[str, Sequence[int]] = {}
+            for attr in left.order:
+                out_cols[attr] = list(
+                    chain.from_iterable(map(repeat, lcols[attr], repeat(n_right)))
+                )
+            for attr in right.order:
+                out_cols[attr] = list(rcols[attr]) * n_left
+            result = ColumnarTable.from_columns(out_order, out_cols, n_left * n_right)
+        else:
+            result = ColumnarTable(out_order)
+        if enabled:
+            _JOINS.inc(kind="product")
+            _COMPARISONS.inc(n_left * n_right, kind="product")
+            _OUTPUT_TUPLES.inc(len(result), kind="product")
+        return result
+
+    # Build the hash table on the smaller input (same tie-break as the
+    # classic kernel: left builds on equal sizes, so probe counts match).
+    if n_left <= n_right:
+        build, probe, bcols, pcols = left, right, lcols, rcols
+    else:
+        build, probe, bcols, pcols = right, left, rcols, lcols
+
+    buckets: Dict[Hashable, List[int]] = {}
+    setdefault = buckets.setdefault
+    for i, key in enumerate(_keys_of(bcols, common)):
+        setdefault(key, []).append(i)
+
+    # The probe, in C: look every key up in one bulk map, drop the
+    # misses, flatten the build-side hit arrays, and fan each probe
+    # index out once per hit.
+    nested = list(map(buckets.get, _keys_of(pcols, common)))
+    mask = list(map(_HIT, nested))
+    hit_lists = list(compress(nested, mask))
+    build_idx = list(chain.from_iterable(hit_lists))
+    probe_idx = list(
+        chain.from_iterable(map(repeat, compress(count(), mask), map(len, hit_lists)))
+    )
+
+    # Emit output columns: each output attribute gathers from exactly
+    # one side's column through a C-speed map over its index array
+    # (shared attributes read from the probe side).
+    out_cols = {
+        attr: list(map(pcols[attr].__getitem__, probe_idx))
+        if attr in pcols
+        else list(map(bcols[attr].__getitem__, build_idx))
+        for attr in out_order
+    }
+    result = ColumnarTable.from_columns(out_order, out_cols, len(build_idx))
+    if enabled:
+        _JOINS.inc(kind="hash")
+        _PROBES.inc(len(probe), kind="hash")
+        _COMPARISONS.inc(len(build_idx), kind="hash")
+        _OUTPUT_TUPLES.inc(len(result), kind="hash")
+    return result
+
+
+def _classic_join(left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
+    """The per-row-tuple hash join (the ``"columnar"`` engine)."""
     left_pos = _positions(left.order)
     right_pos = _positions(right.order)
     common = [attr for attr in left.order if attr in right_pos]
@@ -301,13 +584,33 @@ def join_tables(left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
     return result
 
 
+def join_tables(left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
+    """Natural join of two tables (Cartesian product on disjoint orders).
+
+    Dispatches to the vector kernel (default) or the classic per-row
+    kernel per the process-wide engine selection; both produce the same
+    relation and the same telemetry counts.
+    """
+    if _KERNEL.vector:
+        return _vector_join(left, right)
+    return _classic_join(left, right)
+
+
 def semijoin_tables(left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
     """Semijoin ``left ⋉ right``: the left rows that join with ``right``."""
     right_attrs = set(right.order)
     common = [attr for attr in left.order if attr in right_attrs]
     if not common:
         # With disjoint orders every pair joins, unless right is empty.
-        return left if right.rows else ColumnarTable(left.order)
+        return left if len(right) else ColumnarTable(left.order)
+    if _KERNEL.vector:
+        keys = set(_keys_of(right.columns(), common))
+        lcols = left.columns()
+        mask = list(map(keys.__contains__, _keys_of(lcols, common)))
+        out_cols = {
+            attr: list(compress(lcols[attr], mask)) for attr in left.order
+        }
+        return ColumnarTable.from_columns(left.order, out_cols, sum(mask))
     key_of_left = _picker(tuple(_positions(left.order)[attr] for attr in common))
     key_of_right = _picker(tuple(_positions(right.order)[attr] for attr in common))
     keys = set(map(key_of_right, right.rows))
@@ -322,7 +625,17 @@ def antijoin_tables(left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
     right_attrs = set(right.order)
     common = [attr for attr in left.order if attr in right_attrs]
     if not common:
-        return ColumnarTable(left.order) if right.rows else left
+        return ColumnarTable(left.order) if len(right) else left
+    if _KERNEL.vector:
+        keys = set(_keys_of(right.columns(), common))
+        lcols = left.columns()
+        mask = list(
+            map(not_, map(keys.__contains__, _keys_of(lcols, common)))
+        )
+        out_cols = {
+            attr: list(compress(lcols[attr], mask)) for attr in left.order
+        }
+        return ColumnarTable.from_columns(left.order, out_cols, sum(mask))
     key_of_left = _picker(tuple(_positions(left.order)[attr] for attr in common))
     key_of_right = _picker(tuple(_positions(right.order)[attr] for attr in common))
     keys = set(map(key_of_right, right.rows))
@@ -334,7 +647,17 @@ def antijoin_tables(left: ColumnarTable, right: ColumnarTable) -> ColumnarTable:
 
 def project_table(table: ColumnarTable, wanted_order: Tuple[str, ...]) -> ColumnarTable:
     """Projection onto ``wanted_order`` (a sorted subset of the table
-    order), with set-semantics dedup on the id tuples."""
+    order), with set-semantics dedup on the id tuples.
+
+    This is the one operator where set semantics force a dedup; the
+    vector path pays it as a single bulk ``zip`` of the picked columns
+    straight into a frozenset (one C call end to end).
+    """
+    if _KERNEL.vector:
+        cols = table.columns()
+        return ColumnarTable(
+            wanted_order, frozenset(zip(*(cols[attr] for attr in wanted_order)))
+        )
     pos = _positions(table.order)
     pick = _picker(tuple(pos[attr] for attr in wanted_order))
     return ColumnarTable(wanted_order, frozenset(map(pick, table.rows)))
@@ -344,14 +667,17 @@ def project_table(table: ColumnarTable, wanted_order: Tuple[str, ...]) -> Column
 
 
 class _KernelSwitch:
-    """Process-wide toggle between the columnar kernel and the legacy
-    row-at-a-time engine.  Mirrors the metrics registry idiom: hot paths
-    pay a single attribute load."""
+    """Process-wide engine selection.  Mirrors the metrics registry
+    idiom: hot paths pay a single attribute load.  ``enabled`` routes
+    the algebra through the columnar substrate at all (False = legacy
+    row-at-a-time); ``vector`` picks the batch-at-a-time kernel over the
+    classic per-row-tuple kernel."""
 
-    __slots__ = ("enabled",)
+    __slots__ = ("enabled", "vector")
 
     def __init__(self) -> None:
         self.enabled = True
+        self.vector = True
 
 
 _KERNEL = _KernelSwitch()
@@ -368,49 +694,53 @@ def kernel_enabled() -> bool:
 
 
 def set_kernel_enabled(enabled: bool) -> None:
-    """Route the relational algebra through the columnar kernel (default)
-    or the legacy row-at-a-time engine (``False``)."""
+    """Route the relational algebra through the columnar substrate
+    (default; the vector/columnar selection is left as-is) or the legacy
+    row-at-a-time engine (``False``)."""
     _KERNEL.enabled = bool(enabled)
 
 
 #: The engine names :func:`set_engine` accepts.
-ENGINES = ("columnar", "legacy")
+ENGINES = ("vector", "columnar", "legacy")
 
 
-def _engine_enabled(engine: str) -> bool:
+def _engine_flags(engine: str) -> Tuple[bool, bool]:
     if engine not in ENGINES:
         raise RelationError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
-    return engine == "columnar"
+    return engine != "legacy", engine == "vector"
 
 
 def current_engine() -> str:
     """The name of the engine currently executing the relational
-    algebra: ``"columnar"`` (the kernel, default) or ``"legacy"``."""
-    return "columnar" if _KERNEL.enabled else "legacy"
+    algebra: ``"vector"`` (the batch-at-a-time kernel, default),
+    ``"columnar"`` (the per-row-tuple kernel), or ``"legacy"``."""
+    if not _KERNEL.enabled:
+        return "legacy"
+    return "vector" if _KERNEL.vector else "columnar"
 
 
 def set_engine(engine: str) -> None:
     """Select the process-wide execution engine by name
-    (``"columnar"`` or ``"legacy"``).
+    (``"vector"``, ``"columnar"``, or ``"legacy"``).
 
     Raises :class:`~repro.errors.RelationError` for unknown names.
     """
-    _KERNEL.enabled = _engine_enabled(engine)
+    _KERNEL.enabled, _KERNEL.vector = _engine_flags(engine)
 
 
 @contextmanager
 def using_engine(engine: str) -> Iterator[None]:
     """Context manager: run the enclosed block on the named engine,
     restoring the previous engine afterwards."""
-    enabled = _engine_enabled(engine)
-    previous = _KERNEL.enabled
-    _KERNEL.enabled = enabled
+    flags = _engine_flags(engine)
+    previous = (_KERNEL.enabled, _KERNEL.vector)
+    _KERNEL.enabled, _KERNEL.vector = flags
     try:
         yield
     finally:
-        _KERNEL.enabled = previous
+        _KERNEL.enabled, _KERNEL.vector = previous
 
 
 def use_legacy_engine() -> Iterator[None]:

@@ -122,6 +122,78 @@ class TestClassification:
         assert bad.status == "regression"
 
 
+class TestMinCpusGating:
+    GATED = MetricSpec("campaign.speedup_jobs4", higher_is_better=True, min_cpus=4)
+
+    def test_starved_fresh_run_is_skipped_not_judged(self):
+        # A would-be regression (3.0x -> 1.0x) on a 1-CPU fresh runner
+        # must be reported as skipped, never as a pass or a failure.
+        c = _one(
+            self.GATED,
+            {"cpu_count": 8, "campaign": {"speedup_jobs4": 3.0}},
+            {"cpu_count": 1, "campaign": {"speedup_jobs4": 1.0}},
+        )
+        assert c.status == "skipped"
+        assert "fresh run saw 1 CPUs" in c.note
+        assert not has_regressions([c])
+
+    def test_starved_baseline_is_skipped_with_its_own_note(self):
+        c = _one(
+            self.GATED,
+            {"cpu_count": 1, "campaign": {"speedup_jobs4": 1.0}},
+            {"cpu_count": 8, "campaign": {"speedup_jobs4": 3.0}},
+        )
+        assert c.status == "skipped"
+        assert "baseline recorded 1 CPUs" in c.note
+
+    def test_absent_cpu_count_counts_as_starved(self):
+        c = _one(
+            self.GATED,
+            {"campaign": {"speedup_jobs4": 3.0}},
+            {"campaign": {"speedup_jobs4": 3.0}},
+        )
+        assert c.status == "skipped"
+
+    def test_enough_cpus_judges_normally(self):
+        c = _one(
+            self.GATED,
+            {"cpu_count": 4, "campaign": {"speedup_jobs4": 3.0}},
+            {"cpu_count": 4, "campaign": {"speedup_jobs4": 1.0}},
+        )
+        assert c.status == "regression"
+
+    def test_missing_fresh_still_fails_even_when_starved(self):
+        # Silence must not pass: a starved runner that produced *no*
+        # payload at all is a missing-fresh regression, not a skip.
+        c = _one(self.GATED, {"cpu_count": 8, "campaign": {"speedup_jobs4": 3.0}}, None)
+        assert c.status == "missing-fresh"
+        assert has_regressions([c])
+
+    def test_skip_note_rendered_in_report(self):
+        c = _one(
+            self.GATED,
+            {"cpu_count": 8, "campaign": {"speedup_jobs4": 3.0}},
+            {"cpu_count": 1, "campaign": {"speedup_jobs4": 1.0}},
+        )
+        text = render_report([c])
+        assert "skipped: fresh run saw 1 CPUs (< 4)" in text
+
+    def test_starved_dirs_exit_zero_with_skips(self, tmp_path, capsys):
+        _write_payloads(tmp_path / "base", cpu_count=1)
+        _write_payloads(
+            tmp_path / "fresh", parallel_speedups=(1.0, 1.0), cpu_count=1
+        )
+        code = main(
+            [
+                "--baseline-dir", str(tmp_path / "base"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--only", "BENCH_parallel.json",
+            ]
+        )
+        assert code == 0
+        assert "skipped" in capsys.readouterr().out
+
+
 class TestComparison:
     def test_to_dict_roundtrips_through_json(self):
         c = Comparison("f.json", "a.b", 2.0, 1.0, "regression", 0.2)
@@ -140,6 +212,7 @@ def _write_payloads(
     perf_speedups=(8.0, 150.0, 3.0),
     overhead=0.01,
     parallel_speedups=(2.5, 3.0),
+    cpu_count=8,
 ):
     directory.mkdir(parents=True, exist_ok=True)
     full, tau, dense = perf_speedups
@@ -159,6 +232,7 @@ def _write_payloads(
     (directory / "BENCH_parallel.json").write_text(
         json.dumps(
             {
+                "cpu_count": cpu_count,
                 "condition_sweep": {"speedup_jobs4": sweep},
                 "campaign": {"speedup_jobs4": campaign},
             }

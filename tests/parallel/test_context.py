@@ -6,6 +6,8 @@ or with a tiny real pool where fork is available; the driver-level
 jobs=1-vs-jobs=N guarantees live in test_equivalence.py.
 """
 
+import os
+
 import pytest
 
 from repro import Database, relation
@@ -14,9 +16,13 @@ from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.parallel import (
     NO_CANCEL,
+    SEGMENT_PREFIX,
     DatabaseSnapshot,
+    ParallelContext,
+    live_segments,
     parallel_available,
     resolve_jobs,
+    shared_memory_available,
     warm_connected_taus,
 )
 
@@ -57,23 +63,39 @@ class TestResolveJobs:
             resolve_jobs(-2)
 
 
+@pytest.fixture
+def snapshot_of():
+    """Build snapshots and guarantee their segments are unlinked."""
+    snapshots = []
+
+    def build(db, **kwargs):
+        snapshot = DatabaseSnapshot(db, **kwargs)
+        snapshots.append(snapshot)
+        return snapshot
+
+    yield build
+    for snapshot in snapshots:
+        snapshot.close()
+    assert live_segments() == ()
+
+
 class TestDatabaseSnapshot:
-    def test_round_trip_preserves_relations_and_counts(self, ex1):
-        restored = DatabaseSnapshot(ex1).restore()
+    def test_round_trip_preserves_relations_and_counts(self, ex1, snapshot_of):
+        restored = snapshot_of(ex1).restore()
         assert restored.scheme == ex1.scheme
         for rel in ex1.relations():
             assert restored.state_for(rel.scheme).rows == rel.rows
         assert restored.tau_of(None) == ex1.tau_of(None)
 
-    def test_named_relations_keep_their_names(self, chain3):
-        restored = DatabaseSnapshot(chain3).restore()
+    def test_named_relations_keep_their_names(self, chain3, snapshot_of):
+        restored = snapshot_of(chain3).restore()
         assert sorted(r.name for r in restored.relations()) == ["R1", "R2", "R3"]
 
-    def test_snapshot_carries_the_tau_cache(self, chain3):
+    def test_snapshot_carries_the_tau_cache(self, chain3, snapshot_of):
         for subset in chain3.connected_subsets():
             chain3.tau_of(subset)
         warmed = chain3.cache_stats().tau_entries
-        restored = DatabaseSnapshot(chain3).restore()
+        restored = snapshot_of(chain3).restore()
         assert restored.cache_stats().tau_entries == warmed
         # The inherited entries answer without recomputation.
         before = restored.cache_stats().computed
@@ -81,12 +103,116 @@ class TestDatabaseSnapshot:
             restored.tau_of(subset)
         assert restored.cache_stats().computed == before
 
-    def test_snapshot_is_picklable(self, ex3):
+    def test_snapshot_is_picklable(self, ex3, snapshot_of):
         import pickle
 
+        snapshot = snapshot_of(ex3)
+        payload = pickle.dumps(snapshot)
+        # Only metadata travels by value: the pickle must not scale with
+        # the column data, which stays in the shared segment.
+        if snapshot.segment is not None:
+            assert len(payload) < snapshot.nbytes + 4096
+        clone = pickle.loads(payload)
+        try:
+            assert clone.restore().tau_of(None) == ex3.tau_of(None)
+        finally:
+            clone.close()
+
+    def test_inline_fallback_round_trips(self, ex1, snapshot_of):
+        snapshot = snapshot_of(ex1, use_shared_memory=False)
+        assert snapshot.segment is None
+        assert snapshot.inline
+        assert live_segments() == ()
+        restored = snapshot.restore()
+        assert restored.tau_of(None) == ex1.tau_of(None)
+
+
+class TestSharedMemoryLifecycle:
+    needs_shm = pytest.mark.skipif(
+        not shared_memory_available(), reason="multiprocessing.shared_memory missing"
+    )
+
+    @needs_shm
+    def test_segment_registered_then_unlinked(self, ex1):
+        snapshot = DatabaseSnapshot(ex1)
+        assert snapshot.segment is not None
+        assert snapshot.segment.startswith(SEGMENT_PREFIX)
+        assert snapshot.segment in live_segments()
+        snapshot.close()
+        assert live_segments() == ()
+        if os.path.isdir("/dev/shm"):
+            assert not os.path.exists("/dev/shm/" + snapshot.segment)
+
+    @needs_shm
+    def test_close_is_idempotent(self, ex1):
+        snapshot = DatabaseSnapshot(ex1)
+        snapshot.close()
+        snapshot.close()
+        assert live_segments() == ()
+
+    @needs_shm
+    def test_close_with_live_views_still_unlinks(self, ex1):
+        snapshot = DatabaseSnapshot(ex1)
+        restored = snapshot.restore()  # zero-copy views over the segment
+        snapshot.close()
+        assert live_segments() == ()
+        # The restored database stays usable: its views pin the mapping.
+        assert restored.tau_of(None) == ex1.tau_of(None)
+
+    @needs_fork
+    @needs_shm
+    def test_pool_teardown_unlinks(self, chain3):
+        with ParallelContext(db=chain3, jobs=2) as ctx:
+            assert len(live_segments()) == 1
+            ctx.run(_tau_probe, [((),)])
+        assert live_segments() == ()
+
+    @needs_fork
+    @needs_shm
+    def test_exception_mid_campaign_unlinks(self, chain3):
+        with pytest.raises(RuntimeError, match="mid-campaign"):
+            with ParallelContext(db=chain3, jobs=2):
+                assert len(live_segments()) == 1
+                raise RuntimeError("mid-campaign failure")
+        assert live_segments() == ()
+
+    @needs_shm
+    def test_spawned_process_attaches_and_translates(self, ex3, tmp_path):
+        """A fresh interpreter (cold interner, attach-by-name) restores
+        the same database -- the spawn-viability contract."""
+        import pickle
+        import subprocess
+        import sys
+
         snapshot = DatabaseSnapshot(ex3)
-        clone = pickle.loads(pickle.dumps(snapshot))
-        assert clone.restore().tau_of(None) == ex3.tau_of(None)
+        try:
+            blob = tmp_path / "snapshot.pkl"
+            blob.write_bytes(pickle.dumps(snapshot))
+            script = (
+                "import pickle, sys\n"
+                "snapshot = pickle.loads(open(sys.argv[1], 'rb').read())\n"
+                "db = snapshot.restore()\n"
+                "print(db.tau_of(None))\n"
+                "snapshot.close()\n"
+            )
+            env = dict(os.environ)
+            env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+            out = subprocess.run(
+                [sys.executable, "-c", script, str(blob)],
+                capture_output=True,
+                text=True,
+                cwd=os.getcwd(),
+                env=env,
+                check=True,
+            )
+            assert int(out.stdout.strip()) == ex3.tau_of(None)
+        finally:
+            snapshot.close()
+        assert live_segments() == ()
+
+
+def _tau_probe(db, extra, signal, _args):
+    return db.tau_of(None)
 
 
 class TestTauCacheTransport:

@@ -69,7 +69,7 @@ def _assert_same(kernel_result, legacy_result):
 class TestEngineSwitch:
     def test_kernel_on_by_default(self):
         assert kernel_enabled()
-        assert current_engine() == "columnar"
+        assert current_engine() == "vector"
 
     def test_using_engine_restores(self):
         assert kernel_enabled()
@@ -77,6 +77,13 @@ class TestEngineSwitch:
             assert not kernel_enabled()
             assert current_engine() == "legacy"
         assert kernel_enabled()
+        assert current_engine() == "vector"
+
+    def test_using_engine_classic_columnar(self):
+        with using_engine("columnar"):
+            assert kernel_enabled()
+            assert current_engine() == "columnar"
+        assert current_engine() == "vector"
 
     def test_set_engine_round_trip(self):
         set_engine("legacy")
@@ -85,6 +92,8 @@ class TestEngineSwitch:
         finally:
             set_engine("columnar")
         assert current_engine() == "columnar"
+        set_engine("vector")
+        assert current_engine() == "vector"
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(RelationError):
@@ -106,7 +115,7 @@ class TestEngineSwitch:
             context = use_legacy_engine()
         with context:
             assert current_engine() == "legacy"
-        assert current_engine() == "columnar"
+        assert current_engine() == "vector"
 
 
 class TestJoinEquivalence:

@@ -1,0 +1,247 @@
+"""The vectorized kernel's contracts: byte-identity across all three
+engines, column caching, and the thread-safe interner.
+
+The ``"vector"`` engine (batch-at-a-time column pipelines) must be
+indistinguishable from the ``"columnar"`` classic kernel and the
+``"legacy"`` row-at-a-time engine on every algebra operation -- same
+scheme, same row set, byte-identical packed form -- across randomized
+relations including the no-common-attribute product path, empty inputs,
+and single-row tables.  These are the guarantees that let the parallel
+layer swap engines without re-validating the drivers.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.relational.columnar import (
+    ColumnarTable,
+    antijoin_tables,
+    current_engine,
+    intern_value,
+    interner_export,
+    interner_import,
+    join_tables,
+    project_table,
+    semijoin_tables,
+    using_engine,
+    value_of,
+)
+from repro.relational.relation import Relation, Row, relation
+
+
+def _random_relation(rng, scheme, size, domain):
+    order = sorted(scheme)
+    rows = [
+        Row({attr: rng.randint(1, domain) for attr in order}) for _ in range(size)
+    ]
+    return Relation(scheme, rows)
+
+
+def _packed_bytes(rel):
+    """The relation's canonical packed form -- the byte-identity probe."""
+    return rel._table().to_packed().tobytes()
+
+
+def _run_all_engines(op):
+    """Evaluate ``op()`` under each engine, returning {engine: result}."""
+    results = {}
+    for engine in ("vector", "columnar", "legacy"):
+        with using_engine(engine):
+            results[engine] = op()
+    return results
+
+
+def _assert_engines_agree(results):
+    vector = results["vector"]
+    for engine in ("columnar", "legacy"):
+        other = results[engine]
+        assert vector.scheme == other.scheme, engine
+        assert vector.rows == other.rows, engine
+        assert _packed_bytes(vector) == _packed_bytes(other), engine
+
+
+# Scheme shapes: (shared attrs, left-only, right-only).  The disjoint
+# shape exercises the Cartesian-product path that has no hash probe.
+SHAPES = [
+    ("B", "A", "C"),
+    ("BC", "A", "D"),  # composite join key
+    ("", "AB", "CD"),  # no common attribute: product
+    ("ABC", "", ""),  # identical schemes: join = intersection
+    ("B", "A", ""),  # right scheme contained in left's closure
+]
+
+SIZES = [0, 1, 7, 24]  # empty, single-row, small, medium
+
+
+class TestThreeEngineEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("shared,left_only,right_only", SHAPES)
+    def test_join(self, seed, shared, left_only, right_only):
+        rng = random.Random(1000 + seed)
+        left_scheme = set(shared) | set(left_only) or {"X"}
+        right_scheme = set(shared) | set(right_only) or {"X"}
+        size = rng.choice(SIZES)
+        domain = rng.choice([2, 4, 20])
+        left = _random_relation(rng, left_scheme, size, domain)
+        right = _random_relation(rng, right_scheme, rng.choice(SIZES), domain)
+        _assert_engines_agree(_run_all_engines(lambda: left.join(right)))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_semijoin_and_antijoin(self, seed):
+        rng = random.Random(2000 + seed)
+        left = _random_relation(rng, {"A", "B", "C"}, rng.choice(SIZES), 4)
+        right = _random_relation(rng, {"B", "C", "D"}, rng.choice(SIZES), 4)
+        _assert_engines_agree(_run_all_engines(lambda: left.semijoin(right)))
+        _assert_engines_agree(_run_all_engines(lambda: left.antijoin(right)))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_project(self, seed):
+        rng = random.Random(3000 + seed)
+        rel = _random_relation(rng, {"A", "B", "C", "D"}, rng.choice(SIZES), 3)
+        for wanted in ("A", "AB", "ABD", "ABCD"):
+            _assert_engines_agree(_run_all_engines(lambda: rel.project(wanted)))
+
+    def test_single_row_tables(self):
+        left = relation("AB", [(1, 2)])
+        right = relation("BC", [(2, 3)])
+        miss = relation("BC", [(9, 9)])
+        _assert_engines_agree(_run_all_engines(lambda: left.join(right)))
+        _assert_engines_agree(_run_all_engines(lambda: left.join(miss)))
+        _assert_engines_agree(_run_all_engines(lambda: left.semijoin(miss)))
+        _assert_engines_agree(_run_all_engines(lambda: left.antijoin(miss)))
+
+    def test_empty_inputs(self):
+        empty = relation("AB")
+        nonempty = relation("BC", [(1, 2), (3, 4)])
+        for op in (
+            lambda: empty.join(nonempty),
+            lambda: nonempty.join(empty),
+            lambda: empty.join(empty),
+            lambda: nonempty.semijoin(empty),
+            lambda: nonempty.antijoin(empty),
+            lambda: empty.project("A"),
+        ):
+            _assert_engines_agree(_run_all_engines(op))
+
+    def test_chained_joins_stay_identical(self):
+        # Chains keep intermediate results in their born-columnar form
+        # under the vector engine; the final relation must still match.
+        rng = random.Random(4242)
+        rels = [
+            _random_relation(rng, {chr(65 + i), chr(66 + i)}, 15, 3)
+            for i in range(4)
+        ]
+
+        def chain():
+            acc = rels[0]
+            for nxt in rels[1:]:
+                acc = acc.join(nxt)
+            return acc
+
+        _assert_engines_agree(_run_all_engines(chain))
+
+
+class TestTableLevelKernels:
+    """`join_tables` and friends compare vector vs classic directly."""
+
+    def _tables(self, seed):
+        rng = random.Random(seed)
+        rows_l = [
+            (intern_value(rng.randint(1, 4)), intern_value(rng.randint(1, 4)))
+            for _ in range(12)
+        ]
+        rows_r = [
+            (intern_value(rng.randint(1, 4)), intern_value(rng.randint(1, 4)))
+            for _ in range(12)
+        ]
+        return ColumnarTable(("A", "B"), rows_l), ColumnarTable(("B", "C"), rows_r)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ops_match_classic(self, seed):
+        a, b = self._tables(5000 + seed)
+        for op in (join_tables, semijoin_tables, antijoin_tables):
+            with using_engine("vector"):
+                vec = op(a, b)
+            with using_engine("columnar"):
+                classic = op(a, b)
+            assert vec.order == classic.order
+            assert vec.rows == classic.rows
+            assert vec.to_packed().tobytes() == classic.to_packed().tobytes()
+        with using_engine("vector"):
+            vec = project_table(a, ("A",))
+        with using_engine("columnar"):
+            classic = project_table(a, ("A",))
+        assert vec.rows == classic.rows
+
+
+class TestColumnCaching:
+    def test_columns_cached_across_calls(self):
+        table = relation("AB", [(1, 2), (3, 4)])._table()
+        assert table.columns() is table.columns()
+        assert table.column("A") is table.column("A")
+
+    def test_decoded_column_cached(self):
+        table = relation("AB", [(1, 2), (3, 4)])._table()
+        assert table.decoded_column("A") is table.decoded_column("A")
+        assert sorted(table.decoded_column("A")) in ([1, 3], [3, 1])
+
+    def test_from_packed_columns_match_rows(self):
+        base = relation("ABC", [(1, 2, 3), (4, 5, 6), (7, 8, 9)])._table()
+        packed = base.to_packed()
+        clone = ColumnarTable.from_packed(base.order, packed, len(base))
+        assert clone.rows == base.rows
+        # Column *multisets* agree (row order differs: packed is sorted).
+        for attr in base.order:
+            assert sorted(clone.column(attr)) == sorted(base.column(attr))
+        # Positional alignment: row i is column position i everywhere.
+        cols = clone.columns()
+        for i, row in enumerate(clone.row_list()):
+            assert row == tuple(cols[attr][i] for attr in clone.order)
+
+    def test_born_columnar_results_expose_consistent_views(self):
+        out = relation("AB", [(1, 2)]).join(relation("BC", [(2, 3)]))._table()
+        assert set(out.columns()) == {"A", "B", "C"}
+        assert out.rows == frozenset(out.row_list())
+        assert len(out.row_list()) == len(out)
+
+
+class TestInterner:
+    def test_export_import_round_trip(self):
+        probe = [f"vector-probe-{i}" for i in range(5)] + [101, (2, 3), None]
+        ids = [intern_value(v) for v in probe]
+        exported = interner_export()
+        assert all(exported[vid] == v for vid, v in zip(ids, probe))
+        # Same-process import is the identity translation.
+        translation = interner_import(exported)
+        assert translation == list(range(len(exported)))
+        assert all(value_of(translation[vid]) == v for vid, v in zip(ids, probe))
+
+    def test_concurrent_interning_converges(self):
+        values = [("vector-race", i % 50) for i in range(400)]
+        results = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def worker(slot):
+            barrier.wait()
+            results[slot] = [intern_value(v) for v in values]
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every thread saw the same id for the same value...
+        assert all(r == results[0] for r in results)
+        # ...and each id resolves back to the value that produced it.
+        for v, vid in zip(values, results[0]):
+            assert value_of(vid) == v
+
+    def test_engine_switch_does_not_leak(self):
+        before = current_engine()
+        with using_engine("legacy"):
+            with using_engine("vector"):
+                assert current_engine() == "vector"
+            assert current_engine() == "legacy"
+        assert current_engine() == before
