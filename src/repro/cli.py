@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands, each a small window onto the reproduction:
+Seven commands, each a small window onto the reproduction:
 
 * ``examples`` -- replay the paper's Examples 1-5 with verdicts;
 * ``census [--max-n N]`` -- the strategy-space counts of Section 1;
@@ -18,7 +18,13 @@ Six commands, each a small window onto the reproduction:
   tree (Perfetto-loadable), and the metrics;
 * ``conditions --example N`` -- the C1/C1'/C2/C3 verdicts for a paper
   example;
-* ``sample`` -- the cost distribution of uniformly sampled strategies.
+* ``sample`` -- the cost distribution of uniformly sampled strategies;
+* ``obs tail|report|diff`` -- inspect the run ledgers written by
+  ``optimize --trace-json`` and the flight-recorder bundles dumped on
+  anomalies: ``tail`` prints the last records one per line, ``report``
+  summarizes a ledger (or renders a bundle) down to wall time, tau,
+  Q-error, cache hit rate, resource peaks, and anomalies, and ``diff``
+  compares two runs side by side (see docs/observability.md).
 
 ``optimize``, ``explain``, and ``conditions`` accept ``--timeout-ms``
 and ``--budget``: the run then executes under a
@@ -149,8 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-json",
         metavar="PATH",
         default=None,
-        help="write the recorded spans and metrics as JSONL to PATH "
-        "(implies --trace)",
+        help="write the run ledger (run header, spans, metrics, resource "
+        "samples, events, outcome) as JSONL to PATH (implies --trace; "
+        "readable by 'repro obs')",
+    )
+    optimize.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        default=None,
+        help="write the recorded span tree as a Chrome Trace Event file "
+        "(implies --trace); with --jobs, worker spans are re-parented "
+        "under the run's root span, so the file is one causal trace",
     )
 
     explain = sub.add_parser(
@@ -202,6 +217,28 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--samples", type=int, default=200)
     sample.add_argument("--linear", action="store_true")
     add_jobs_flag(sample)
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="inspect run ledgers and flight-recorder bundles "
+        "(docs/observability.md)",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    tail = obs_sub.add_parser(
+        "tail", help="print the last records of a run ledger, one per line"
+    )
+    tail.add_argument("path", help="a ledger JSONL file (optimize --trace-json)")
+    tail.add_argument("--limit", type=int, default=20, metavar="N")
+    report = obs_sub.add_parser(
+        "report",
+        help="summarize a run ledger, or render a flight-recorder bundle",
+    )
+    report.add_argument("path", help="a ledger JSONL file or a flight bundle")
+    diff = obs_sub.add_parser(
+        "diff", help="compare two run ledgers side by side"
+    )
+    diff.add_argument("a", help="baseline ledger JSONL file")
+    diff.add_argument("b", help="candidate ledger JSONL file")
 
     return parser
 
@@ -311,8 +348,13 @@ def _safety_pairs(query: JoinQuery):
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    tracing = args.trace or args.trace_json is not None
-    db = WorkloadSpec.from_args(args).build()
+    tracing = (
+        args.trace
+        or args.trace_json is not None
+        or args.chrome_trace is not None
+    )
+    spec = WorkloadSpec.from_args(args)
+    db = spec.build()
     query = JoinQuery(db, jobs=args.jobs, runtime=_runtime_from(args))
     if not tracing:
         plan = _plan(args, query)
@@ -321,18 +363,26 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         print(render_kv(_safety_pairs(query)))
         return 0
 
+    from repro.obs.ledger import RunLedger
     from repro.optimizer.estimate import qerror_profile
 
     obs.reset()
     obs.enable()
     try:
-        tracer = obs.get_tracer()
-        with tracer.span(
+        # The ledger brackets the run: it mints the trace id, opens the
+        # root span every worker span re-parents under, samples
+        # resources, and stamps the flight-recorder context.
+        with RunLedger(
             "cli.optimize",
-            shape=args.shape,
-            relations=args.relations,
-            space=args.space,
-        ):
+            workload=spec,
+            attrs={
+                "shape": args.shape,
+                "relations": args.relations,
+                "space": args.space,
+                "jobs": args.jobs,
+            },
+        ) as ledger:
+            ledger.sampler.watch_database(db)
             plan = _plan(args, query)
             # The paper's per-step accounting, as join.step events ...
             obs.record_strategy_steps(plan.strategy)
@@ -345,15 +395,18 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         print()
         print(_render_stats(plan, profile))
         print()
-        print("trace")
-        print("=====")
+        print(f"trace {ledger.trace_id}")
+        print("=" * len(f"trace {ledger.trace_id}"))
         print(obs.render_span_tree())
         print()
         print(obs.render_metrics())
         if args.trace_json is not None:
-            lines = obs.write_jsonl(args.trace_json)
+            lines = ledger.write(args.trace_json)
             print()
-            print(f"wrote {lines} JSONL records to {args.trace_json}")
+            print(f"wrote {lines} ledger records to {args.trace_json}")
+        if args.chrome_trace is not None:
+            events = obs.write_chrome_trace(args.chrome_trace)
+            print(f"wrote {events} Chrome-trace events to {args.chrome_trace}")
     finally:
         obs.disable()
     return 0
@@ -432,6 +485,32 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import ledger as obs_ledger
+
+    if args.obs_command == "tail":
+        kind, loaded = obs_ledger.load(args.path)
+        if kind == "bundle":
+            records = [dict(event, type="event") for event in loaded["events"]]
+        else:
+            records = loaded
+        print(obs_ledger.render_tail(records, limit=args.limit))
+        return 0
+    if args.obs_command == "report":
+        kind, loaded = obs_ledger.load(args.path)
+        if kind == "bundle":
+            print(obs_ledger.render_bundle(loaded))
+        else:
+            print(obs_ledger.render_summary(obs_ledger.summarize(loaded)))
+        return 0
+    if args.obs_command == "diff":
+        summary_a = obs_ledger.summarize(obs_ledger.load(args.a)[1])
+        summary_b = obs_ledger.summarize(obs_ledger.load(args.b)[1])
+        print(obs_ledger.render_diff(summary_a, summary_b))
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -448,6 +527,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_conditions(args)
     if args.command == "sample":
         return _cmd_sample(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

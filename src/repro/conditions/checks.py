@@ -428,8 +428,20 @@ def _timed_out_report(
     telemetry).  A violation found *before* exhaustion is definitive, so
     callers only land here with an empty (or incomplete-but-clean)
     sweep."""
+    from repro.obs.recorder import get_recorder
+
     if runtime is not None:
         runtime.record_exhaustion(trigger, "conditions")
+    get_recorder().anomaly(
+        "conditions.timed_out",
+        provenance={
+            "condition": condition,
+            "trigger": trigger,
+            "checked": checked,
+            "violations": len(violations),
+        },
+        jobs=jobs,
+    )
     return _published(
         ConditionReport(condition, TimedOut(trigger, checked), checked, violations),
         jobs=jobs,

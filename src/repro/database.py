@@ -222,6 +222,9 @@ class Database:
         "_computed",
         "_connected",
         "_engine",
+        # The resource sampler watches databases by weakref (a dropped
+        # database must not be kept alive by telemetry).
+        "__weakref__",
     )
 
     #: Default bound of the tau-cache.  Counts are a single int per subset,

@@ -14,6 +14,16 @@ The subsystem has five small parts:
   :class:`~repro.obs.profile.RunReport` profiler (per-step estimated vs
   actual tau, Q-error, wall time, kernel counters, cache hit rates,
   per-phase peak memory);
+* :mod:`repro.obs.recorder` -- the always-on anomaly flight recorder: a
+  bounded ring of recent events that dumps a self-contained incident
+  bundle when the runtime degrades, times out, is cancelled, or a
+  worker dies (set ``REPRO_OBS_BUNDLE_DIR``);
+* :mod:`repro.obs.sampler` -- the daemon-thread resource sampler (RSS,
+  CPU, shared-memory bytes, pool queue depth, tau-cache hit rate),
+  published as ``resource.*`` metrics;
+* :mod:`repro.obs.ledger` -- the unified run ledger: one JSONL stream
+  per run (header, spans, metrics, resources, events, outcome) plus the
+  aggregation behind the ``repro obs`` CLI family;
 * :mod:`repro.obs.regress` -- the perf-regression sentinel that diffs
   fresh ``BENCH_*.json`` runs against ``benchmarks/baselines/``.
 
@@ -64,12 +74,21 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
 )
-from repro.obs.trace import Span, Tracer, get_tracer
+from repro.obs.recorder import FlightRecorder, get_recorder, read_bundle
+from repro.obs.sampler import ResourceSampler, active_sampler
+from repro.obs.trace import Span, TraceContext, Tracer, get_tracer
 
 __all__ = [
     "Span",
+    "TraceContext",
     "Tracer",
     "get_tracer",
+    "FlightRecorder",
+    "get_recorder",
+    "read_bundle",
+    "ResourceSampler",
+    "active_sampler",
+    "RunLedger",
     "Counter",
     "Gauge",
     "Histogram",
@@ -138,9 +157,14 @@ def observed():
 def __getattr__(name: str):
     # Lazy: repro.obs.profile imports the database/optimizer stack, which
     # itself imports repro.obs at interpreter start -- resolving RunReport
-    # on first touch keeps the package import-cycle free.
+    # on first touch keeps the package import-cycle free.  RunLedger is
+    # lazy for the same reason in miniature (it pulls in repro.report).
     if name in ("RunReport", "StepProfile"):
         from repro.obs import profile
 
         return getattr(profile, name)
+    if name == "RunLedger":
+        from repro.obs.ledger import RunLedger
+
+        return RunLedger
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -170,15 +170,23 @@ def _prom_name(name: str) -> str:
     return _PROM_INVALID.sub("_", name)
 
 
-def _prom_escape(value: str) -> str:
-    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+def _escape_help(value: str) -> str:
+    # Exposition format: HELP text escapes backslash and newline ONLY --
+    # double quotes appear verbatim (HELP is not a quoted string).
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(value: str) -> str:
+    # Label values are double-quoted strings: backslash, double quote,
+    # and newline must all be escaped.
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
 
 
 def _prom_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{_prom_name(key)}="{_prom_escape(str(value))}"'
+        f'{_prom_name(key)}="{_escape_label_value(str(value))}"'
         for key, value in sorted(labels.items())
     )
     return "{" + inner + "}"
@@ -217,7 +225,7 @@ def metrics_to_prometheus(
         else:
             name, prom_type = base, "summary"
         if instrument.description:
-            lines.append(f"# HELP {name} {_prom_escape(instrument.description)}")
+            lines.append(f"# HELP {name} {_escape_help(instrument.description)}")
         lines.append(f"# TYPE {name} {prom_type}")
         for key, value in sorted(series.items()):
             labels = dict(key)

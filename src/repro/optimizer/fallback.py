@@ -68,6 +68,8 @@ def degrade_to_greedy(
     """
     from repro.optimizer.greedy import greedy_bushy, greedy_linear
 
+    from repro.obs.recorder import get_recorder
+
     runtime.record_exhaustion(trigger, where)
     fallback_space = _licensed_space(space, runtime)
     if fallback_space.linear_only:
@@ -75,16 +77,25 @@ def degrade_to_greedy(
     else:
         fallback = greedy_bushy(db)
     runtime.record_fallback(trigger, fallback.optimizer)
+    degradation = Degradation(
+        trigger=trigger,
+        covered=covered,
+        fallback=fallback.optimizer,
+        fallback_space=fallback_space,
+    )
+    # The incident, with its full provenance, on the flight recorder --
+    # this is the one place the Degradation exists before it is served.
+    get_recorder().anomaly(
+        "optimizer.degraded",
+        provenance=degradation.to_dict(),
+        where=where,
+        space=space.value,
+    )
     return OptimizationResult(
         fallback.strategy,
         fallback.cost,
         space,
         fallback.optimizer,
         fallback.considered,
-        degradation=Degradation(
-            trigger=trigger,
-            covered=covered,
-            fallback=fallback.optimizer,
-            fallback_space=fallback_space,
-        ),
+        degradation=degradation,
     )

@@ -70,7 +70,8 @@ from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequ
 from repro.database import Database
 from repro.errors import ReproError
 from repro.obs.metrics import get_registry
-from repro.obs.trace import get_tracer
+from repro.obs.recorder import get_recorder
+from repro.obs.trace import clock_sample, clock_skew_ns, get_tracer
 from repro.relational.attributes import AttributeSet
 from repro.relational.columnar import ColumnarTable, intern_value, value_of
 from repro.relational.relation import Relation
@@ -87,7 +88,9 @@ __all__ = [
     "DatabaseSnapshot",
     "ParallelContext",
     "WorkerEnvelope",
+    "live_segment_bytes",
     "live_segments",
+    "outstanding_tasks",
     "parallel_available",
     "resolve_jobs",
     "shared_memory_available",
@@ -152,6 +155,24 @@ def live_segments() -> Tuple[str, ...]:
     not yet unlinked (the leak-guard introspection hook; empty after
     every pool teardown)."""
     return tuple(sorted(_LIVE_SEGMENTS))
+
+
+def live_segment_bytes() -> int:
+    """Total bytes of the live shared-memory segments this process owns
+    (the ``resource.shm_bytes`` series of :mod:`repro.obs.sampler`)."""
+    return sum(shm.size for shm in _LIVE_SEGMENTS.values())
+
+
+#: Tasks submitted to a ParallelContext pool whose envelopes have not
+#: arrived yet -- the ``resource.pool_queue_depth`` series.  A plain int
+#: written only by the parent's run() loop; the sampler thread reads it.
+_OUTSTANDING = 0
+
+
+def outstanding_tasks() -> int:
+    """How many fanned-out tasks are still in flight on this process's
+    pools (0 outside a :meth:`ParallelContext.run` call)."""
+    return _OUTSTANDING
 
 
 def _release_mapping(shm) -> None:
@@ -377,15 +398,36 @@ class DatabaseSnapshot:
 
 
 class WorkerEnvelope:
-    """One task's payload plus the telemetry it produced in the worker."""
+    """One task's payload plus the telemetry it produced in the worker.
 
-    __slots__ = ("payload", "spans", "metrics", "tau_entries")
+    Besides the spans/metrics/tau entries, the envelope carries the
+    worker's *trace identity*: the ``trace_id`` its tracer recorded
+    under (shipped in through the pool initializer's
+    :class:`~repro.obs.trace.TraceContext`), a :func:`clock_sample` pair
+    taken at drain time so the parent can normalize clock skew before
+    adopting the spans, and the worker ``pid`` for flight-recorder
+    forensics.
+    """
 
-    def __init__(self, payload, spans, metrics, tau_entries):
+    __slots__ = ("payload", "spans", "metrics", "tau_entries", "trace_id", "clock", "pid")
+
+    def __init__(
+        self,
+        payload,
+        spans,
+        metrics,
+        tau_entries,
+        trace_id=None,
+        clock=None,
+        pid=None,
+    ):
         self.payload = payload
         self.spans = spans
         self.metrics = metrics
         self.tau_entries = tau_entries
+        self.trace_id = trace_id
+        self.clock = clock
+        self.pid = pid
 
 
 # -- worker side ---------------------------------------------------------------
@@ -395,13 +437,22 @@ _STATE: Dict[str, Any] = {}
 
 
 def _init_worker(
-    snapshot, extra, signal, tracer_on: bool, metrics_on: bool, runtime=None
+    snapshot,
+    extra,
+    signal,
+    tracer_on: bool,
+    metrics_on: bool,
+    runtime=None,
+    trace_ctx=None,
 ) -> None:
     """Pool initializer: rehydrate the database, reset telemetry.
 
     The worker inherits the parent's tracer/registry contents via fork;
     both are cleared so envelopes carry only what *this worker's* tasks
     produce, and re-enabled to match the parent's flags at fork time.
+    ``trace_ctx`` is the parent's :class:`~repro.obs.trace.TraceContext`:
+    the worker records under the same ``trace_id``, and the parent
+    re-parents the shipped spans under the context's span on adopt.
 
     ``runtime`` (fork-inherited, never pickled) is installed as a
     :meth:`~repro.runtime.Runtime.worker_clone`: same deadline instant
@@ -411,6 +462,8 @@ def _init_worker(
     tracer = get_tracer()
     tracer.enabled = tracer_on
     tracer.clear()
+    if trace_ctx is not None:
+        tracer.trace_id = trace_ctx.trace_id
     registry = get_registry()
     registry.enabled = metrics_on
     registry.reset()
@@ -436,7 +489,12 @@ def _drain_envelope(payload) -> WorkerEnvelope:
     spans: Tuple[Dict[str, Any], ...] = ()
     if tracer.enabled:
         spans = tuple(span.to_dict() for span in tracer.finished_spans())
+        # clear() drops the trace id (it marks a run boundary); the
+        # worker is still inside the same run, so restore it -- every
+        # envelope of this pool must carry the run's identity.
+        trace_id = tracer.trace_id
         tracer.clear()
+        tracer.trace_id = trace_id
     registry = get_registry()
     metrics = registry.drain() if registry.enabled else []
     tau_entries: List[Tuple[Any, int]] = []
@@ -447,7 +505,15 @@ def _drain_envelope(payload) -> WorkerEnvelope:
             if key not in sent:
                 sent.add(key)
                 tau_entries.append((key, tau))
-    return WorkerEnvelope(payload, spans, metrics, tau_entries)
+    return WorkerEnvelope(
+        payload,
+        spans,
+        metrics,
+        tau_entries,
+        trace_id=tracer.trace_id,
+        clock=clock_sample(),
+        pid=os.getpid(),
+    )
 
 
 def _invoke(task):
@@ -491,7 +557,17 @@ class ParallelContext:
     :func:`worker_runtime`).
     """
 
-    __slots__ = ("db", "jobs", "extra", "runtime", "signal", "_ctx", "_pool", "_snapshot")
+    __slots__ = (
+        "db",
+        "jobs",
+        "extra",
+        "runtime",
+        "signal",
+        "_ctx",
+        "_pool",
+        "_snapshot",
+        "_trace_ctx",
+    )
 
     def __init__(
         self,
@@ -516,10 +592,15 @@ class ParallelContext:
             runtime.token.bind_cell(self.signal)
         self._pool = None
         self._snapshot = None
+        self._trace_ctx = None
 
     def __enter__(self) -> "ParallelContext":
         snapshot = DatabaseSnapshot(self.db) if self.db is not None else None
         self._snapshot = snapshot
+        # Captured inside whatever span the driver has open, so worker
+        # spans re-parent under the driver's span by default and record
+        # under the run's trace id (see WorkerEnvelope).
+        self._trace_ctx = _TRACER.trace_context()
         try:
             self._pool = self._ctx.Pool(
                 self.jobs,
@@ -531,6 +612,7 @@ class ParallelContext:
                     _TRACER.enabled,
                     _METRICS.enabled,
                     self.runtime,
+                    self._trace_ctx,
                 ),
             )
         except BaseException:
@@ -572,20 +654,49 @@ class ParallelContext:
         one); the returned payloads are re-sorted into ``arglists``
         order, so callers see a deterministic sequence regardless of
         scheduling.  Adopted worker spans are parented under
-        ``parent_span_id`` when given.
+        ``parent_span_id`` when given, and otherwise under the span that
+        was open when the pool was built (the trace context captured in
+        ``__enter__``); their start times are normalized through
+        :func:`~repro.obs.trace.clock_skew_ns` using the envelope's
+        drain-time clock sample.  A worker that dies mid-fan-out is
+        recorded as a ``parallel.worker_failure`` anomaly on the flight
+        recorder before the pool error propagates.
         """
+        global _OUTSTANDING
         if self._pool is None:
             raise ReproError("ParallelContext.run called outside the with-block")
+        if parent_span_id is None and self._trace_ctx is not None:
+            parent_span_id = self._trace_ctx.span_id
         tasks = [(fn, index, tuple(args)) for index, args in enumerate(arglists)]
         payloads: Dict[int, Any] = {}
-        for index, envelope in self._pool.imap_unordered(_invoke, tasks):
-            if envelope.spans and _TRACER.enabled:
-                _TRACER.adopt(envelope.spans, parent_span_id)
-            if envelope.metrics:
-                _METRICS.absorb(envelope.metrics)
-            if envelope.tau_entries and self.db is not None:
-                self.db.tau_cache_import(envelope.tau_entries)
-            payloads[index] = envelope.payload
+        _OUTSTANDING = len(tasks)
+        try:
+            for index, envelope in self._pool.imap_unordered(_invoke, tasks):
+                if envelope.spans and _TRACER.enabled:
+                    skew = 0
+                    if envelope.clock is not None and self._trace_ctx is not None:
+                        skew = clock_skew_ns(self._trace_ctx.clock, envelope.clock)
+                    _TRACER.adopt(envelope.spans, parent_span_id, skew_ns=skew)
+                if envelope.metrics:
+                    _METRICS.absorb(envelope.metrics)
+                if envelope.tau_entries and self.db is not None:
+                    self.db.tau_cache_import(envelope.tau_entries)
+                payloads[index] = envelope.payload
+                _OUTSTANDING -= 1
+        except Exception as exc:
+            # A worker that died (or a task that raised) abandons the
+            # fan-out; leave a diagnosable trail before propagating.
+            get_recorder().anomaly(
+                "parallel.worker_failure",
+                error=type(exc).__name__,
+                detail=str(exc)[:500],
+                jobs=self.jobs,
+                completed=len(payloads),
+                submitted=len(tasks),
+            )
+            raise
+        finally:
+            _OUTSTANDING = 0
         return [payloads[i] for i in range(len(tasks))]
 
 

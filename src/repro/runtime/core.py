@@ -42,6 +42,7 @@ from typing import Any, Dict, Optional
 
 from repro.errors import OperationCancelled, ReproError
 from repro.obs.metrics import get_registry
+from repro.obs.recorder import get_recorder
 from repro.obs.trace import get_tracer
 
 __all__ = [
@@ -278,6 +279,9 @@ class Runtime:
         if token is not None and token.cancelled:
             if _METRICS.enabled:
                 _CANCELLED.inc()
+            get_recorder().anomaly(
+                "runtime.cancelled", units_spent=self.units_spent
+            )
             raise OperationCancelled("operation cancelled by its CancelToken")
 
     def charge(self, units: int = 1) -> Optional[str]:
@@ -334,7 +338,11 @@ class Runtime:
     # -- telemetry ----------------------------------------------------------
 
     def record_exhaustion(self, trigger: str, where: str) -> None:
-        """Count an exhaustion and emit a ``runtime.degraded`` event."""
+        """Count an exhaustion and emit a ``runtime.degraded`` event.
+        The moment also lands in the (always-on) flight-recorder ring;
+        the bundle dump itself happens where the degradation provenance
+        is built (:mod:`repro.optimizer.fallback`, the condition
+        checkers), so one incident yields one bundle."""
         if _METRICS.enabled:
             (_TIMEOUTS if trigger == DEADLINE else _BUDGETS).inc(where=where)
         if _TRACER.enabled:
@@ -344,6 +352,13 @@ class Runtime:
                 trigger=trigger,
                 units_spent=self.units_spent,
             )
+        get_recorder().record(
+            "event",
+            "runtime.exhausted",
+            where=where,
+            trigger=trigger,
+            units_spent=self.units_spent,
+        )
 
     def record_fallback(self, trigger: str, fallback: str) -> None:
         """Count a degraded plan served by ``fallback``."""

@@ -146,6 +146,27 @@ class TestPrometheus:
         assert "repro_qerror_sum 6.0" in text
         assert "repro_qerror_count 3" in text
 
+    def test_label_values_escape_backslash_quote_newline(self):
+        # Exposition format: label values are quoted strings, so all
+        # three of \ " \n must be escaped -- and in that order, so the
+        # backslash introduced by the quote escape is not re-escaped.
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("paths").inc(1, path='C:\\tmp\n"x"')
+        text = metrics_to_prometheus(registry)
+        assert 'repro_paths_total{path="C:\\\\tmp\\n\\"x\\""} 1' in text
+
+    def test_help_escapes_backslash_and_newline_only(self):
+        # HELP text is NOT a quoted string: double quotes must appear
+        # verbatim, while backslash and newline are escaped.
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("c", 'says "hi"\\ and\nmore').inc(1)
+        text = metrics_to_prometheus(registry)
+        assert '# HELP repro_c_total says "hi"\\\\ and\\nmore' in text
+        # The exposition stays one line per sample.
+        assert all(
+            line.startswith(("#", "repro_")) for line in text.splitlines()
+        )
+
     def test_custom_prefix(self):
         registry = MetricsRegistry(enabled=True)
         registry.counter("x").inc()

@@ -1,0 +1,201 @@
+"""The run ledger: the unified JSONL stream and its aggregation."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro import Database, relation
+from repro.obs.ledger import (
+    RunLedger,
+    diff_summaries,
+    load,
+    read_ledger,
+    render_bundle,
+    render_diff,
+    render_summary,
+    render_tail,
+    summarize,
+)
+from repro.obs.recorder import get_recorder
+from repro.obs.trace import get_tracer
+
+
+def _db():
+    return Database(
+        [
+            relation("AB", [(1, 1), (2, 1)]),
+            relation("BC", [(1, 5), (2, 7)]),
+        ]
+    )
+
+
+def _run_ledger(anomaly=False):
+    """One complete little run: a plan, its step events, a metric."""
+    obs.enable()
+    with RunLedger("test.run", workload={"shape": "chain"}, argv=["x"],
+                   sample=False) as ledger:
+        db = _db()
+        from repro.query import JoinQuery
+
+        plan = JoinQuery(db).optimize()
+        obs.record_strategy_steps(plan.strategy)
+        if anomaly:
+            get_recorder().anomaly("test.anomaly", detail="boom")
+    return ledger
+
+
+class TestRunLedger:
+    def test_records_have_header_body_outcome(self):
+        ledger = _run_ledger()
+        records = ledger.records()
+        assert records[0]["type"] == "run"
+        assert records[0]["name"] == "test.run"
+        assert records[0]["trace_id"] == ledger.trace_id
+        assert records[0]["workload"] == {"shape": "chain"}
+        assert records[-1]["type"] == "outcome"
+        assert records[-1]["wall_ms"] > 0
+        types = {r["type"] for r in records}
+        assert {"run", "span", "metric", "event", "outcome"} <= types
+
+    def test_all_spans_carry_the_trace_id(self):
+        ledger = _run_ledger()
+        spans = [r for r in ledger.records() if r["type"] == "span"]
+        assert spans
+        assert {s["trace_id"] for s in spans} == {ledger.trace_id}
+
+    def test_root_span_is_the_run(self):
+        ledger = _run_ledger()
+        spans = [r for r in ledger.records() if r["type"] == "span"]
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["test.run"]
+
+    def test_events_scoped_to_the_run(self):
+        get_recorder().record("event", "before.the.run")
+        ledger = _run_ledger()
+        events = [r for r in ledger.records() if r["type"] == "event"]
+        assert all(e["name"] != "before.the.run" for e in events)
+        assert any(e["name"] == "run.begin" for e in events)
+        assert any(e["name"] == "run.end" for e in events)
+
+    def test_anomaly_counted_in_outcome(self):
+        ledger = _run_ledger(anomaly=True)
+        outcome = ledger.records()[-1]
+        assert outcome["anomalies"] == 1
+
+    def test_write_read_roundtrip(self, tmp_path):
+        ledger = _run_ledger()
+        path = tmp_path / "run.jsonl"
+        count = ledger.write(str(path))
+        records = read_ledger(str(path))
+        assert len(records) == count
+        assert records[0]["type"] == "run"
+
+    def test_sampler_runs_when_enabled(self):
+        obs.enable()
+        with RunLedger("test.run", sample=True, sample_interval=0.01) as ledger:
+            pass
+        resources = [r for r in ledger.records() if r["type"] == "resource"]
+        assert resources  # stop() always takes a final sample
+        assert ledger.records()[-1]["resource_summary"]["samples"] >= 1
+
+    def test_recorder_context_is_stamped(self):
+        _run_ledger()
+        context = get_recorder().context
+        assert context["run"] == "test.run"
+        assert context["workload"] == {"shape": "chain"}
+
+    def test_body_exception_propagates_and_marks_run_end(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with RunLedger("test.run", sample=False):
+                raise ValueError("boom")
+        end = [
+            e for e in get_recorder().events() if e["name"] == "run.end"
+        ][-1]
+        assert end["attributes"]["error"] == "ValueError"
+
+
+class TestSummarize:
+    def test_summary_fields(self, tmp_path):
+        ledger = _run_ledger()
+        summary = summarize(ledger.records())
+        assert summary["run"] == "test.run"
+        assert summary["trace_id"] == ledger.trace_id
+        assert summary["wall_ms"] > 0
+        assert summary["spans"] >= 2
+        assert summary["tau"] is not None and summary["tau"] > 0
+        assert summary["anomalies"] == 0
+
+    def test_tau_is_the_sum_of_step_events(self):
+        ledger = _run_ledger()
+        records = ledger.records()
+        steps = [
+            r for r in records
+            if r["type"] == "span" and r["name"] == "join.step"
+        ]
+        assert summarize(records)["tau"] == sum(
+            s["attributes"]["tau"] for s in steps
+        )
+
+    def test_summarize_tolerates_bare_span_metric_files(self):
+        # A PR 1 write_jsonl file has no run/outcome/resource records.
+        records = [
+            {"type": "span", "name": "root", "span_id": 1, "parent_id": None,
+             "start_ns": 0, "duration_ns": 5_000_000, "attributes": {}},
+            {"type": "metric", "kind": "counter", "name": "c",
+             "labels": {}, "value": 3},
+        ]
+        summary = summarize(records)
+        assert summary["run"] == "root"
+        assert summary["wall_ms"] == pytest.approx(5.0)
+        assert summary["tau"] is None
+        assert summary["resource_samples"] == 0
+
+    def test_diff_rows(self):
+        a = {"wall_ms": 10.0, "tau": 100, "anomalies": 0}
+        b = {"wall_ms": 20.0, "tau": 50, "anomalies": 1}
+        rows = {row["metric"]: row for row in diff_summaries(a, b)}
+        assert rows["wall_ms"]["delta"] == 10.0
+        assert rows["wall_ms"]["ratio"] == 2.0
+        assert rows["tau"]["ratio"] == 0.5
+        assert rows["qerror_max"]["delta"] is None
+
+
+class TestLoadAndRender:
+    def test_load_distinguishes_ledger_and_bundle(self, tmp_path):
+        ledger = _run_ledger()
+        ledger_path = tmp_path / "run.jsonl"
+        ledger.write(str(ledger_path))
+        bundle_path = tmp_path / "bundle.json"
+        get_recorder().dump("manual", path=str(bundle_path))
+        kind, records = load(str(ledger_path))
+        assert kind == "ledger" and records[0]["type"] == "run"
+        kind, bundle = load(str(bundle_path))
+        assert kind == "bundle" and bundle["reason"] == "manual"
+
+    def test_render_summary_mentions_the_run(self):
+        ledger = _run_ledger()
+        text = render_summary(summarize(ledger.records()))
+        assert "test.run" in text
+        assert ledger.trace_id in text
+
+    def test_render_diff_has_both_columns(self):
+        ledger = _run_ledger()
+        summary = summarize(ledger.records())
+        text = render_diff(summary, summary)
+        assert "run A" in text and "run B" in text
+        assert "wall_ms" in text
+
+    def test_render_tail_limits_and_describes(self):
+        ledger = _run_ledger()
+        text = render_tail(ledger.records(), limit=3)
+        assert len(text.splitlines()) == 3
+        assert "outcome" in text.splitlines()[-1]
+
+    def test_render_bundle_shows_reason_and_anomalies(self):
+        _run_ledger(anomaly=True)
+        bundle = get_recorder().dump("test.anomaly")
+        text = render_bundle(bundle)
+        assert "test.anomaly" in text
+        assert "Anomalies" in text

@@ -113,7 +113,8 @@ class TestTracedOptimize:
         out = capsys.readouterr().out
         assert "stats: estimator Q-error per step" in out
         assert "q-error geometric mean" in out
-        assert "trace\n=====" in out
+        # The trace section header now names the run's trace id.
+        assert "\ntrace " in out
         assert "cli.optimize" in out
         assert "join.step" in out
         assert "Metrics" in out
@@ -123,27 +124,46 @@ class TestTracedOptimize:
         main(self._BASE + ["--trace"])
         assert not obs.is_enabled()
 
-    def test_trace_json_writes_valid_jsonl(self, capsys, tmp_path):
+    def test_trace_json_writes_valid_ledger_jsonl(self, capsys, tmp_path):
         path = tmp_path / "trace.jsonl"
         assert main(self._BASE + ["--trace-json", str(path)]) == 0
-        assert f"JSONL records to {path}" in capsys.readouterr().out
+        assert f"ledger records to {path}" in capsys.readouterr().out
         records = [
             json.loads(line) for line in path.read_text().splitlines() if line
         ]
         assert records
-        spans = [r for r in records if r["type"] == "span"]
-        metrics = [r for r in records if r["type"] == "metric"]
-        assert len(spans) + len(metrics) == len(records)
+        # The ledger stream: a run header, the telemetry body, an outcome
+        # footer -- every record self-describing via "type".
+        assert records[0]["type"] == "run"
+        assert records[-1]["type"] == "outcome"
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record["type"], []).append(record)
+        assert set(by_type) <= {
+            "run", "span", "metric", "resource", "event", "outcome"
+        }
+        spans, metrics = by_type["span"], by_type["metric"]
         names = {s["name"] for s in spans}
         # Root span, optimizer search, per-step tau, and estimator Q-error
         # are all on the wire.
         assert {"cli.optimize", "optimize.dp", "join.step", "estimate.step"} <= names
         assert any(m["name"] == "estimator.qerror" for m in metrics)
+        # Every span belongs to the run the header names.
+        assert {s["trace_id"] for s in spans} == {records[0]["trace_id"]}
+        assert by_type["resource"]  # the sampler's final sample at minimum
+
+    def test_chrome_trace_flag_writes_trace_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.chrome.json"
+        assert main(self._BASE + ["--chrome-trace", str(path)]) == 0
+        assert f"Chrome-trace events to {path}" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert document["traceEvents"][0]["ph"] == "M"
+        assert any(e["name"] == "cli.optimize" for e in document["traceEvents"])
 
     def test_untraced_run_prints_no_trace_section(self, capsys):
         main(self._BASE)
         out = capsys.readouterr().out
-        assert "trace\n=====" not in out
+        assert "\ntrace " not in out
         assert "stats:" not in out
 
 
@@ -228,3 +248,74 @@ class TestSampleCommand:
         )
         out = capsys.readouterr().out
         assert "median" in out
+
+
+class TestObsCommand:
+    _BASE = ["optimize", "--shape", "chain", "--relations", "4", "--size", "10"]
+
+    @pytest.fixture(autouse=True)
+    def fresh_recorder(self):
+        # The auto-dump budget is per-process; start each test with a
+        # clean ring so earlier suites cannot starve the bundle test.
+        from repro.obs.recorder import get_recorder
+
+        get_recorder().reset()
+        yield
+        get_recorder().reset()
+
+    def _ledger(self, tmp_path, name="run.jsonl", extra=()):
+        path = tmp_path / name
+        assert main(self._BASE + list(extra) + ["--trace-json", str(path)]) == 0
+        return path
+
+    def test_report_summarizes_a_ledger(self, capsys, tmp_path):
+        path = self._ledger(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli.optimize" in out
+        assert "trace_id" in out
+        assert "wall (ms)" in out
+        assert "q-error max" in out
+
+    def test_tail_prints_one_line_per_record(self, capsys, tmp_path):
+        path = self._ledger(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "tail", str(path), "--limit", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+        assert lines[-1].startswith("outcome")
+
+    def test_diff_compares_two_runs(self, capsys, tmp_path):
+        a = self._ledger(tmp_path, "a.jsonl")
+        b = self._ledger(tmp_path, "b.jsonl", extra=["--seed", "7"])
+        capsys.readouterr()
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "run A" in out and "run B" in out
+        assert "wall_ms" in out and "tau" in out
+
+    def test_report_renders_a_flight_bundle(self, capsys, tmp_path, monkeypatch):
+        # A deadline-starved exhaustive search degrades and dumps a
+        # bundle; `repro obs report` renders it standalone.
+        monkeypatch.setenv("REPRO_OBS_BUNDLE_DIR", str(tmp_path))
+        assert (
+            main(
+                [
+                    "optimize", "--shape", "chain", "--relations", "7",
+                    "--space", "exhaustive", "--timeout-ms", "1", "--trace",
+                ]
+            )
+            == 0
+        )
+        bundles = sorted(tmp_path.glob("flight-*.json"))
+        assert bundles
+        capsys.readouterr()
+        assert main(["obs", "report", str(bundles[0])]) == 0
+        out = capsys.readouterr().out
+        assert "reason" in out
+        assert "provenance.trigger" in out
+
+    def test_obs_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
