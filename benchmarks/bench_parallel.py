@@ -44,11 +44,15 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:  # standalone-script entry
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-import os  # noqa: E402
-
 from repro.conditions.checks import check_c1  # noqa: E402
 from repro.conditions.search import search_c2_necessity  # noqa: E402
-from repro.parallel import START_METHOD, parallel_available  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    START_METHOD,
+    oversubscription_allowed,
+    parallel_available,
+    resolve_jobs,
+    visible_cpus,
+)
 from repro.relational.columnar import current_engine  # noqa: E402
 from repro.report import Table  # noqa: E402
 from repro.workloads.generators import (  # noqa: E402
@@ -62,15 +66,6 @@ from repro.workloads.generators import (  # noqa: E402
 JOBS_GRID = (1, 2, 4, 8)
 SPEEDUP_TARGET = 2.0  # at jobs=4, where >= 4 CPUs are visible
 MIN_CPUS = 4  # below this, the speedup targets are recorded as skipped
-
-
-def visible_cpus() -> int:
-    """CPUs this process may actually run on (affinity-aware: a container
-    pinned to one core reports 1 here even when the host has 64)."""
-    try:
-        return len(os.sched_getaffinity(0)) or 1
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 SWEEP_FULL = dict(relations=16, size=80, domain=16, rounds=3)
 SWEEP_QUICK = dict(relations=12, size=40, domain=10, rounds=1)
@@ -118,10 +113,12 @@ def _outcome_key(outcome):
 def _bench_condition_sweep(spec: dict) -> dict:
     seconds = {}
     cpus = {}
+    effective = {}
     reference = None
     for jobs in JOBS_GRID:
         times = []
         cpus[str(jobs)] = visible_cpus()
+        effective[str(jobs)] = resolve_jobs(None if jobs == 1 else jobs)
         for _ in range(spec["rounds"]):
             db = _sweep_db(spec)
             start = time.perf_counter()
@@ -139,6 +136,8 @@ def _bench_condition_sweep(spec: dict) -> dict:
         "instances": reference[2],
         "seconds": seconds,
         "cpus_per_leg": cpus,
+        "effective_jobs": effective,
+        "clamped_legs": [j for j in JOBS_GRID if effective[str(j)] < j],
     }
     for jobs in JOBS_GRID[1:]:
         entry[f"speedup_jobs{jobs}"] = seconds["1"] / seconds[str(jobs)]
@@ -148,10 +147,12 @@ def _bench_condition_sweep(spec: dict) -> dict:
 def _bench_campaign(spec: dict) -> dict:
     seconds = {}
     cpus = {}
+    effective = {}
     reference = None
     for jobs in JOBS_GRID:
         times = []
         cpus[str(jobs)] = visible_cpus()
+        effective[str(jobs)] = resolve_jobs(None if jobs == 1 else jobs)
         for _ in range(spec["rounds"]):
             start = time.perf_counter()
             outcome = search_c2_necessity(
@@ -173,6 +174,8 @@ def _bench_campaign(spec: dict) -> dict:
         "eligible": reference[1],
         "seconds": seconds,
         "cpus_per_leg": cpus,
+        "effective_jobs": effective,
+        "clamped_legs": [j for j in JOBS_GRID if effective[str(j)] < j],
     }
     for jobs in JOBS_GRID[1:]:
         entry[f"speedup_jobs{jobs}"] = seconds["1"] / seconds[str(jobs)]
@@ -187,6 +190,7 @@ def run_benchmark(quick: bool = False) -> dict:
         "quick": quick,
         "cpu_count": cpus,
         "engine": current_engine(),
+        "oversubscribe": oversubscription_allowed(),
         "start_method": START_METHOD if parallel_available() else None,
         "jobs_grid": list(JOBS_GRID),
         "speedup_target_jobs4": SPEEDUP_TARGET,

@@ -81,11 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["vector", "columnar", "legacy"],
+        choices=["vector", "columnar", "legacy", "wcoj"],
         default="vector",
         help="relational execution engine: the vectorized batch kernel "
-        "(default), the classic per-row columnar kernel, or the legacy "
-        "row-at-a-time paths (see docs/performance.md)",
+        "(default; cyclic schemes are auto-routed to the worst-case "
+        "optimal generic join), the classic per-row columnar kernel, "
+        "the legacy row-at-a-time paths, or the generic-join engine "
+        "forced on (see docs/performance.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -327,7 +329,7 @@ def _plan(args: argparse.Namespace, query: JoinQuery) -> Plan:
     if args.space == "exhaustive":
         from repro.optimizer.exhaustive import optimize_exhaustive
 
-        return Plan.from_result(
+        plan = Plan.from_result(
             optimize_exhaustive(
                 query.database,
                 SearchSpace.ALL,
@@ -335,6 +337,8 @@ def _plan(args: argparse.Namespace, query: JoinQuery) -> Plan:
                 runtime=query.runtime,
             )
         )
+        plan.provenance.routing = query.routing
+        return plan
     return query.optimize(_space_of(args))
 
 

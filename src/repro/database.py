@@ -49,12 +49,22 @@ from typing import (
 
 from repro.errors import AcyclicityError, SchemaError
 from repro.obs.metrics import get_registry
+from repro.obs.recorder import get_recorder
 from repro.obs.trace import get_tracer
 from repro.relational.attributes import AttributeSet, AttrsLike, attrs, format_attrs
-from repro.relational.columnar import ENGINES, _picker, current_engine, using_engine
+from repro.relational.columnar import (
+    ENGINES,
+    _picker,
+    current_engine,
+    get_kernel,
+    using_engine,
+)
 from repro.relational.relation import Relation
+from repro.runtime.core import current_runtime
+from repro.schemegraph.acyclicity import is_alpha_acyclic
 from repro.schemegraph.jointree import build_join_tree
 from repro.schemegraph.scheme import DatabaseScheme
+from repro.wcoj.join import GenericJoinExhausted, generic_join, record_fallback
 
 __all__ = ["CacheStats", "Database", "database"]
 
@@ -383,6 +393,24 @@ class Database:
         unpinned."""
         return self._engine if self._engine is not None else current_engine()
 
+    @property
+    def pinned_engine(self) -> Optional[str]:
+        """The ``engine=`` choice this database was built with, or
+        ``None`` when it follows the process-wide engine."""
+        return self._engine
+
+    def with_engine(self, engine: Optional[str]) -> "Database":
+        """A copy pinned to ``engine`` (``None`` unpins).
+
+        The copy shares the relation states but starts with fresh
+        caches: joins computed on one engine must not be served to
+        another (the bytes agree, but provenance and telemetry would
+        lie about which kernel did the work).
+        """
+        if engine == self._engine:
+            return self
+        return Database(self._relations.values(), engine=engine)
+
     def join_of(self, subset: Optional[Iterable[AttrsLike]] = None) -> Relation:
         """``R_E``: the natural join of the states of ``E ⊆ D``.
 
@@ -439,11 +467,48 @@ class Database:
                 for part in parts[1:]:
                     result = result.join(self._join_memo(part))
             else:
-                leaf = self._spanning_tree_leaf(chosen)
-                result = self._join_memo(chosen - {leaf}).join(
-                    self._relations[leaf]
-                )
+                result = self._wcoj_join(chosen)
+                if result is None:
+                    leaf = self._spanning_tree_leaf(chosen)
+                    result = self._join_memo(chosen - {leaf}).join(
+                        self._relations[leaf]
+                    )
         return result
+
+    def _wcoj_join(self, chosen: SubsetKey) -> Optional[Relation]:
+        """The Generic-Join path for connected *cyclic* subsets.
+
+        Only taken on the ``"wcoj"`` engine.  Returns ``None`` -- meaning
+        "use the binary pipeline" -- when the subset is acyclic (a join
+        tree already gives an optimal binary order there, and Generic
+        Join would only add trie-building overhead) or when the
+        expansion trips the ambient runtime's deadline/budget; the
+        fallback is recorded on the runtime, the ``wcoj.fallback``
+        counter, and the flight recorder, so degradation provenance
+        names the abandoned kernel.
+        """
+        if not get_kernel().wcoj or len(chosen) < 3:
+            return None
+        if is_alpha_acyclic(DatabaseScheme(chosen)):
+            return None
+        ordered = sorted(chosen, key=lambda s: s.sorted())
+        tables = [self._relations[s]._table() for s in ordered]
+        runtime = current_runtime()
+        try:
+            table = generic_join(tables, runtime=runtime)
+        except GenericJoinExhausted as exc:
+            record_fallback(exc.trigger)
+            if runtime is not None:
+                runtime.record_exhaustion(exc.trigger, "wcoj.generic_join")
+                runtime.record_fallback(exc.trigger, "binary join pipeline")
+            get_recorder().record(
+                "event",
+                "wcoj.fallback",
+                trigger=exc.trigger,
+                relations=len(chosen),
+            )
+            return None
+        return Relation._from_table(AttributeSet(table.order), table)
 
     @staticmethod
     def _spanning_tree_leaf(chosen: SubsetKey) -> AttributeSet:

@@ -220,6 +220,7 @@ class RunReport:
         "executor_cache",
         "workload",
         "degradation",
+        "routing",
     )
 
     def __init__(
@@ -233,6 +234,7 @@ class RunReport:
         executor_cache: CacheStats,
         workload: Optional[Dict[str, Any]] = None,
         degradation=None,
+        routing=None,
     ):
         self.strategy = strategy
         self.space = space
@@ -245,6 +247,7 @@ class RunReport:
             workload = workload.to_dict()
         self.workload = dict(workload) if workload else {}
         self.degradation = degradation
+        self.routing = routing
 
     # -- capture -----------------------------------------------------------
 
@@ -288,11 +291,24 @@ class RunReport:
         ``track_memory=False`` the ``tracemalloc`` phase peaks are
         skipped (and reported as ``None``).
         """
+        from contextlib import nullcontext
+
+        from repro.optimizer.route import route_engine
+        from repro.runtime.core import using_runtime
+
+        # Decide the execution engine up front (same policy as
+        # JoinQuery): cyclic schemes on the default engine are routed to
+        # generic join, and both the planner and the executor clone run
+        # on the routed engine so the profile reflects reality.
+        routing = route_engine(db)
+        if routing.routed:
+            db = db.with_engine(routing.effective)
+        ambient = using_runtime(runtime) if runtime is not None else nullcontext()
         clock = _PhaseClock(track_memory)
         optimizer = "manual"
         degradation = None
         try:
-            with obs.observed():
+            with obs.observed(), ambient:
                 with clock.phase("plan"):
                     if strategy is None:
                         workers = 1
@@ -317,7 +333,7 @@ class RunReport:
                 # Same relation states, fresh caches: each step below
                 # really computes its join (children hit the memo, as a
                 # real pipelined execution would).
-                executor = Database(db.relations())
+                executor = Database(db.relations(), engine=db.pinned_engine)
                 steps: List[StepProfile] = []
                 with clock.phase("execute"):
                     for node in strategy.steps():
@@ -360,6 +376,7 @@ class RunReport:
             executor_cache=executor_cache,
             workload=workload,
             degradation=degradation,
+            routing=routing,
         )
 
     # -- derived quantities ------------------------------------------------
@@ -414,6 +431,19 @@ class RunReport:
             ("space", self.space),
             ("optimizer", self.optimizer),
         ]
+        if self.routing is not None:
+            pairs.append(("engine", self.routing.effective))
+            pairs.append(
+                (
+                    "scheme",
+                    ("cyclic" if self.routing.cyclic else "acyclic")
+                    + (f"; {self.routing.reason}"),
+                )
+            )
+            if self.routing.cover is not None:
+                pairs.append(
+                    ("agm bound", f"{self.routing.cover.bound:.6g}")
+                )
         if self.degradation is not None:
             pairs.append(
                 (
@@ -449,6 +479,12 @@ class RunReport:
             "degraded": self.degradation is not None,
             "degradation": (
                 self.degradation.to_dict() if self.degradation is not None else None
+            ),
+            "engine": (
+                self.routing.effective if self.routing is not None else None
+            ),
+            "routing": (
+                self.routing.to_dict() if self.routing is not None else None
             ),
             "tau": self.tau,
             "workload": dict(self.workload),

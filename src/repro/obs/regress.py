@@ -99,6 +99,10 @@ BASELINE_METRICS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("condition_sweep.speedup_jobs4", higher_is_better=True, min_cpus=4),
         MetricSpec("campaign.speedup_jobs4", higher_is_better=True, min_cpus=4),
     ),
+    "BENCH_wcoj.json": (
+        MetricSpec("triangle.speedup", higher_is_better=True),
+        MetricSpec("cycle4.speedup", higher_is_better=True),
+    ),
 }
 
 

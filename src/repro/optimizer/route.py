@@ -1,0 +1,138 @@
+"""Engine routing: which kernel should execute a query's joins.
+
+The binary-join machinery this library is built around is provably fine
+on alpha-acyclic schemes -- a join tree gives a binary order whose
+intermediates never exceed the output.  On *cyclic* schemes no binary
+order has that guarantee: the triangle can force every pairwise plan
+through a Θ(N²) intermediate while the output is O(N^1.5) (the AGM
+bound, :mod:`repro.wcoj.agm`), and Generic Join runs within the bound.
+
+:func:`route_engine` encodes the resulting policy.  It never overrides
+an explicit choice -- a database pinned with ``engine=`` or a process
+engine somebody :func:`~repro.relational.columnar.set_engine`-ed away
+from the default stays put -- but when the choice is just "the default"
+and the scheme is cyclic, it routes to ``"wcoj"``.  The
+:class:`EngineRouting` record it returns travels on plan and profile
+provenance so ``explain`` can say which engine ran and why, with the
+AGM bound alongside the binary plan's tau.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.database import Database
+from repro.relational.columnar import current_engine
+from repro.schemegraph.acyclicity import is_alpha_acyclic
+from repro.wcoj.agm import FractionalEdgeCover, fractional_edge_cover
+
+__all__ = ["EngineRouting", "route_engine"]
+
+
+class EngineRouting:
+    """Why a query runs on the engine it runs on.
+
+    ``requested`` is the engine the database would have used on its own
+    (its pin, or the process-wide engine); ``effective`` the engine the
+    router chose; ``cyclic``/``connected`` the scheme-shape facts the
+    decision rests on; ``reason`` a one-line human explanation; and
+    ``cover`` the optimal fractional edge cover of the scheme hypergraph
+    (the AGM output bound), attached whenever the scheme is connected so
+    explain output can show it next to the plan's true tau.
+    """
+
+    __slots__ = ("requested", "effective", "cyclic", "connected", "reason", "cover")
+
+    def __init__(
+        self,
+        requested: str,
+        effective: str,
+        cyclic: bool,
+        connected: bool,
+        reason: str,
+        cover: Optional[FractionalEdgeCover] = None,
+    ):
+        self.requested = requested
+        self.effective = effective
+        self.cyclic = cyclic
+        self.connected = connected
+        self.reason = reason
+        self.cover = cover
+
+    @property
+    def routed(self) -> bool:
+        """True when the router changed the engine."""
+        return self.effective != self.requested
+
+    def describe(self) -> str:
+        """The ``engine:`` explain line."""
+        shape = "cyclic" if self.cyclic else "acyclic"
+        if self.routed:
+            return (
+                f"engine: {self.effective} (requested {self.requested}; "
+                f"scheme {shape} -> {self.reason})"
+            )
+        return f"engine: {self.effective} (scheme {shape}; {self.reason})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready image (embedded in plan/profile exports)."""
+        return {
+            "requested": self.requested,
+            "effective": self.effective,
+            "routed": self.routed,
+            "cyclic": self.cyclic,
+            "connected": self.connected,
+            "reason": self.reason,
+            "agm": self.cover.to_dict() if self.cover is not None else None,
+        }
+
+    def __repr__(self) -> str:
+        arrow = f"{self.requested}->{self.effective}" if self.routed else self.effective
+        return f"<EngineRouting {arrow} cyclic={self.cyclic}>"
+
+
+def route_engine(db: Database) -> EngineRouting:
+    """Decide the execution engine for ``db`` and say why.
+
+    The router only ever *upgrades the default*: a database pinned with
+    ``engine=`` keeps its pin, and a process engine that was explicitly
+    moved off ``"vector"`` is respected.  An unpinned database on the
+    default engine with a cyclic scheme of three or more relations is
+    routed to ``"wcoj"``.
+    """
+    scheme = db.scheme
+    cyclic = not is_alpha_acyclic(scheme)
+    connected = scheme.is_connected()
+    cover = None
+    if connected:
+        relations = db.relations()
+        cover = fractional_edge_cover(
+            [rel.scheme for rel in relations],
+            [len(rel) for rel in relations],
+        )
+    pinned = db.pinned_engine
+    if pinned is not None:
+        return EngineRouting(
+            pinned, pinned, cyclic, connected,
+            "pinned on the database", cover,
+        )
+    requested = current_engine()
+    if requested != "vector":
+        return EngineRouting(
+            requested, requested, cyclic, connected,
+            "process engine set explicitly", cover,
+        )
+    if not cyclic:
+        return EngineRouting(
+            requested, requested, cyclic, connected,
+            "binary join-tree plans are worst-case optimal", cover,
+        )
+    if len(db) < 3:
+        return EngineRouting(
+            requested, requested, cyclic, connected,
+            "fewer than three relations", cover,
+        )
+    return EngineRouting(
+        requested, "wcoj", cyclic, connected,
+        "generic join runs within the AGM bound", cover,
+    )

@@ -30,9 +30,11 @@ from repro.parallel.context import (
     DatabaseSnapshot,
     ParallelContext,
     live_segments,
+    oversubscription_allowed,
     parallel_available,
     resolve_jobs,
     shared_memory_available,
+    visible_cpus,
     warm_connected_taus,
     worker_runtime,
 )
@@ -44,9 +46,11 @@ __all__ = [
     "DatabaseSnapshot",
     "ParallelContext",
     "live_segments",
+    "oversubscription_allowed",
     "parallel_available",
     "resolve_jobs",
     "shared_memory_available",
+    "visible_cpus",
     "warm_connected_taus",
     "worker_runtime",
 ]

@@ -91,9 +91,11 @@ __all__ = [
     "live_segment_bytes",
     "live_segments",
     "outstanding_tasks",
+    "oversubscription_allowed",
     "parallel_available",
     "resolve_jobs",
     "shared_memory_available",
+    "visible_cpus",
     "warm_connected_taus",
     "worker_runtime",
 ]
@@ -114,21 +116,79 @@ def parallel_available() -> bool:
     return START_METHOD in multiprocessing.get_all_start_methods()
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
+def visible_cpus() -> int:
+    """CPUs actually available to *this process*: the scheduling
+    affinity mask where the platform exposes one (containers and CI
+    runners routinely show ``os.cpu_count()`` cores while pinning the
+    process to far fewer), else ``os.cpu_count()``."""
+    sched_getaffinity = getattr(os, "sched_getaffinity", None)
+    if sched_getaffinity is not None:
+        try:
+            return len(sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - affinity unreadable
+            pass
+    return os.cpu_count() or 1
+
+
+def oversubscription_allowed() -> bool:
+    """Whether ``REPRO_OVERSUBSCRIBE`` authorizes more workers than
+    visible CPUs (empty/``0``/``false``/``no`` mean **no**, the
+    default).  Oversubscribing a CPU-bound fork pool is a pure loss --
+    the BENCH_parallel grid measured jobs=8 at 0.62x of sequential on a
+    one-CPU box -- so it has to be asked for explicitly."""
+    value = os.environ.get("REPRO_OVERSUBSCRIBE", "").strip().lower()
+    return value not in ("", "0", "false", "no")
+
+
+_CLAMPS = _METRICS.counter(
+    "parallel.jobs_clamped", "jobs= requests clamped to the visible CPU count"
+)
+
+
+def resolve_jobs(jobs: Optional[int], *, oversubscribe: Optional[bool] = None) -> int:
     """Normalize a public ``jobs`` argument to an effective worker count.
 
-    ``None`` means sequential (1).  ``0`` means "all cores"
-    (``os.cpu_count()``).  Anything above 1 degrades to 1 on platforms
+    ``None`` means sequential (1).  ``0`` means "all visible CPUs"
+    (:func:`visible_cpus`).  Anything above 1 degrades to 1 on platforms
     without fork, so callers can branch on ``resolve_jobs(jobs) > 1``
     and otherwise run the exact sequential path.
+
+    Requests beyond the visible CPU count are **clamped** to it unless
+    ``oversubscribe=True`` (or the ``REPRO_OVERSUBSCRIBE`` environment
+    variable) explicitly lifts the cap; each clamp is recorded on the
+    ``parallel.jobs_clamped`` counter, as a tracer event, and on the
+    flight recorder, so envelopes and run ledgers show the requested
+    and effective counts.
     """
     if jobs is None:
         return 1
     if jobs < 0:
         raise ReproError(f"jobs must be a non-negative int or None, got {jobs}")
-    workers = jobs if jobs else (os.cpu_count() or 1)
+    cpus = visible_cpus()
+    workers = jobs if jobs else cpus
     if workers > 1 and not parallel_available():
         return 1
+    if workers > cpus:
+        if oversubscribe is None:
+            oversubscribe = oversubscription_allowed()
+        if not oversubscribe:
+            if _METRICS.enabled:
+                _CLAMPS.inc(requested=workers)
+            if _TRACER.enabled:
+                _TRACER.event(
+                    "parallel.jobs_clamped",
+                    requested=workers,
+                    visible_cpus=cpus,
+                    effective=cpus,
+                )
+            get_recorder().record(
+                "event",
+                "parallel.jobs_clamped",
+                requested=workers,
+                visible_cpus=cpus,
+                effective=cpus,
+            )
+            workers = cpus
     return workers
 
 

@@ -34,8 +34,10 @@ from repro.optimizer.dp import optimize_dp
 from repro.optimizer.estimate import CardinalityEstimator
 from repro.optimizer.greedy import greedy_bushy, greedy_linear
 from repro.optimizer.spaces import Degradation, OptimizationResult, SearchSpace
+from contextlib import nullcontext
+
 from repro.relational.relation import Relation
-from repro.runtime.core import Runtime
+from repro.runtime.core import Runtime, using_runtime
 from repro.strategy.cost import step_costs, tau_cost
 from repro.strategy.tree import Strategy, parse_strategy
 
@@ -46,14 +48,18 @@ class PlanProvenance:
     """Where a plan came from and what it claims.
 
     ``cost`` is the plan's true tau; ``space`` the subspace it was
-    requested from; ``optimizer`` the algorithm that produced it; and
+    requested from; ``optimizer`` the algorithm that produced it;
     ``degradation`` -- ``None`` for an exact result -- the
     :class:`~repro.optimizer.spaces.Degradation` record when a bounded
     search exhausted its :class:`~repro.runtime.Runtime` and served the
-    greedy fallback instead.
+    greedy fallback instead; and ``routing`` -- set by
+    :class:`JoinQuery` and the CLI -- the
+    :class:`~repro.optimizer.route.EngineRouting` record saying which
+    execution engine runs the plan and why (with the AGM bound for
+    connected schemes).
     """
 
-    __slots__ = ("cost", "space", "optimizer", "degradation")
+    __slots__ = ("cost", "space", "optimizer", "degradation", "routing")
 
     def __init__(
         self,
@@ -61,11 +67,13 @@ class PlanProvenance:
         space: SearchSpace,
         optimizer: str,
         degradation: Optional[Degradation] = None,
+        routing=None,
     ):
         self.cost = cost
         self.space = space
         self.optimizer = optimizer
         self.degradation = degradation
+        self.routing = routing
 
     @property
     def degraded(self) -> bool:
@@ -81,6 +89,9 @@ class PlanProvenance:
             "degraded": self.degraded,
             "degradation": (
                 self.degradation.to_dict() if self.degradation is not None else None
+            ),
+            "routing": (
+                self.routing.to_dict() if self.routing is not None else None
             ),
         }
 
@@ -177,6 +188,14 @@ class Plan:
             f"space: {self.space.describe()}  optimizer: {self.optimizer}  "
             f"tau: {self.cost}",
         ]
+        routing = self.provenance.routing
+        if routing is not None:
+            lines.append(routing.describe())
+            if routing.cover is not None:
+                lines.append(
+                    f"agm: tau <= {routing.cover.bound:.6g} "
+                    f"(binary plan tau: {self.cost})"
+                )
         if self.degraded:
             record = self.provenance.degradation
             lines.append(
@@ -236,6 +255,14 @@ class JoinQuery:
         jobs: Optional[int] = None,
         runtime: Optional[Runtime] = None,
     ):
+        from repro.optimizer.route import route_engine
+
+        self._routing = route_engine(db)
+        if self._routing.routed:
+            # Pin the routed engine so every join launched through this
+            # query (searches, condition sweeps, plan execution via the
+            # shared memo) runs on it.
+            db = db.with_engine(self._routing.effective)
         self._db = db
         self._jobs = jobs
         self._runtime = runtime
@@ -248,10 +275,31 @@ class JoinQuery:
 
     @property
     def database(self) -> Database:
-        """The underlying database."""
+        """The underlying database (re-pinned when the router moved it
+        to another engine -- see :attr:`routing`)."""
         return self._db
 
+    @property
+    def routing(self):
+        """The :class:`~repro.optimizer.route.EngineRouting` record the
+        query was built with: which engine executes the joins and why."""
+        return self._routing
+
     # -- planning --------------------------------------------------------------
+
+    def _ambient(self):
+        """Install the query's runtime as the ambient one for the scope
+        of an entry point, so kernels reached through the database's
+        memoized joins (the wcoj expansion in particular) observe its
+        deadline/budget."""
+        if self._runtime is None:
+            return nullcontext()
+        return using_runtime(self._runtime)
+
+    def _finish(self, plan: Plan) -> Plan:
+        """Stamp the query's engine routing onto a plan's provenance."""
+        plan.provenance.routing = self._routing
+        return plan
 
     def optimize(
         self,
@@ -265,30 +313,34 @@ class JoinQuery:
         plan's reported ``cost`` is then its *true* tau, which may exceed
         the optimum (see :mod:`repro.optimizer.estimate`).
         """
-        if use_estimates:
-            estimator = CardinalityEstimator.from_database(self._db)
-            believed = optimize_dp(
-                self._db,
-                space,
-                subset_cost=lambda key: estimator.estimate(key),
-                runtime=self._runtime,
-            )
-            return Plan(
-                believed.strategy,
-                tau_cost(believed.strategy),
-                space,
-                "dp+estimates" if not believed.degraded else believed.optimizer,
-                degradation=believed.degradation,
-            )
-        return Plan.from_result(optimize_dp(self._db, space, runtime=self._runtime))
+        with self._ambient():
+            if use_estimates:
+                estimator = CardinalityEstimator.from_database(self._db)
+                believed = optimize_dp(
+                    self._db,
+                    space,
+                    subset_cost=lambda key: estimator.estimate(key),
+                    runtime=self._runtime,
+                )
+                return self._finish(Plan(
+                    believed.strategy,
+                    tau_cost(believed.strategy),
+                    space,
+                    "dp+estimates" if not believed.degraded else believed.optimizer,
+                    degradation=believed.degradation,
+                ))
+            return self._finish(Plan.from_result(
+                optimize_dp(self._db, space, runtime=self._runtime)
+            ))
 
     def plan_greedy(self, linear: bool = False) -> Plan:
         """A polynomial-time heuristic plan (GOO-style or linear)."""
-        if linear:
-            result = greedy_linear(self._db, runtime=self._runtime)
-        else:
-            result = greedy_bushy(self._db, runtime=self._runtime)
-        return Plan.from_result(result)
+        with self._ambient():
+            if linear:
+                result = greedy_linear(self._db, runtime=self._runtime)
+            else:
+                result = greedy_bushy(self._db, runtime=self._runtime)
+            return self._finish(Plan.from_result(result))
 
     def plan_ikkbz(self) -> Plan:
         """The IK/KBZ rank-optimal linear order (tree query graphs only).
@@ -300,20 +352,26 @@ class JoinQuery:
         """
         from repro.optimizer.ikkbz import ikkbz
 
-        result = ikkbz(self._db, runtime=self._runtime)
-        return Plan(
-            result.strategy, tau_cost(result.strategy), SearchSpace.LINEAR, "ikkbz"
-        )
+        with self._ambient():
+            result = ikkbz(self._db, runtime=self._runtime)
+            return self._finish(Plan(
+                result.strategy, tau_cost(result.strategy),
+                SearchSpace.LINEAR, "ikkbz",
+            ))
 
     def plan_from_text(self, text: str) -> Plan:
         """Wrap a hand-written parenthesized strategy as a plan."""
-        strategy = parse_strategy(self._db, text)
-        return Plan(strategy, tau_cost(strategy), SearchSpace.ALL, "manual")
+        with self._ambient():
+            strategy = parse_strategy(self._db, text)
+            return self._finish(
+                Plan(strategy, tau_cost(strategy), SearchSpace.ALL, "manual")
+            )
 
     def execute(self, plan: Optional[Plan] = None) -> Relation:
         """Execute a plan (default: the best unrestricted plan)."""
         chosen = plan if plan is not None else self.optimize()
-        return chosen.execute()
+        with self._ambient():
+            return chosen.execute()
 
     # -- the paper's safety analysis -----------------------------------------------
 

@@ -671,13 +671,16 @@ class _KernelSwitch:
     idiom: hot paths pay a single attribute load.  ``enabled`` routes
     the algebra through the columnar substrate at all (False = legacy
     row-at-a-time); ``vector`` picks the batch-at-a-time kernel over the
-    classic per-row-tuple kernel."""
+    classic per-row-tuple kernel; ``wcoj`` additionally routes connected
+    *cyclic* subset joins through the Generic-Join kernel
+    (:mod:`repro.wcoj`) -- binary steps still run on the vector kernel."""
 
-    __slots__ = ("enabled", "vector")
+    __slots__ = ("enabled", "vector", "wcoj")
 
     def __init__(self) -> None:
         self.enabled = True
         self.vector = True
+        self.wcoj = False
 
 
 _KERNEL = _KernelSwitch()
@@ -701,33 +704,41 @@ def set_kernel_enabled(enabled: bool) -> None:
 
 
 #: The engine names :func:`set_engine` accepts.
-ENGINES = ("vector", "columnar", "legacy")
+ENGINES = ("vector", "columnar", "legacy", "wcoj")
 
 
-def _engine_flags(engine: str) -> Tuple[bool, bool]:
+def _engine_flags(engine: str) -> Tuple[bool, bool, bool]:
     if engine not in ENGINES:
         raise RelationError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
-    return engine != "legacy", engine == "vector"
+    return (
+        engine != "legacy",
+        engine in ("vector", "wcoj"),
+        engine == "wcoj",
+    )
 
 
 def current_engine() -> str:
     """The name of the engine currently executing the relational
     algebra: ``"vector"`` (the batch-at-a-time kernel, default),
-    ``"columnar"`` (the per-row-tuple kernel), or ``"legacy"``."""
+    ``"columnar"`` (the per-row-tuple kernel), ``"legacy"``, or
+    ``"wcoj"`` (vector binary kernel plus Generic Join for cyclic
+    connected subsets)."""
     if not _KERNEL.enabled:
         return "legacy"
+    if _KERNEL.wcoj:
+        return "wcoj"
     return "vector" if _KERNEL.vector else "columnar"
 
 
 def set_engine(engine: str) -> None:
     """Select the process-wide execution engine by name
-    (``"vector"``, ``"columnar"``, or ``"legacy"``).
+    (``"vector"``, ``"columnar"``, ``"legacy"``, or ``"wcoj"``).
 
     Raises :class:`~repro.errors.RelationError` for unknown names.
     """
-    _KERNEL.enabled, _KERNEL.vector = _engine_flags(engine)
+    _KERNEL.enabled, _KERNEL.vector, _KERNEL.wcoj = _engine_flags(engine)
 
 
 @contextmanager
@@ -735,12 +746,12 @@ def using_engine(engine: str) -> Iterator[None]:
     """Context manager: run the enclosed block on the named engine,
     restoring the previous engine afterwards."""
     flags = _engine_flags(engine)
-    previous = (_KERNEL.enabled, _KERNEL.vector)
-    _KERNEL.enabled, _KERNEL.vector = flags
+    previous = (_KERNEL.enabled, _KERNEL.vector, _KERNEL.wcoj)
+    _KERNEL.enabled, _KERNEL.vector, _KERNEL.wcoj = flags
     try:
         yield
     finally:
-        _KERNEL.enabled, _KERNEL.vector = previous
+        _KERNEL.enabled, _KERNEL.vector, _KERNEL.wcoj = previous
 
 
 def use_legacy_engine() -> Iterator[None]:

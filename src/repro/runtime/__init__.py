@@ -18,6 +18,8 @@ from repro.runtime.core import (
     Deadline,
     Runtime,
     WorkBudget,
+    current_runtime,
+    using_runtime,
 )
 
 __all__ = [
@@ -27,4 +29,6 @@ __all__ = [
     "Deadline",
     "Runtime",
     "WorkBudget",
+    "current_runtime",
+    "using_runtime",
 ]

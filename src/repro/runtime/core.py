@@ -38,7 +38,8 @@ regression sentinel track degradation rates.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
 
 from repro.errors import OperationCancelled, ReproError
 from repro.obs.metrics import get_registry
@@ -52,6 +53,8 @@ __all__ = [
     "WorkBudget",
     "DEADLINE",
     "BUDGET",
+    "current_runtime",
+    "using_runtime",
 ]
 
 #: The two exhaustion triggers :meth:`Runtime.charge` can report.
@@ -374,3 +377,41 @@ class Runtime:
         if self.token is not None:
             parts.append("cancellable")
         return f"<Runtime {' '.join(parts) or 'unbounded'}>"
+
+
+# -- the ambient runtime --------------------------------------------------------
+
+#: The runtime installed by :func:`using_runtime` for code that cannot
+#: take a ``runtime=`` parameter (deep execution layers like the wcoj
+#: kernel, reached through Database's memoized join cache).  A plain
+#: module global, not a contextvar: the engine's hot paths are
+#: single-threaded per process, and forked workers receive their clone
+#: through the pool initializer instead.
+_AMBIENT: Optional[Runtime] = None
+
+
+def current_runtime() -> Optional[Runtime]:
+    """The ambient :class:`Runtime` installed by :func:`using_runtime`,
+    or ``None`` when the current work is unbounded."""
+    return _AMBIENT
+
+
+@contextmanager
+def using_runtime(runtime: Optional[Runtime]) -> Iterator[Optional[Runtime]]:
+    """Install ``runtime`` as the ambient runtime for the enclosed block.
+
+    Execution layers that are reached through caches rather than call
+    chains (the wcoj Generic-Join kernel inside
+    :meth:`~repro.database.Database.join_of`) poll
+    :func:`current_runtime` so their inner loops observe the same
+    deadline/budget the caller threaded everywhere else.  ``None`` is
+    accepted and clears the ambient runtime for the block.  Nesting
+    restores the previous runtime on exit.
+    """
+    global _AMBIENT
+    previous = _AMBIENT
+    _AMBIENT = runtime
+    try:
+        yield runtime
+    finally:
+        _AMBIENT = previous

@@ -1,0 +1,43 @@
+"""Worst-case optimal join engine (Generic Join / leapfrog-style).
+
+The rest of the library evaluates strategies as *binary* join trees --
+exactly the space that Ngo, Porat, Ré, and Rudra prove asymptotically
+suboptimal on cyclic queries: on a triangle, every binary plan can pay a
+``Θ(N²)`` intermediate while the output is only ``O(N^{3/2})`` (the AGM
+fractional-edge-cover bound).  This subpackage adds the third engine,
+``set_engine("wcoj")`` / ``Database(engine="wcoj")``:
+
+* :mod:`trie` -- per-relation nested-dict tries over the columnar
+  tables' interned id columns, built in the chosen attribute order;
+* :mod:`order` -- the greedy frequency/adjacency heuristic that picks
+  the global attribute expansion order;
+* :mod:`agm` -- the AGM bound itself: the fractional edge cover LP,
+  solved exactly by a small primal simplex on its dual (no external
+  solver), surfaced in ``explain`` next to the binary plan's cost;
+* :mod:`join` -- the Generic-Join kernel: breadth-first
+  attribute-at-a-time expansion, intersecting the participating
+  relations' candidate sets smallest-first, charging the ambient
+  :class:`~repro.runtime.Runtime` and emitting ``wcoj.*`` counters and
+  one span per attribute level.
+
+The kernel handles *connected, cyclic* subsets of three or more
+relations; everything else (acyclic subsets, binary steps, Cartesian
+components) stays on the vector kernel, which is already optimal there.
+Results are byte-identical to the vector engine by construction: both
+produce frozensets of process-interned id tuples over the sorted
+attribute order (see tests/wcoj/test_equivalence.py).
+"""
+
+from repro.wcoj.agm import FractionalEdgeCover, fractional_edge_cover
+from repro.wcoj.join import GenericJoinExhausted, generic_join
+from repro.wcoj.order import choose_order
+from repro.wcoj.trie import build_trie
+
+__all__ = [
+    "FractionalEdgeCover",
+    "GenericJoinExhausted",
+    "build_trie",
+    "choose_order",
+    "fractional_edge_cover",
+    "generic_join",
+]

@@ -1,0 +1,231 @@
+"""The Generic-Join kernel: breadth-first attribute-at-a-time expansion.
+
+One attribute per level, in the order :mod:`repro.wcoj.order` picks.
+The *frontier* is the list of partial bindings (id tuples over the
+bound prefix); alongside it, every relation keeps one trie node per
+frontier row -- the subtrie consistent with that binding.  At each
+level the relations whose schemes contain the attribute *participate*:
+the candidate values for a frontier row are the keys its participants'
+current nodes agree on, computed by iterating the smallest node's keys
+and probing the others (the leapfrog intersection, dict-shaped).  Rows
+whose intersection is empty die; surviving rows fork once per candidate
+and the participants' nodes descend.
+
+This breadth-first shape (rather than the recursive depth-first
+presentation) keeps the inner loop batch-like -- one Python-level pass
+per attribute, with dict probes doing the per-value work -- and gives
+the run ledger a natural phase structure: one ``wcoj.attr`` span per
+level, with the frontier sizes on its attributes.
+
+Runtime integration: the expansion charges the supplied
+:class:`~repro.runtime.Runtime` (or the ambient one installed by
+:func:`repro.runtime.using_runtime`) once per ``_CHARGE_CHUNK`` frontier
+rows and raises :class:`GenericJoinExhausted` on a deadline/budget
+trigger; :class:`~repro.database.Database` catches it and falls back to
+the binary pipeline with degradation provenance.
+
+Telemetry: ``wcoj.joins`` / ``wcoj.intersections`` / ``wcoj.candidates``
+/ ``wcoj.output_tuples`` count the kernel's work; ``wcoj.fallback``
+counts abandoned runs (bumped by the caller that falls back).
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+from repro.relational.columnar import ColumnarTable
+from repro.wcoj.order import choose_order
+from repro.wcoj.trie import build_trie
+
+__all__ = ["GenericJoinExhausted", "generic_join"]
+
+_TRACER = get_tracer()
+_METRICS = get_registry()
+_WCOJ_JOINS = _METRICS.counter("wcoj.joins", "generic (worst-case optimal) joins executed")
+_WCOJ_INTERSECTIONS = _METRICS.counter(
+    "wcoj.intersections", "candidate-set intersections by the generic join"
+)
+_WCOJ_CANDIDATES = _METRICS.counter(
+    "wcoj.candidates", "candidate values probed during intersections"
+)
+_WCOJ_OUTPUT = _METRICS.counter(
+    "wcoj.output_tuples", "tuples produced by generic joins"
+)
+_WCOJ_FALLBACKS = _METRICS.counter(
+    "wcoj.fallback", "generic joins abandoned to the binary kernel"
+)
+
+#: Frontier rows processed between two Runtime.charge calls: large
+#: enough to amortize the call, small enough that deadlines are polled
+#: within a fraction of a millisecond of work.
+_CHARGE_CHUNK = 512
+
+
+class GenericJoinExhausted(Exception):
+    """Internal control flow: the expansion hit its runtime limit.
+
+    Carries the trigger (``"deadline"`` or ``"budget"``).  Deliberately
+    *not* a :class:`~repro.errors.ReproError`: it must never escape to
+    users -- :class:`~repro.database.Database` catches it and serves the
+    binary-join fallback instead.
+    """
+
+    def __init__(self, trigger: str):
+        super().__init__(trigger)
+        self.trigger = trigger
+
+
+def record_fallback(trigger: str) -> None:
+    """Count one abandoned generic join (called by the fallback site)."""
+    if _METRICS.enabled:
+        _WCOJ_FALLBACKS.inc(trigger=trigger)
+
+
+class _Charger:
+    """Batches Runtime.charge calls over the expansion's unit work."""
+
+    __slots__ = ("runtime", "pending")
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.pending = 0
+
+    def spend(self, units: int) -> None:
+        if self.runtime is None:
+            return
+        self.pending += units
+        if self.pending >= _CHARGE_CHUNK:
+            self.flush()
+
+    def flush(self) -> None:
+        if self.runtime is None or self.pending == 0:
+            return
+        trigger = self.runtime.charge(self.pending)
+        self.pending = 0
+        if trigger is not None:
+            raise GenericJoinExhausted(trigger)
+
+
+def generic_join(
+    tables: Sequence[ColumnarTable],
+    order: Optional[Tuple[str, ...]] = None,
+    runtime=None,
+) -> ColumnarTable:
+    """The natural join of ``tables`` by Generic-Join expansion.
+
+    ``order`` overrides the expansion order (it must cover every
+    attribute exactly once); by default :func:`~repro.wcoj.order
+    .choose_order` picks it.  The result is a :class:`ColumnarTable`
+    over the *sorted* attribute order with a frozenset of id rows --
+    the same layout (and therefore the same bytes) the vector kernel
+    produces for the same join.
+
+    Raises :class:`GenericJoinExhausted` when ``runtime`` (or the
+    ambient runtime) trips mid-expansion.
+    """
+    if not tables:
+        raise ValueError("generic_join needs at least one table")
+    from repro.relational.attributes import AttributeSet
+
+    schemes = [AttributeSet(t.order) for t in tables]
+    if order is None:
+        pi = choose_order(schemes)
+    else:
+        pi = tuple(order)
+    sorted_order = tuple(sorted(set().union(*schemes)))
+    if sorted(pi) != list(sorted_order):
+        raise ValueError(
+            f"expansion order {pi!r} must cover attributes {sorted_order!r}"
+        )
+    if _METRICS.enabled:
+        _WCOJ_JOINS.inc()
+    if any(len(t) == 0 for t in tables):
+        return ColumnarTable(sorted_order, frozenset())
+    charger = _Charger(runtime)
+    attr_sets = [frozenset(s) for s in schemes]
+    # Per-relation trie along pi restricted to the relation's scheme.
+    tries = []
+    for table, attrs in zip(tables, attr_sets):
+        path = tuple(a for a in pi if a in attrs)
+        charger.spend(len(table))
+        tries.append(build_trie(table, path))
+    participants_at = [
+        [r for r, attrs in enumerate(attr_sets) if attr in attrs]
+        for attr in pi
+    ]
+    nrel = len(tables)
+    frontier: List[Tuple[int, ...]] = [()]
+    nodes: List[List[Dict[int, object]]] = [[t] for t in tries]
+    tracing = _TRACER.enabled
+    counting = _METRICS.enabled
+    for level, attr in enumerate(pi):
+        active = (
+            _TRACER.span(
+                "wcoj.attr", attribute=attr, level=level, frontier=len(frontier)
+            )
+            if tracing
+            else None
+        )
+        span = active.__enter__() if active is not None else None
+        try:
+            participants = participants_at[level]
+            new_frontier: List[Tuple[int, ...]] = []
+            new_nodes: List[List[Dict[int, object]]] = [[] for _ in range(nrel)]
+            probed = 0
+            for i, binding in enumerate(frontier):
+                charger.spend(1)
+                dicts = [nodes[r][i] for r in participants]
+                probe = min(dicts, key=len)
+                others = [d for d in dicts if d is not probe]
+                if others:
+                    if len(others) == 1:
+                        single = others[0]
+                        candidates = [v for v in probe if v in single]
+                    else:
+                        candidates = [
+                            v for v in probe if all(v in d for d in others)
+                        ]
+                else:
+                    candidates = list(probe)
+                probed += len(probe)
+                if not candidates:
+                    continue
+                charger.spend(len(candidates))
+                for v in candidates:
+                    new_frontier.append(binding + (v,))
+                    for r in range(nrel):
+                        node = nodes[r][i]
+                        new_nodes[r].append(
+                            node[v] if r in participants else node  # type: ignore[index]
+                        )
+            if counting:
+                _WCOJ_INTERSECTIONS.inc(len(frontier), attribute=attr)
+                _WCOJ_CANDIDATES.inc(probed, attribute=attr)
+            frontier = new_frontier
+            nodes = new_nodes
+            if span is not None:
+                span.set_attribute("expanded", len(frontier))
+            if not frontier:
+                break
+        finally:
+            if active is not None:
+                active.__exit__(None, None, None)
+    charger.flush()
+    if counting:
+        _WCOJ_OUTPUT.inc(len(frontier))
+    if not frontier:
+        return ColumnarTable(sorted_order, frozenset())
+    # Permute the pi-ordered bindings into the canonical sorted layout.
+    if pi == sorted_order:
+        rows = frozenset(frontier)
+    else:
+        positions = tuple(pi.index(attr) for attr in sorted_order)
+        if len(positions) == 1:  # pragma: no cover - one-attribute joins
+            rows = frozenset((b[positions[0]],) for b in frontier)
+        else:
+            pick = itemgetter(*positions)
+            rows = frozenset(map(pick, frontier))
+    return ColumnarTable(sorted_order, rows)

@@ -1,0 +1,63 @@
+"""Attribute-order selection for the Generic-Join expansion.
+
+Generic Join is correct under *any* global attribute order, but the
+work it does is order-sensitive: an attribute shared by many relations
+constrains the frontier early (every participating relation's candidate
+set must agree), while an attribute private to one relation expands the
+frontier without pruning it.  The heuristic here is the classic greedy
+frequency/adjacency rule:
+
+1. start with the attribute occurring in the most relation schemes
+   (ties: the lexicographically smallest, so the order is
+   deterministic);
+2. repeatedly append the most frequent attribute *adjacent* to the
+   chosen prefix -- i.e. sharing a relation with an already-chosen
+   attribute -- so the bound prefix stays connected and every new
+   level is constrained by at least one partially-bound relation;
+3. when nothing is adjacent (the scheme has several components), fall
+   back to the most frequent remaining attribute and grow its
+   component.
+
+Frequency is the hypergraph *degree* of the attribute; preferring high
+degree first is the min-degree heuristic read from the intersection
+side (the candidate set at a level is the intersection of ``degree``
+many key sets, and more intersecting sets means smaller frontiers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.relational.attributes import AttributeSet
+
+__all__ = ["choose_order"]
+
+
+def choose_order(schemes: Iterable[AttributeSet]) -> Tuple[str, ...]:
+    """The global expansion order for a Generic Join over ``schemes``.
+
+    Deterministic: frequency (descending), adjacency to the chosen
+    prefix, then attribute name break every tie.
+    """
+    scheme_list = [frozenset(s) for s in schemes]
+    degree: Dict[str, int] = {}
+    for scheme in scheme_list:
+        for attr in scheme:
+            degree[attr] = degree.get(attr, 0) + 1
+    # Attribute adjacency: two attributes are adjacent when some scheme
+    # contains both.
+    adjacent: Dict[str, Set[str]] = {attr: set() for attr in degree}
+    for scheme in scheme_list:
+        for attr in scheme:
+            adjacent[attr].update(scheme)
+    remaining = set(degree)
+    chosen: List[str] = []
+    reachable: Set[str] = set()
+    while remaining:
+        frontier = remaining & reachable
+        pool = frontier if frontier else remaining
+        best = min(pool, key=lambda attr: (-degree[attr], attr))
+        chosen.append(best)
+        remaining.discard(best)
+        reachable |= adjacent[best]
+    return tuple(chosen)

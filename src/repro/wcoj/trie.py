@@ -1,0 +1,58 @@
+"""Trie indexes over columnar tables for the Generic-Join kernel.
+
+A trie is the per-relation index the attribute-at-a-time expansion
+walks: one nested-dict level per attribute of the relation, in the
+*global* expansion order restricted to the relation's scheme.  Keys are
+the interned value ids of :mod:`repro.relational.columnar`, so trie
+lookups and candidate intersections are plain dict-key operations --
+the same C-speed hashing the vector kernel's hash joins use, and the
+reason wcoj results are byte-identical to the binary engines (both
+compute over the same process-wide ids).
+
+The representation: every interior node is a ``dict`` mapping a value
+id to its child node; the last level maps the id to ``True``.  The
+expansion only ever *reads* a node at levels where the relation still
+has unbound attributes, so the leaf payload is never inspected -- it
+merely terminates the chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.relational.columnar import ColumnarTable
+
+__all__ = ["Trie", "build_trie"]
+
+#: A trie level: value id -> child level (or ``True`` at the last level).
+Trie = Dict[int, object]
+
+
+def build_trie(table: ColumnarTable, path: Tuple[str, ...]) -> Trie:
+    """Index ``table`` as a nested-dict trie along ``path``.
+
+    ``path`` must list each attribute of the table exactly once -- the
+    global expansion order restricted to this relation's scheme.  The
+    build is one pass over the id columns (O(rows × arity) dict
+    upserts); sibling rows share prefixes, so repeated prefixes cost a
+    lookup, not an allocation.
+    """
+    root: Trie = {}
+    depth = len(path)
+    if depth == 0 or len(table) == 0:
+        return root
+    columns = [table.column(attr) for attr in path]
+    if depth == 1:
+        # Single attribute: the trie is one level of membership keys.
+        return dict.fromkeys(columns[0], True)
+    last = depth - 1
+    for row in zip(*columns):
+        node = root
+        for level in range(last):
+            vid = row[level]
+            child = node.get(vid)
+            if child is None:
+                child = node[vid] = {}
+            node = child
+        node[row[last]] = True
+    return root

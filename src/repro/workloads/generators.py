@@ -48,6 +48,7 @@ __all__ = [
     "clique_scheme",
     "random_tree_scheme",
     "generate_database",
+    "generate_spiked_cycle",
     "generate_superkey_join_database",
     "generate_consistent_acyclic_database",
     "generate_until",
@@ -285,6 +286,47 @@ def generate_database(
         )
         relations.append(
             Relation.from_tuples(scheme, tuples, order=order, name=f"R{index + 1}")
+        )
+    return Database(relations)
+
+
+def generate_spiked_cycle(n: int, size: int) -> Database:
+    """The adversarial cyclic instance behind the AGM separation.
+
+    Over the ``n``-cycle scheme, each relation's state is the "spike"::
+
+        {(0, 0)}  ∪  {(j, 0) : 1 <= j <= m}  ∪  {(0, j) : 1 <= j <= m}
+
+    with ``m = (size - 1) // 2``, so every relation holds ``2m + 1``
+    tuples.  A cycle tuple needs a zero in every adjacent pair, so the
+    surviving bindings are exactly the *independent sets* of nonzero
+    coordinates.  On the triangle no two coordinates are nonadjacent, so
+    the output is tiny (``1 + 3m``) while *every* first binary step pays
+    quadratically: joining adjacent relations matches the two full
+    spikes through the hub value 0 (``~m**2`` intermediate tuples), and
+    non-adjacent relations share nothing, so their step is an outright
+    Cartesian product.  Generic Join does ``O(n*m)`` work there -- this
+    is the standard AGM lower-bound family, deterministic by
+    construction.  For ``n >= 4`` opposite coordinates *can* both be
+    nonzero, so the output itself grows to ``Θ(m**2)`` and binary
+    intermediates are output-sized -- even cycles show no separation
+    (see ``benchmarks/bench_wcoj.py``).
+    """
+    if n < 3:
+        raise ReproError("a spiked cycle needs at least three relations")
+    if size < 3:
+        raise ReproError("a spiked cycle needs size >= 3")
+    m = (size - 1) // 2
+    spike = [(0, 0)]
+    spike += [(j, 0) for j in range(1, m + 1)]
+    spike += [(0, j) for j in range(1, m + 1)]
+    relations = []
+    for index, scheme in enumerate(cycle_scheme(n)):
+        first, second = _attr_name(index), _attr_name((index + 1) % n)
+        relations.append(
+            Relation.from_tuples(
+                scheme, spike, order=(first, second), name=f"R{index + 1}"
+            )
         )
     return Database(relations)
 

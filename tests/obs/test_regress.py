@@ -213,6 +213,7 @@ def _write_payloads(
     overhead=0.01,
     parallel_speedups=(2.5, 3.0),
     cpu_count=8,
+    wcoj_speedups=(5.0, 0.75),
 ):
     directory.mkdir(parents=True, exist_ok=True)
     full, tau, dense = perf_speedups
@@ -235,6 +236,15 @@ def _write_payloads(
                 "cpu_count": cpu_count,
                 "condition_sweep": {"speedup_jobs4": sweep},
                 "campaign": {"speedup_jobs4": campaign},
+            }
+        )
+    )
+    triangle, cycle4 = wcoj_speedups
+    (directory / "BENCH_wcoj.json").write_text(
+        json.dumps(
+            {
+                "triangle": {"speedup": triangle},
+                "cycle4": {"speedup": cycle4},
             }
         )
     )

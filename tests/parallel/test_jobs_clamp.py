@@ -1,0 +1,105 @@
+"""The visible-CPU clamp on ``jobs=`` requests: policy, overrides, and
+the telemetry trail (counter, tracer event, flight recorder)."""
+
+import pytest
+
+import repro.obs as obs
+import repro.parallel.context as context
+from repro.errors import ReproError
+from repro.obs.metrics import get_registry
+from repro.obs.recorder import get_recorder
+from repro.obs.trace import get_tracer
+from repro.parallel import oversubscription_allowed, resolve_jobs, visible_cpus
+
+
+@pytest.fixture
+def two_cpus(monkeypatch):
+    """Pretend exactly two CPUs are visible and clamping is armed (the
+    suite-wide REPRO_OVERSUBSCRIBE=1 fixture is undone here)."""
+    monkeypatch.delenv("REPRO_OVERSUBSCRIBE", raising=False)
+    monkeypatch.setattr(context, "visible_cpus", lambda: 2)
+
+
+class TestVisibleCpus:
+    def test_positive(self):
+        assert visible_cpus() >= 1
+
+    def test_oversubscription_env_values(self, monkeypatch):
+        for value in ("", "0", "false", "no", "NO", " False "):
+            monkeypatch.setenv("REPRO_OVERSUBSCRIBE", value)
+            assert not oversubscription_allowed()
+        for value in ("1", "true", "yes", "on"):
+            monkeypatch.setenv("REPRO_OVERSUBSCRIBE", value)
+            assert oversubscription_allowed()
+        monkeypatch.delenv("REPRO_OVERSUBSCRIBE")
+        assert not oversubscription_allowed()
+
+
+class TestClampPolicy:
+    def test_requests_beyond_visible_cpus_are_clamped(self, two_cpus):
+        assert resolve_jobs(8) == 2
+
+    def test_within_the_cap_is_untouched(self, two_cpus):
+        assert resolve_jobs(2) == 2
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_all_visible_cpus(self, two_cpus):
+        assert resolve_jobs(0) == 2
+
+    def test_none_stays_sequential(self, two_cpus):
+        assert resolve_jobs(None) == 1
+
+    def test_negative_rejected(self, two_cpus):
+        with pytest.raises(ReproError):
+            resolve_jobs(-1)
+
+    def test_explicit_oversubscribe_lifts_the_cap(self, two_cpus):
+        assert resolve_jobs(8, oversubscribe=True) == 8
+
+    def test_env_variable_lifts_the_cap(self, two_cpus, monkeypatch):
+        monkeypatch.setenv("REPRO_OVERSUBSCRIBE", "1")
+        assert resolve_jobs(8) == 8
+
+    def test_explicit_false_overrides_the_env(self, two_cpus, monkeypatch):
+        monkeypatch.setenv("REPRO_OVERSUBSCRIBE", "1")
+        # The keyword wins over the environment in both directions.
+        assert resolve_jobs(8, oversubscribe=False) == 2
+
+
+class TestClampTelemetry:
+    def test_counter_event_and_recorder_trail(self, two_cpus):
+        recorder = get_recorder()
+        before = len(recorder.events())
+        obs.reset()  # the registry keeps series across tests otherwise
+        with obs.observed():
+            assert resolve_jobs(8) == 2
+            counter = get_registry().counter("parallel.jobs_clamped")
+            assert counter.value(requested=8) == 1
+            (event,) = get_tracer().spans_named("parallel.jobs_clamped")
+            assert event.attributes == {
+                "requested": 8,
+                "visible_cpus": 2,
+                "effective": 2,
+            }
+        clamps = [
+            e
+            for e in recorder.events()[before:]
+            if e["name"] == "parallel.jobs_clamped"
+        ]
+        assert len(clamps) == 1
+        assert clamps[0]["attributes"]["effective"] == 2
+
+    def test_unclamped_requests_leave_no_trail(self, two_cpus):
+        recorder = get_recorder()
+        before = len(recorder.events())
+        obs.reset()  # the registry keeps series across tests otherwise
+        with obs.observed():
+            assert resolve_jobs(2) == 2
+            assert resolve_jobs(8, oversubscribe=True) == 8
+            counter = get_registry().counter("parallel.jobs_clamped")
+            assert counter.value(requested=8) is None
+        assert not [
+            e
+            for e in recorder.events()[before:]
+            if e["name"] == "parallel.jobs_clamped"
+        ]

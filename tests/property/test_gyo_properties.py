@@ -1,0 +1,104 @@
+"""GYO cross-checks: the alpha-acyclicity verdict that drives engine
+routing must agree with the independent join-tree construction on random
+hypergraphs, and with hand-checked cyclic/acyclic fixtures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AcyclicityError
+from repro.relational.attributes import AttributeSet
+from repro.schemegraph.acyclicity import gyo_reduction, is_alpha_acyclic
+from repro.schemegraph.jointree import build_join_tree
+from repro.schemegraph.scheme import DatabaseScheme
+from repro.workloads.generators import (
+    chain_scheme,
+    clique_scheme,
+    cycle_scheme,
+    random_tree_scheme,
+    star_scheme,
+)
+
+_ATTRS = "ABCDEF"
+
+
+@st.composite
+def random_hypergraph(draw, max_edges=5):
+    count = draw(st.integers(1, max_edges))
+    edges = set()
+    for _ in range(count):
+        size = draw(st.integers(1, 3))
+        edges.add(frozenset(draw(st.permutations(_ATTRS))[:size]))
+    return DatabaseScheme(AttributeSet(edge) for edge in edges)
+
+
+@settings(max_examples=100, deadline=None)
+@given(scheme=random_hypergraph())
+def test_gyo_agrees_with_join_tree_construction(scheme):
+    """On connected schemes, the GYO verdict and Maier's join-tree
+    builder are two independent decision procedures -- they must agree:
+    alpha-acyclic iff a join tree exists."""
+    if not scheme.is_connected():
+        return
+    if is_alpha_acyclic(scheme):
+        tree = build_join_tree(scheme)
+        assert tree.scheme == scheme
+    else:
+        with pytest.raises(AcyclicityError):
+            build_join_tree(scheme)
+
+
+@settings(max_examples=100, deadline=None)
+@given(scheme=random_hypergraph())
+def test_gyo_residue_characterizes_the_verdict(scheme):
+    """The residue is empty exactly when the scheme is alpha-acyclic,
+    and a nonempty residue is a genuine cyclic core: at least three
+    edges, each with at least two attributes, every attribute shared."""
+    residue = gyo_reduction(scheme)
+    assert is_alpha_acyclic(scheme) == (not residue)
+    if residue:
+        assert len(residue) >= 3
+        counts = {}
+        for edge in residue:
+            assert len(edge) >= 2
+            for attr in edge:
+                counts[attr] = counts.get(attr, 0) + 1
+        assert all(count >= 2 for count in counts.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(scheme=random_hypergraph(), data=st.data())
+def test_adding_the_full_scheme_makes_anything_acyclic(scheme, data):
+    """A relation over all attributes absorbs every edge (GYO rule 2),
+    so the extended scheme always reduces to nothing."""
+    edges = list(scheme.sorted_schemes())
+    edges.append(scheme.attributes)
+    assert is_alpha_acyclic(DatabaseScheme(edges))
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_cycles_are_cyclic(self, n):
+        scheme = DatabaseScheme(cycle_scheme(n))
+        assert not is_alpha_acyclic(scheme)
+        # The cycle *is* its own GYO residue: nothing reduces.
+        assert set(gyo_reduction(scheme)) == set(scheme.sorted_schemes())
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_cliques_are_cyclic(self, n):
+        assert not is_alpha_acyclic(DatabaseScheme(clique_scheme(n)))
+
+    @pytest.mark.parametrize("builder", [chain_scheme, star_scheme])
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_chains_and_stars_are_acyclic(self, builder, n):
+        assert is_alpha_acyclic(DatabaseScheme(builder(n)))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_trees_are_acyclic(self, seed):
+        scheme = DatabaseScheme(random_tree_scheme(6, random.Random(seed)))
+        assert is_alpha_acyclic(scheme)
+
+    def test_triangle_with_an_absorbing_edge_is_acyclic(self):
+        edges = cycle_scheme(3) + [AttributeSet("ABC")]
+        assert is_alpha_acyclic(DatabaseScheme(edges))

@@ -1,0 +1,1 @@
+"""Tests for the Generic-Join (worst-case optimal) engine."""

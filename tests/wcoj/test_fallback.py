@@ -1,0 +1,94 @@
+"""Runtime integration: the expansion charges the ambient runtime and
+degrades to the binary pipeline, with full provenance, when it trips."""
+
+import pytest
+
+import repro.obs as obs
+from repro.database import Database
+from repro.obs.metrics import get_registry
+from repro.obs.recorder import get_recorder
+from repro.runtime import Deadline, Runtime, WorkBudget, using_runtime
+from repro.wcoj import GenericJoinExhausted, generic_join
+from repro.workloads.generators import generate_spiked_cycle
+
+
+def _relations(size=200):
+    # Big enough that the charger flushes during the trie build
+    # (3 * (size - 1) tuples > the 512-unit charge chunk).
+    return generate_spiked_cycle(3, size).relations()
+
+
+def _identical(left, right):
+    lt, rt = left._table(), right._table()
+    return lt.order == rt.order and lt.rows == rt.rows
+
+
+class TestGenericJoinExhaustion:
+    def test_budget_trigger(self):
+        tables = [rel._table() for rel in _relations()]
+        with pytest.raises(GenericJoinExhausted) as excinfo:
+            generic_join(tables, runtime=Runtime(budget=WorkBudget(1)))
+        assert excinfo.value.trigger == "budget"
+
+    def test_deadline_trigger(self):
+        tables = [rel._table() for rel in _relations()]
+        with pytest.raises(GenericJoinExhausted) as excinfo:
+            generic_join(tables, runtime=Runtime(deadline=Deadline.after_ms(0)))
+        assert excinfo.value.trigger == "deadline"
+
+    def test_unbounded_runtime_is_free(self):
+        tables = [rel._table() for rel in _relations(21)]
+        result = generic_join(tables, runtime=Runtime())
+        assert len(result.rows) == 1 + 3 * 10
+
+
+class TestDatabaseFallback:
+    def test_budget_exhaustion_falls_back_to_binary(self):
+        relations = _relations()
+        expected = Database(relations, engine="vector").evaluate()
+        with obs.observed():
+            runtime = Runtime(budget=WorkBudget(1))
+            with using_runtime(runtime):
+                result = Database(relations, engine="wcoj").evaluate()
+            assert _identical(expected, result)
+            registry = get_registry()
+            assert registry.counter("wcoj.fallback").value(trigger="budget") == 1
+            # The degradation is also counted on the runtime's own series.
+            assert runtime.units_spent >= 1
+
+    def test_deadline_exhaustion_falls_back_to_binary(self):
+        relations = _relations()
+        expected = Database(relations, engine="vector").evaluate()
+        with obs.observed():
+            with using_runtime(Runtime(deadline=Deadline.after_ms(0))):
+                result = Database(relations, engine="wcoj").evaluate()
+            assert _identical(expected, result)
+            assert (
+                get_registry().counter("wcoj.fallback").value(trigger="deadline")
+                == 1
+            )
+
+    def test_fallback_lands_on_the_flight_recorder(self):
+        relations = _relations()
+        recorder = get_recorder()
+        before = len(recorder.events())
+        with using_runtime(Runtime(budget=WorkBudget(1))):
+            Database(relations, engine="wcoj").evaluate()
+        names = [e["name"] for e in recorder.events()[before:]]
+        assert "runtime.exhausted" in names
+        assert "wcoj.fallback" in names
+        exhausted = next(
+            e
+            for e in recorder.events()[before:]
+            if e["name"] == "runtime.exhausted"
+        )
+        assert exhausted["attributes"]["where"] == "wcoj.generic_join"
+        assert exhausted["attributes"]["trigger"] == "budget"
+
+    def test_unbounded_ambient_runtime_does_not_fall_back(self):
+        relations = _relations(21)
+        with obs.observed():
+            with using_runtime(Runtime()):
+                result = Database(relations, engine="wcoj").evaluate()
+            assert get_registry().counter("wcoj.fallback").value() is None
+        assert len(result) == 1 + 3 * 10

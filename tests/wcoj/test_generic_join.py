@@ -1,0 +1,131 @@
+"""Byte-identity of the Generic-Join engine against the binary
+pipeline, plus its telemetry (counters and per-attribute spans)."""
+
+import random
+
+import pytest
+
+import repro.obs as obs
+from repro.database import Database
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+from repro.workloads.generators import (
+    WorkloadSpec,
+    chain_scheme,
+    clique_scheme,
+    cycle_scheme,
+    generate_database,
+    generate_spiked_cycle,
+    star_scheme,
+)
+
+_SHAPES = {
+    "chain": chain_scheme,
+    "star": star_scheme,
+    "cycle": cycle_scheme,
+    "clique": clique_scheme,
+}
+
+
+def _identical(left, right):
+    """Byte identity: same canonical column order, same interned ids."""
+    lt, rt = left._table(), right._table()
+    return lt.order == rt.order and lt.rows == rt.rows
+
+
+def _both_engines(relations):
+    vector = Database(relations, engine="vector").evaluate()
+    wcoj = Database(relations, engine="wcoj").evaluate()
+    return vector, wcoj
+
+
+class TestByteIdentityOnGeneratedWorkloads:
+    @pytest.mark.parametrize("shape", sorted(_SHAPES))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_workloads(self, shape, seed):
+        rng = random.Random(seed)
+        db = generate_database(
+            _SHAPES[shape](4), rng, WorkloadSpec(size=25, domain=5)
+        )
+        vector, wcoj = _both_engines(db.relations())
+        assert _identical(vector, wcoj)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_spiked_cycles(self, n):
+        relations = generate_spiked_cycle(n, 21).relations()
+        vector, wcoj = _both_engines(relations)
+        assert _identical(vector, wcoj)
+        if n == 3:
+            # Triangle output: all-zero plus one nonzero per coordinate.
+            m = (21 - 1) // 2
+            assert len(wcoj) == 1 + 3 * m
+
+    def test_skewed_cycle(self):
+        rng = random.Random(5)
+        db = generate_database(
+            cycle_scheme(5), rng, WorkloadSpec(size=40, domain=8, skew=1.0)
+        )
+        vector, wcoj = _both_engines(db.relations())
+        assert _identical(vector, wcoj)
+
+    def test_empty_relation_empties_the_join(self):
+        relations = list(generate_spiked_cycle(3, 11).relations())
+        empty = relations[0].scheme
+        from repro.relational.relation import Relation
+
+        relations[0] = Relation.from_tuples(
+            empty, [], order=relations[0]._table().order, name="R1"
+        )
+        vector, wcoj = _both_engines(relations)
+        assert len(wcoj) == 0
+        assert _identical(vector, wcoj)
+
+
+class TestByteIdentityOnPaperExamples:
+    @pytest.mark.parametrize("fixture", ["ex1", "ex2", "ex3", "ex4", "ex5"])
+    def test_examples(self, fixture, request):
+        db = request.getfixturevalue(fixture)
+        vector, wcoj = _both_engines(db.relations())
+        assert _identical(vector, wcoj)
+
+    def test_subset_joins_agree(self, ex1):
+        vector = Database(ex1.relations(), engine="vector")
+        wcoj = Database(ex1.relations(), engine="wcoj")
+        for subset in ex1.scheme.subsets():
+            if not subset.is_connected():
+                continue
+            schemes = subset.sorted_schemes()
+            assert _identical(vector.join_of(schemes), wcoj.join_of(schemes))
+
+
+class TestTelemetry:
+    def test_counters_and_spans(self):
+        relations = generate_spiked_cycle(3, 21).relations()
+        with obs.observed():
+            result = Database(relations, engine="wcoj").evaluate()
+            registry = get_registry()
+            assert registry.counter("wcoj.joins").value() == 1
+            assert registry.counter("wcoj.output_tuples").value() == len(result)
+            order = result._table().order
+            intersections = registry.counter("wcoj.intersections")
+            for attr in order:
+                assert intersections.value(attribute=attr) >= 1
+            spans = get_tracer().spans_named("wcoj.attr")
+            assert {s.attributes["attribute"] for s in spans} == set(order)
+            for span in spans:
+                assert span.attributes["frontier"] >= 1
+                assert "expanded" in span.attributes
+
+    def test_dormant_by_default(self):
+        relations = generate_spiked_cycle(3, 11).relations()
+        Database(relations, engine="wcoj").evaluate()
+        # Outside observed() the registry records nothing.
+        assert get_registry().counter("wcoj.joins").value() is None
+
+    def test_acyclic_subsets_stay_on_the_binary_path(self, chain3):
+        with obs.observed():
+            wcoj = Database(chain3.relations(), engine="wcoj")
+            result = wcoj.evaluate()
+            assert get_registry().counter("wcoj.joins").value() is None
+        vector = Database(chain3.relations(), engine="vector").evaluate()
+        assert _identical(vector, result)

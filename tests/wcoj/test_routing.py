@@ -1,0 +1,197 @@
+"""Engine routing: the cyclicity-driven upgrade to wcoj, its explain
+surface, and the pin/process-engine escape hatches."""
+
+import json
+
+import pytest
+
+from repro import JoinQuery
+from repro.cli import main
+from repro.database import Database
+from repro.optimizer import EngineRouting, route_engine
+from repro.relational.columnar import current_engine, set_engine, using_engine
+from repro.workloads.generators import generate_spiked_cycle
+
+
+@pytest.fixture
+def triangle():
+    return generate_spiked_cycle(3, 21)
+
+
+class TestRouteEngine:
+    def test_cyclic_default_routes_to_wcoj(self, triangle):
+        routing = route_engine(triangle)
+        assert routing.effective == "wcoj"
+        assert routing.requested == "vector"
+        assert routing.routed and routing.cyclic and routing.connected
+        assert routing.cover is not None
+        m = (21 - 1) // 2
+        assert routing.cover.bound == pytest.approx((2 * m + 1) ** 1.5)
+
+    def test_acyclic_stays_on_the_default(self, chain3):
+        routing = route_engine(chain3)
+        assert routing.effective == "vector"
+        assert not routing.routed and not routing.cyclic
+        assert "worst-case optimal" in routing.reason
+
+    def test_database_pin_wins(self, triangle):
+        pinned = Database(triangle.relations(), engine="vector")
+        routing = route_engine(pinned)
+        assert routing.effective == "vector"
+        assert not routing.routed
+        assert "pinned" in routing.reason
+
+    def test_explicit_process_engine_wins(self, triangle):
+        with using_engine("columnar"):
+            routing = route_engine(triangle)
+        assert routing.effective == "columnar"
+        assert not routing.routed
+        assert "explicitly" in routing.reason
+
+    def test_disconnected_scheme_has_no_cover(self, disconnected_db):
+        routing = route_engine(disconnected_db)
+        assert not routing.connected
+        assert routing.cover is None
+
+    def test_describe_and_to_dict(self, triangle):
+        routing = route_engine(triangle)
+        line = routing.describe()
+        assert line.startswith("engine: wcoj")
+        assert "cyclic" in line
+        image = routing.to_dict()
+        assert image["effective"] == "wcoj"
+        assert image["routed"] is True
+        assert image["agm"]["bound"] == pytest.approx(routing.cover.bound)
+        json.dumps(image)  # must be JSON-ready
+
+    def test_unrouted_describe_has_no_requested_clause(self, chain3):
+        line = route_engine(chain3).describe()
+        assert "requested" not in line
+        assert line.startswith("engine: vector")
+
+
+class TestEngineSwitch:
+    def test_wcoj_is_a_named_engine(self):
+        with using_engine("wcoj"):
+            assert current_engine() == "wcoj"
+        assert current_engine() == "vector"
+
+    def test_set_engine_round_trip(self):
+        set_engine("wcoj")
+        try:
+            assert current_engine() == "wcoj"
+        finally:
+            set_engine("vector")
+
+    def test_with_engine_repins_with_fresh_caches(self, triangle):
+        routed = triangle.with_engine("wcoj")
+        assert routed.pinned_engine == "wcoj"
+        assert routed is not triangle
+        assert triangle.pinned_engine is None
+        # Same engine is a no-op.
+        assert routed.with_engine("wcoj") is routed
+
+
+class TestQueryIntegration:
+    def test_query_repins_the_database(self, triangle):
+        query = JoinQuery(triangle)
+        assert query.routing.effective == "wcoj"
+        assert query.database.pinned_engine == "wcoj"
+
+    def test_plan_explain_shows_engine_and_agm(self, triangle):
+        plan = JoinQuery(triangle).optimize()
+        text = plan.explain()
+        assert "engine: wcoj (requested vector" in text
+        assert "agm: tau <=" in text
+        assert f"(binary plan tau: {plan.cost})" in text
+
+    def test_plan_provenance_export_carries_routing(self, triangle):
+        plan = JoinQuery(triangle).plan_greedy()
+        image = plan.provenance.to_dict()
+        assert image["routing"]["effective"] == "wcoj"
+        assert image["routing"]["cyclic"] is True
+
+    def test_routed_execution_matches_the_binary_result(self, triangle):
+        executed = JoinQuery(triangle).execute()
+        expected = Database(triangle.relations(), engine="vector").evaluate()
+        lt, rt = expected._table(), executed._table()
+        assert lt.order == rt.order and lt.rows == rt.rows
+
+    def test_acyclic_query_explain_reports_binary(self, chain3):
+        text = JoinQuery(chain3).optimize().explain()
+        assert "engine: vector" in text
+        assert "acyclic" in text
+
+
+class TestCLI:
+    def test_optimize_prints_the_routing_verdict(self, capsys):
+        assert (
+            main(
+                ["optimize", "--shape", "cycle", "--relations", "3",
+                 "--size", "15", "--domain", "4"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "engine: wcoj (requested vector" in out
+        assert "agm: tau <=" in out
+
+    def test_explain_reports_engine_and_cyclicity(self, capsys):
+        assert (
+            main(
+                ["explain", "--shape", "cycle", "--relations", "3",
+                 "--size", "15", "--domain", "4", "--no-memory"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wcoj" in out
+        assert "cyclic" in out
+
+    def test_explain_profile_json_carries_routing(self, capsys, tmp_path):
+        path = tmp_path / "profile.json"
+        assert (
+            main(
+                ["explain", "--shape", "cycle", "--relations", "3",
+                 "--size", "15", "--domain", "4", "--no-memory",
+                 "--profile-json", str(path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["engine"] == "wcoj"
+        assert payload["routing"]["effective"] == "wcoj"
+        assert payload["routing"]["cyclic"] is True
+
+    def test_acyclic_explain_stays_on_vector(self, capsys):
+        assert (
+            main(
+                ["explain", "--shape", "chain", "--relations", "3",
+                 "--size", "15", "--domain", "4", "--no-memory"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "acyclic" in out
+        assert "wcoj" not in out
+
+    def test_engine_flag_accepts_wcoj(self, capsys):
+        try:
+            assert (
+                main(
+                    ["--engine", "wcoj", "optimize", "--shape", "cycle",
+                     "--relations", "3", "--size", "15", "--domain", "4"]
+                )
+                == 0
+            )
+        finally:
+            set_engine("vector")
+        out = capsys.readouterr().out
+        assert "engine: wcoj" in out
+
+
+def test_engine_routing_repr(triangle):
+    routing = route_engine(triangle)
+    assert "vector->wcoj" in repr(routing)
+    assert isinstance(routing, EngineRouting)
