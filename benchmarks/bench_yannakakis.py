@@ -1,0 +1,236 @@
+"""E-YAN: the Yannakakis full reducer vs. the best binary strategy on
+acyclic schemes.
+
+The binary pipeline is provably fine on acyclic schemes *when the output
+is large* -- a join tree gives an order whose intermediates stay within
+input + output.  The separation lives in *selective* acyclic instances:
+on the selective star
+(:func:`~repro.workloads.generators.generate_selective_star`) every
+binary first step -- hub against either satellite, or the satellites'
+Cartesian product -- pays a quadratic intermediate while the full output
+is exactly one tuple.  The Yannakakis full reducer semijoins every state
+down to the survivor row in linear time before any join runs.  This
+benchmark measures exactly that gap:
+
+* **selective_star** -- the 3-relation selective star at size 301
+  (``m = 300`` doomed rows per block).  The acceptance target is
+  ``>= 3x`` over the best binary strategy, enforced wherever the
+  benchmark runs (both engines are single-process and CPU-bound, so the
+  ratio is machine-relative).
+* **star4** -- a uniform-random 4-relation star.  Random data has no
+  selective interaction: the output is intermediate-sized, the binary
+  join-tree order is already near-optimal, and rough parity (the
+  reducer's semijoin sweeps are pure overhead here) is the expected,
+  honest result -- the sentinel guards the measured ratio against
+  *relative* regression, not a floor.
+* **fk_chain** -- a 6-relation foreign-key chain where every shared
+  attribute keys the deeper side, so the safe-subjoin detector
+  (:mod:`repro.yannakakis.subjoin`) collapses tree edges before the
+  reducer runs.  Binary FK joins only ever shrink, so parity is again
+  the honest expectation; recorded for the trend, not gated.
+
+On every workload and every round the Yannakakis result is asserted
+**byte-identical** to the binary pipeline's (same frozenset of interned
+id rows, same column order).  The *best* binary strategy is found by the
+subset DP over the full space on true sizes -- the strongest opponent
+the binary engine has -- and its wall time is the sum of its steps
+executed on a cold-cache database, mirroring ``repro explain``.
+
+Results go to ``BENCH_yannakakis.json`` at the repository root and
+``benchmarks/results/E-YAN_yannakakis.txt``.  CI's ``yannakakis-smoke``
+job runs ``python benchmarks/bench_yannakakis.py --quick`` and then the
+regression sentinel over ``selective_star.speedup`` / ``star4.speedup``.
+"""
+
+import argparse
+import json
+import pathlib
+import random
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # standalone-script entry
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.database import Database  # noqa: E402
+from repro.optimizer.dp import optimize_dp  # noqa: E402
+from repro.optimizer.spaces import SearchSpace  # noqa: E402
+from repro.parallel import visible_cpus  # noqa: E402
+from repro.report import Table  # noqa: E402
+from repro.workloads.generators import (  # noqa: E402
+    WorkloadSpec,
+    generate_database,
+    generate_foreign_key_chain,
+    generate_selective_star,
+    star_scheme,
+)
+
+SPEEDUP_TARGET = 3.0  # selective_star, at SIZE -- enforced everywhere
+SIZE = 301  # tuples per satellite (m = 300 doomed rows per hub block)
+ROUNDS_FULL = 5
+ROUNDS_QUICK = 3
+STAR4_SPEC_FULL = dict(size=120, domain=4, seed=17)
+STAR4_SPEC_QUICK = dict(size=60, domain=4, seed=17)
+FK_CHAIN_SPEC = dict(n=6, size=400, seed=23)
+
+
+def _star4(spec: dict) -> Database:
+    rng = random.Random(spec["seed"])
+    return generate_database(
+        star_scheme(4),
+        rng,
+        WorkloadSpec(size=spec["size"], domain=spec["domain"]),
+    )
+
+
+def _fk_chain(spec: dict) -> Database:
+    rng = random.Random(spec["seed"])
+    return generate_foreign_key_chain(spec["n"], rng, size=spec["size"])
+
+
+def _best_binary_plan(relations):
+    """The cheapest binary strategy over the full space, on true sizes."""
+    planner = Database(relations, engine="vector")
+    return optimize_dp(planner, SearchSpace.ALL).strategy
+
+
+def _time_binary(relations, strategy) -> float:
+    """Execute the strategy's steps on a cold vector-engine database."""
+    executor = Database(relations, engine="vector")
+    start = time.perf_counter()
+    for node in strategy.steps():
+        state = executor.join_of(node.scheme_set.schemes)
+    elapsed = time.perf_counter() - start
+    return elapsed, state
+
+
+def _time_yannakakis(relations) -> float:
+    """One cold full-reducer evaluation (semijoin sweeps included)."""
+    executor = Database(relations, engine="yannakakis")
+    start = time.perf_counter()
+    state = executor.evaluate()
+    return time.perf_counter() - start, state
+
+
+def _bench_workload(name: str, db: Database, rounds: int) -> dict:
+    relations = db.relations()
+    strategy = _best_binary_plan(relations)
+    binary_times, yan_times = [], []
+    for _ in range(rounds):
+        seconds, binary_state = _time_binary(relations, strategy)
+        binary_times.append(seconds)
+        seconds, yan_state = _time_yannakakis(relations)
+        yan_times.append(seconds)
+        assert (
+            binary_state._table().order == yan_state._table().order
+            and binary_state._table().rows == yan_state._table().rows
+        ), f"{name}: yannakakis diverged from the binary pipeline"
+    binary_s = statistics.median(binary_times)
+    yan_s = statistics.median(yan_times)
+    return {
+        "relations": len(relations),
+        "rows_per_relation": max(len(rel) for rel in relations),
+        "tau": len(yan_state),
+        "plan": strategy.describe(),
+        "binary_seconds": binary_s,
+        "yannakakis_seconds": yan_s,
+        "speedup": binary_s / yan_s,
+    }
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    rounds = ROUNDS_QUICK if quick else ROUNDS_FULL
+    star4_spec = STAR4_SPEC_QUICK if quick else STAR4_SPEC_FULL
+    payload = {
+        "quick": quick,
+        "cpu_count": visible_cpus(),
+        "rounds": rounds,
+        "size": SIZE,
+        "speedup_target_selective_star": SPEEDUP_TARGET,
+        "selective_star": _bench_workload(
+            "selective_star", generate_selective_star(3, SIZE), rounds
+        ),
+        "star4": _bench_workload("star4", _star4(star4_spec), rounds),
+        "fk_chain": _bench_workload("fk_chain", _fk_chain(FK_CHAIN_SPEC), rounds),
+    }
+    # Unlike the parallel curves, this target does not depend on core
+    # count -- both sides are sequential -- so it binds everywhere.
+    payload["speedup_check"] = "enforced"
+    return payload
+
+
+def _render_table(payload: dict) -> Table:
+    table = Table(
+        [
+            "workload",
+            "tau",
+            "binary (s)",
+            "yannakakis (s)",
+            "speedup",
+        ],
+        title="E-YAN: Yannakakis full reducer vs. best binary strategy "
+        f"(size={payload['size']}, {payload['cpu_count']} CPUs)",
+    )
+    for key in ("selective_star", "star4", "fk_chain"):
+        entry = payload[key]
+        table.add_row(
+            key,
+            entry["tau"],
+            f"{entry['binary_seconds']:.4f}",
+            f"{entry['yannakakis_seconds']:.4f}",
+            f"{entry['speedup']:.2f}x",
+        )
+    return table
+
+
+def _write_json(payload: dict) -> None:
+    (REPO_ROOT / "BENCH_yannakakis.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def test_yannakakis_speedup(record):
+    payload = run_benchmark(quick=False)
+    _write_json(payload)
+    record("E-YAN_yannakakis", _render_table(payload).render())
+    # Byte identity was asserted inside every leg; the speedup floor
+    # binds only on the selective star (see the module docstring).
+    assert payload["selective_star"]["speedup"] >= SPEEDUP_TARGET
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Yannakakis full reducer vs. best binary strategy on "
+        "acyclic schemes (writes BENCH_yannakakis.json)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer rounds and a smaller star4; byte identity and the "
+        "selective-star speedup target are still asserted (the CI "
+        "yannakakis-smoke contract)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(quick=args.quick)
+    _write_json(payload)
+    print(_render_table(payload).render())
+    speedup = payload["selective_star"]["speedup"]
+    ok = speedup >= SPEEDUP_TARGET
+    verdict = (
+        "target met"
+        if ok
+        else f"TARGET MISSED ({speedup:.2f}x < {SPEEDUP_TARGET:.0f}x "
+        "on the selective star)"
+    )
+    print(
+        f"\n{verdict}: selective_star {speedup:.2f}x, "
+        f"star4 {payload['star4']['speedup']:.2f}x, "
+        f"fk_chain {payload['fk_chain']['speedup']:.2f}x"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

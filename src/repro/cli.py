@@ -81,13 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["vector", "columnar", "legacy", "wcoj"],
+        choices=["vector", "columnar", "legacy", "wcoj", "yannakakis"],
         default="vector",
         help="relational execution engine: the vectorized batch kernel "
         "(default; cyclic schemes are auto-routed to the worst-case "
-        "optimal generic join), the classic per-row columnar kernel, "
-        "the legacy row-at-a-time paths, or the generic-join engine "
-        "forced on (see docs/performance.md)",
+        "optimal generic join and acyclic ones to the Yannakakis "
+        "semijoin-reduction pipeline), the classic per-row columnar "
+        "kernel, the legacy row-at-a-time paths, the generic-join "
+        "engine forced on, or the Yannakakis engine forced on (see "
+        "docs/performance.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -65,6 +65,11 @@ from repro.schemegraph.acyclicity import is_alpha_acyclic
 from repro.schemegraph.jointree import build_join_tree
 from repro.schemegraph.scheme import DatabaseScheme
 from repro.wcoj.join import GenericJoinExhausted, generic_join, record_fallback
+from repro.yannakakis.join import (
+    YannakakisExhausted,
+    record_fallback as record_yannakakis_fallback,
+    yannakakis_join,
+)
 
 __all__ = ["CacheStats", "Database", "database"]
 
@@ -248,19 +253,7 @@ class Database:
         join_cache_size: Optional[int] = None,
         tau_cache_size: Optional[int] = DEFAULT_TAU_CACHE_SIZE,
         engine: Optional[str] = None,
-        use_legacy_engine: Optional[bool] = None,
     ):
-        if use_legacy_engine is not None:
-            import warnings
-
-            warnings.warn(
-                "the use_legacy_engine= keyword is deprecated; pass "
-                "engine=\"legacy\" (or engine=\"columnar\") instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if engine is None:
-                engine = "legacy" if use_legacy_engine else "columnar"
         if engine is not None and engine not in ENGINES:
             raise SchemaError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
@@ -467,7 +460,7 @@ class Database:
                 for part in parts[1:]:
                     result = result.join(self._join_memo(part))
             else:
-                result = self._wcoj_join(chosen)
+                result = self._multiway_join(chosen)
                 if result is None:
                     leaf = self._spanning_tree_leaf(chosen)
                     result = self._join_memo(chosen - {leaf}).join(
@@ -475,22 +468,38 @@ class Database:
                     )
         return result
 
+    def _multiway_join(self, chosen: SubsetKey) -> Optional[Relation]:
+        """Dispatch a connected subset of >= 3 relations to a multiway
+        kernel, or return ``None`` for the binary pipeline.
+
+        The dispatch mirrors :class:`~repro.optimizer.route.EngineRouter`
+        at the per-subset level: cyclic subsets go to Generic Join when
+        the ``wcoj`` flag is up, acyclic subsets to the Yannakakis
+        pipeline when the ``yannakakis`` flag is up.  The ``"yannakakis"``
+        engine raises both flags, so a mixed database (a cyclic connected
+        subset inside an acyclic query) routes every subset to its best
+        kernel; the ``"wcoj"`` engine keeps acyclic subsets on the binary
+        pipeline (a join tree already gives an optimal binary order
+        there, and Generic Join would only add trie-building overhead).
+        """
+        kernel = get_kernel()
+        if not kernel.wcoj or len(chosen) < 3:
+            return None
+        if is_alpha_acyclic(DatabaseScheme(chosen)):
+            if not kernel.yannakakis:
+                return None
+            return self._yannakakis_join(chosen)
+        return self._wcoj_join(chosen)
+
     def _wcoj_join(self, chosen: SubsetKey) -> Optional[Relation]:
         """The Generic-Join path for connected *cyclic* subsets.
 
-        Only taken on the ``"wcoj"`` engine.  Returns ``None`` -- meaning
-        "use the binary pipeline" -- when the subset is acyclic (a join
-        tree already gives an optimal binary order there, and Generic
-        Join would only add trie-building overhead) or when the
+        Returns ``None`` -- meaning "use the binary pipeline" -- when the
         expansion trips the ambient runtime's deadline/budget; the
         fallback is recorded on the runtime, the ``wcoj.fallback``
         counter, and the flight recorder, so degradation provenance
         names the abandoned kernel.
         """
-        if not get_kernel().wcoj or len(chosen) < 3:
-            return None
-        if is_alpha_acyclic(DatabaseScheme(chosen)):
-            return None
         ordered = sorted(chosen, key=lambda s: s.sorted())
         tables = [self._relations[s]._table() for s in ordered]
         runtime = current_runtime()
@@ -504,6 +513,33 @@ class Database:
             get_recorder().record(
                 "event",
                 "wcoj.fallback",
+                trigger=exc.trigger,
+                relations=len(chosen),
+            )
+            return None
+        return Relation._from_table(AttributeSet(table.order), table)
+
+    def _yannakakis_join(self, chosen: SubsetKey) -> Optional[Relation]:
+        """The semijoin-reduction path for connected *acyclic* subsets.
+
+        Returns ``None`` -- meaning "use the binary pipeline" -- when the
+        pipeline trips the ambient runtime's deadline/budget; the
+        fallback is recorded on the runtime, the ``yannakakis.fallback``
+        counter, and the flight recorder, exactly as the wcoj path does.
+        """
+        ordered = sorted(chosen, key=lambda s: s.sorted())
+        tables = [self._relations[s]._table() for s in ordered]
+        runtime = current_runtime()
+        try:
+            table = yannakakis_join(tables, runtime=runtime)
+        except YannakakisExhausted as exc:
+            record_yannakakis_fallback(exc.trigger)
+            if runtime is not None:
+                runtime.record_exhaustion(exc.trigger, "yannakakis.pipeline")
+                runtime.record_fallback(exc.trigger, "binary join pipeline")
+            get_recorder().record(
+                "event",
+                "yannakakis.fallback",
                 trigger=exc.trigger,
                 relations=len(chosen),
             )

@@ -293,14 +293,15 @@ class RunReport:
         """
         from contextlib import nullcontext
 
-        from repro.optimizer.route import route_engine
+        from repro.optimizer.route import EngineRouter
         from repro.runtime.core import using_runtime
 
         # Decide the execution engine up front (same policy as
         # JoinQuery): cyclic schemes on the default engine are routed to
-        # generic join, and both the planner and the executor clone run
-        # on the routed engine so the profile reflects reality.
-        routing = route_engine(db)
+        # generic join, acyclic ones to the Yannakakis pipeline, and
+        # both the planner and the executor clone run on the routed
+        # engine so the profile reflects reality.
+        routing = EngineRouter(db).route()
         if routing.routed:
             db = db.with_engine(routing.effective)
         ambient = using_runtime(runtime) if runtime is not None else nullcontext()
@@ -444,6 +445,9 @@ class RunReport:
                 pairs.append(
                     ("agm bound", f"{self.routing.cover.bound:.6g}")
                 )
+            structure = self.routing.structure_summary()
+            if structure is not None:
+                pairs.append(structure)
         if self.degradation is not None:
             pairs.append(
                 (

@@ -103,6 +103,10 @@ BASELINE_METRICS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("triangle.speedup", higher_is_better=True),
         MetricSpec("cycle4.speedup", higher_is_better=True),
     ),
+    "BENCH_yannakakis.json": (
+        MetricSpec("selective_star.speedup", higher_is_better=True),
+        MetricSpec("star4.speedup", higher_is_better=True),
+    ),
 }
 
 

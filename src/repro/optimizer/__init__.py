@@ -19,7 +19,7 @@ from repro.optimizer.exhaustive import optimize_exhaustive
 from repro.optimizer.dp import optimize_dp
 from repro.optimizer.greedy import greedy_bushy, greedy_linear
 from repro.optimizer.ikkbz import ikkbz, estimated_linear_cost
-from repro.optimizer.route import EngineRouting, route_engine
+from repro.optimizer.route import EngineRouter, EngineRouting
 from repro.optimizer.estimate import (
     CardinalityEstimator,
     ColumnStatistics,
@@ -40,6 +40,6 @@ __all__ = [
     "optimize_with_estimates",
     "ikkbz",
     "estimated_linear_cost",
+    "EngineRouter",
     "EngineRouting",
-    "route_engine",
 ]

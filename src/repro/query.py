@@ -196,6 +196,7 @@ class Plan:
                     f"agm: tau <= {routing.cover.bound:.6g} "
                     f"(binary plan tau: {self.cost})"
                 )
+            lines.extend(routing.structure_lines())
         if self.degraded:
             record = self.provenance.degradation
             lines.append(
@@ -255,9 +256,9 @@ class JoinQuery:
         jobs: Optional[int] = None,
         runtime: Optional[Runtime] = None,
     ):
-        from repro.optimizer.route import route_engine
+        from repro.optimizer.route import EngineRouter
 
-        self._routing = route_engine(db)
+        self._routing = EngineRouter(db).route()
         if self._routing.routed:
             # Pin the routed engine so every join launched through this
             # query (searches, condition sweeps, plan execution via the

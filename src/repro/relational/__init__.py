@@ -16,9 +16,11 @@ interned value ids, positional id tuples, and hash joins over column
 blocks, with ``Row`` objects materialized only at API boundaries.  See
 docs/performance.md; :func:`set_engine`/:func:`using_engine` select the
 ``"vector"`` (batch-at-a-time, the default), ``"columnar"`` (classic
-per-row kernel), or ``"legacy"`` (row-at-a-time) engine by name, and
+per-row kernel), ``"legacy"`` (row-at-a-time), ``"wcoj"`` (Generic Join
+for cyclic connected subsets), or ``"yannakakis"`` (semijoin reduction
+for acyclic connected subsets) engine by name, and
 :class:`~repro.database.Database` accepts an ``engine=`` keyword to pin
-one database's joins.  :func:`use_legacy_engine` is deprecated.
+one database's joins.
 """
 
 from repro.relational.attributes import (
@@ -35,7 +37,6 @@ from repro.relational.columnar import (
     kernel_enabled,
     set_engine,
     set_kernel_enabled,
-    use_legacy_engine,
     using_engine,
 )
 from repro.relational.relation import (
@@ -73,7 +74,6 @@ __all__ = [
     "kernel_enabled",
     "set_engine",
     "set_kernel_enabled",
-    "use_legacy_engine",
     "using_engine",
     "Relation",
     "RelationSchema",

@@ -63,9 +63,7 @@ for old-vs-new comparisons and by the equivalence property suites).  A
 single :class:`~repro.database.Database` can also pin its own engine via
 the ``engine=`` constructor keyword.  :func:`set_kernel_enabled` remains
 the low-level boolean toggle (``False`` = legacy row-at-a-time paths;
-``True`` = the current columnar/vector selection); the old
-:func:`use_legacy_engine` context manager is deprecated in favor of
-``using_engine("legacy")``.
+``True`` = the current columnar/vector selection).
 
 Telemetry (docs/observability.md): kernel joins emit the ``join.*``
 counters.  ``join.probes`` counts hash-table lookups (one per probe-side
@@ -115,7 +113,6 @@ __all__ = [
     "project_table",
     "kernel_enabled",
     "set_kernel_enabled",
-    "use_legacy_engine",
     "ENGINES",
     "current_engine",
     "set_engine",
@@ -673,14 +670,20 @@ class _KernelSwitch:
     row-at-a-time); ``vector`` picks the batch-at-a-time kernel over the
     classic per-row-tuple kernel; ``wcoj`` additionally routes connected
     *cyclic* subset joins through the Generic-Join kernel
-    (:mod:`repro.wcoj`) -- binary steps still run on the vector kernel."""
+    (:mod:`repro.wcoj`) -- binary steps still run on the vector kernel;
+    ``yannakakis`` routes connected *acyclic* subset joins through the
+    semijoin-reduction pipeline (:mod:`repro.yannakakis`).  The
+    ``"yannakakis"`` engine sets both multiway flags so mixed databases
+    (a cyclic connected subset inside an acyclic query) route every
+    connected subset to its best kernel."""
 
-    __slots__ = ("enabled", "vector", "wcoj")
+    __slots__ = ("enabled", "vector", "wcoj", "yannakakis")
 
     def __init__(self) -> None:
         self.enabled = True
         self.vector = True
         self.wcoj = False
+        self.yannakakis = False
 
 
 _KERNEL = _KernelSwitch()
@@ -704,41 +707,56 @@ def set_kernel_enabled(enabled: bool) -> None:
 
 
 #: The engine names :func:`set_engine` accepts.
-ENGINES = ("vector", "columnar", "legacy", "wcoj")
+ENGINES = ("vector", "columnar", "legacy", "wcoj", "yannakakis")
 
 
-def _engine_flags(engine: str) -> Tuple[bool, bool, bool]:
+def _engine_flags(engine: str) -> Tuple[bool, bool, bool, bool]:
     if engine not in ENGINES:
         raise RelationError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
     return (
         engine != "legacy",
-        engine in ("vector", "wcoj"),
-        engine == "wcoj",
+        engine in ("vector", "wcoj", "yannakakis"),
+        engine in ("wcoj", "yannakakis"),
+        engine == "yannakakis",
     )
 
 
 def current_engine() -> str:
     """The name of the engine currently executing the relational
     algebra: ``"vector"`` (the batch-at-a-time kernel, default),
-    ``"columnar"`` (the per-row-tuple kernel), ``"legacy"``, or
-    ``"wcoj"`` (vector binary kernel plus Generic Join for cyclic
-    connected subsets)."""
+    ``"columnar"`` (the per-row-tuple kernel), ``"legacy"``, ``"wcoj"``
+    (vector binary kernel plus Generic Join for cyclic connected
+    subsets), or ``"yannakakis"`` (vector binary kernel plus semijoin
+    reduction for acyclic connected subsets and Generic Join for cyclic
+    ones)."""
     if not _KERNEL.enabled:
         return "legacy"
+    if _KERNEL.yannakakis:
+        return "yannakakis"
     if _KERNEL.wcoj:
         return "wcoj"
     return "vector" if _KERNEL.vector else "columnar"
 
 
+def _apply_flags(flags: Tuple[bool, bool, bool, bool]) -> None:
+    (
+        _KERNEL.enabled,
+        _KERNEL.vector,
+        _KERNEL.wcoj,
+        _KERNEL.yannakakis,
+    ) = flags
+
+
 def set_engine(engine: str) -> None:
     """Select the process-wide execution engine by name
-    (``"vector"``, ``"columnar"``, ``"legacy"``, or ``"wcoj"``).
+    (``"vector"``, ``"columnar"``, ``"legacy"``, ``"wcoj"``, or
+    ``"yannakakis"``).
 
     Raises :class:`~repro.errors.RelationError` for unknown names.
     """
-    _KERNEL.enabled, _KERNEL.vector, _KERNEL.wcoj = _engine_flags(engine)
+    _apply_flags(_engine_flags(engine))
 
 
 @contextmanager
@@ -746,28 +764,14 @@ def using_engine(engine: str) -> Iterator[None]:
     """Context manager: run the enclosed block on the named engine,
     restoring the previous engine afterwards."""
     flags = _engine_flags(engine)
-    previous = (_KERNEL.enabled, _KERNEL.vector, _KERNEL.wcoj)
-    _KERNEL.enabled, _KERNEL.vector, _KERNEL.wcoj = flags
+    previous = (
+        _KERNEL.enabled,
+        _KERNEL.vector,
+        _KERNEL.wcoj,
+        _KERNEL.yannakakis,
+    )
+    _apply_flags(flags)
     try:
         yield
     finally:
-        _KERNEL.enabled, _KERNEL.vector, _KERNEL.wcoj = previous
-
-
-def use_legacy_engine() -> Iterator[None]:
-    """Deprecated alias for ``using_engine("legacy")``.
-
-    .. deprecated:: 1.5
-       Use :func:`using_engine` (or the ``engine="legacy"`` keyword on
-       :class:`~repro.database.Database`).  Will be removed one release
-       after 1.5.
-    """
-    import warnings
-
-    warnings.warn(
-        "use_legacy_engine() is deprecated; use using_engine(\"legacy\") or "
-        "Database(..., engine=\"legacy\") instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return using_engine("legacy")
+        _apply_flags(previous)

@@ -48,6 +48,7 @@ __all__ = [
     "clique_scheme",
     "random_tree_scheme",
     "generate_database",
+    "generate_selective_star",
     "generate_spiked_cycle",
     "generate_superkey_join_database",
     "generate_consistent_acyclic_database",
@@ -326,6 +327,68 @@ def generate_spiked_cycle(n: int, size: int) -> Database:
         relations.append(
             Relation.from_tuples(
                 scheme, spike, order=(first, second), name=f"R{index + 1}"
+            )
+        )
+    return Database(relations)
+
+
+def generate_selective_star(n: int, size: int) -> Database:
+    """The adversarial *acyclic* instance behind the Yannakakis separation.
+
+    Over the ``n``-relation star scheme (hub over ``{A_0..A_{n-2}}``,
+    satellites ``{A_i, B_i}``), with ``m = size - 1``:
+
+    * the hub holds, for each block ``i``, the ``m`` rows with
+      ``A_i = v`` (``v = 1..m``) and every other coordinate ``0``, plus
+      one *survivor* row with every coordinate ``m + 1``;
+    * satellite ``i`` holds ``{(0, j) : j = 1..m}`` plus the survivor
+      match ``(m + 1, m + 1)``.
+
+    Every block-``i`` hub row dies at satellite ``i`` (its ``A_i`` value
+    appears in no satellite row), so the full join is exactly **one**
+    tuple -- but the death is only visible at satellite ``i``.  Joining
+    the hub with any *single* satellite ``j`` first fans every other
+    block's rows out by ``m`` (they all carry ``A_j = 0``, matching all
+    ``m`` satellite rows): a ``Θ((n-2)·m²)`` intermediate.  Satellite
+    pairs are attribute-disjoint, so starting there is an outright
+    ``Θ(m²)`` Cartesian product.  *Every* binary order pays quadratically
+    while the Yannakakis full reducer shrinks the hub to the survivor row
+    with ``O(n·m)`` semijoin work and joins single-row states --
+    the acyclic mirror of :func:`generate_spiked_cycle`, deterministic
+    by construction (see ``benchmarks/bench_yannakakis.py``).
+
+    No safe subjoin exists here (shared attributes are not keys of
+    either state), so the measured speedup is the reducer's alone.
+    """
+    if n < 3:
+        raise ReproError("a selective star needs at least three relations")
+    if size < 2:
+        raise ReproError("a selective star needs size >= 2")
+    m = size - 1
+    schemes = star_scheme(n)
+    hub_scheme, satellite_schemes = schemes[0], schemes[1:]
+    hub_order = hub_scheme.sorted()
+    blocks = len(satellite_schemes)
+    hub_rows = []
+    for block in range(blocks):
+        attr = _attr_name(block)
+        position = hub_order.index(attr)
+        for v in range(1, m + 1):
+            row = [0] * blocks
+            row[position] = v
+            hub_rows.append(tuple(row))
+    hub_rows.append((m + 1,) * blocks)
+    relations = [
+        Relation.from_tuples(hub_scheme, hub_rows, order=hub_order, name="Hub")
+    ]
+    for block, scheme in enumerate(satellite_schemes):
+        rows = [(0, j) for j in range(1, m + 1)] + [(m + 1, m + 1)]
+        relations.append(
+            Relation.from_tuples(
+                scheme,
+                rows,
+                order=(_attr_name(block), _attr_name(n + block)),
+                name=f"S{block + 1}",
             )
         )
     return Database(relations)

@@ -1,0 +1,169 @@
+"""The Yannakakis pipeline entry point: reduce, then join bottom-up.
+
+:func:`yannakakis_join` is the acyclic analogue of
+:func:`repro.wcoj.join.generic_join`: it takes the connected subset's
+tables, builds the GYO join tree, collapses safe subjoins, runs the
+full reducer, and joins along the tree.  The output is a
+:class:`~repro.relational.columnar.ColumnarTable` over the *sorted*
+union order with the exact same id rows the vector kernel's binary
+pipeline produces -- byte identity is the contract every test holds it
+to.
+
+Runtime integration: the pipeline charges the supplied
+:class:`~repro.runtime.Runtime` (or the ambient one) once per
+``_CHARGE_CHUNK`` rows of semijoin/join work and raises
+:class:`YannakakisExhausted` on a deadline/budget trigger;
+:class:`~repro.database.Database` catches it and falls back to the
+binary pipeline with degradation provenance.
+
+Telemetry: ``yannakakis.joins`` / ``yannakakis.semijoins`` /
+``yannakakis.subjoins`` / ``yannakakis.output_tuples`` count the
+pipeline's work; ``yannakakis.fallback`` counts abandoned runs (bumped
+by the caller that falls back).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+from repro.relational.columnar import ColumnarTable, join_tables
+from repro.yannakakis.reducer import bfs_order, full_reduce
+from repro.yannakakis.subjoin import collapse_safe_edges
+
+__all__ = ["YannakakisExhausted", "record_fallback", "yannakakis_join"]
+
+_TRACER = get_tracer()
+_METRICS = get_registry()
+_YK_JOINS = _METRICS.counter(
+    "yannakakis.joins", "semijoin-reduction pipelines executed"
+)
+_YK_OUTPUT = _METRICS.counter(
+    "yannakakis.output_tuples", "tuples produced by the acyclic pipeline"
+)
+_YK_FALLBACKS = _METRICS.counter(
+    "yannakakis.fallback", "acyclic pipelines abandoned to the binary kernel"
+)
+
+#: Rows of semijoin/join work between two Runtime.charge calls (same
+#: granularity as the wcoj kernel's frontier chunk).
+_CHARGE_CHUNK = 512
+
+
+class YannakakisExhausted(Exception):
+    """Internal control flow: the pipeline hit its runtime limit.
+
+    Carries the trigger (``"deadline"`` or ``"budget"``).  Deliberately
+    *not* a :class:`~repro.errors.ReproError`: it must never escape to
+    users -- :class:`~repro.database.Database` catches it and serves the
+    binary-join fallback instead.
+    """
+
+    def __init__(self, trigger: str):
+        super().__init__(trigger)
+        self.trigger = trigger
+
+
+def record_fallback(trigger: str) -> None:
+    """Count one abandoned pipeline (called by the fallback site)."""
+    if _METRICS.enabled:
+        _YK_FALLBACKS.inc(trigger=trigger)
+
+
+class _Charger:
+    """Batches Runtime.charge calls over the pipeline's row work."""
+
+    __slots__ = ("runtime", "pending")
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.pending = 0
+
+    def spend(self, units: int) -> None:
+        if self.runtime is None:
+            return
+        self.pending += units
+        if self.pending >= _CHARGE_CHUNK:
+            self.flush()
+
+    def flush(self) -> None:
+        if self.runtime is None or self.pending == 0:
+            return
+        trigger = self.runtime.charge(self.pending)
+        self.pending = 0
+        if trigger is not None:
+            raise YannakakisExhausted(trigger)
+
+
+def yannakakis_join(
+    tables: Sequence[ColumnarTable],
+    runtime=None,
+) -> ColumnarTable:
+    """The natural join of ``tables`` by semijoin reduction.
+
+    The tables must form a connected alpha-acyclic scheme with distinct
+    attribute orders (exactly what :class:`~repro.database.Database`
+    routes here).  The result is a :class:`ColumnarTable` over the
+    sorted union order -- the same layout (and therefore the same
+    bytes) the vector kernel produces for the same join.
+
+    Raises :class:`YannakakisExhausted` when ``runtime`` trips
+    mid-pipeline.
+    """
+    if not tables:
+        raise ValueError("yannakakis_join needs at least one table")
+    from repro.relational.attributes import AttributeSet
+    from repro.schemegraph.jointree import build_join_tree
+    from repro.schemegraph.scheme import DatabaseScheme
+
+    schemes = [AttributeSet(t.order) for t in tables]
+    sorted_order = tuple(sorted(set().union(*schemes)))
+    if _METRICS.enabled:
+        _YK_JOINS.inc()
+    if any(len(t) == 0 for t in tables):
+        return ColumnarTable(sorted_order, frozenset())
+    charger = _Charger(runtime)
+    # The working tree: node ids -> current states, plus adjacency.
+    # Ids follow the sorted-scheme enumeration so every sweep (collapse
+    # scan, BFS, join order) is deterministic.
+    tree = build_join_tree(DatabaseScheme(schemes))
+    node_of = {scheme: i for i, scheme in enumerate(sorted(schemes, key=lambda s: s.sorted()))}
+    states: Dict[int, ColumnarTable] = {
+        node_of[scheme]: table for scheme, table in zip(schemes, tables)
+    }
+    adjacency: Dict[int, Set[int]] = {i: set() for i in states}
+    for a, b in tree.edges:
+        adjacency[node_of[a]].add(node_of[b])
+        adjacency[node_of[b]].add(node_of[a])
+
+    with _TRACER.span("yannakakis.subjoin", nodes=len(states)) as span:
+        collapsed = collapse_safe_edges(states, adjacency, charge=charger.spend)
+        span.set_attribute("collapsed", collapsed)
+
+    root = min(states)
+    order = bfs_order(adjacency, root)
+    with _TRACER.span("yannakakis.reduce", nodes=len(states)) as span:
+        nonempty = full_reduce(states, order, charge=charger.spend)
+        span.set_attribute("nonempty", nonempty)
+    if not nonempty:
+        charger.flush()
+        return ColumnarTable(sorted_order, frozenset())
+
+    with _TRACER.span("yannakakis.join", nodes=len(states)) as span:
+        result = states[root]
+        # BFS order keeps every joined node adjacent to the part already
+        # joined, so no step is a Cartesian product; full reduction
+        # bounds every intermediate by input + output.
+        for node, parent in order:
+            if parent is None:
+                continue
+            result = join_tables(result, states[node])
+            charger.spend(len(result) + 1)
+        span.set_attribute("output", len(result))
+    charger.flush()
+    if _METRICS.enabled:
+        _YK_OUTPUT.inc(len(result))
+    if result.order != sorted_order:  # pragma: no cover - kernel emits sorted
+        raise AssertionError("yannakakis output order must be the sorted union")
+    return result

@@ -214,6 +214,7 @@ def _write_payloads(
     parallel_speedups=(2.5, 3.0),
     cpu_count=8,
     wcoj_speedups=(5.0, 0.75),
+    yannakakis_speedups=(60.0, 1.1),
 ):
     directory.mkdir(parents=True, exist_ok=True)
     full, tau, dense = perf_speedups
@@ -245,6 +246,15 @@ def _write_payloads(
             {
                 "triangle": {"speedup": triangle},
                 "cycle4": {"speedup": cycle4},
+            }
+        )
+    )
+    selective_star, star4 = yannakakis_speedups
+    (directory / "BENCH_yannakakis.json").write_text(
+        json.dumps(
+            {
+                "selective_star": {"speedup": selective_star},
+                "star4": {"speedup": star4},
             }
         )
     )

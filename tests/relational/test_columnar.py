@@ -26,7 +26,6 @@ from repro.relational.columnar import (
     kernel_enabled,
     set_engine,
     set_kernel_enabled,
-    use_legacy_engine,
     using_engine,
 )
 from repro.relational.relation import Relation, Row, relation
@@ -110,12 +109,16 @@ class TestEngineSwitch:
             set_kernel_enabled(True)
         assert kernel_enabled()
 
-    def test_use_legacy_engine_deprecated_but_works(self):
-        with pytest.warns(DeprecationWarning, match="using_engine"):
-            context = use_legacy_engine()
-        with context:
-            assert current_engine() == "legacy"
-        assert current_engine() == "vector"
+    def test_use_legacy_engine_is_gone(self):
+        # The deprecated shim was removed; the named API is the only
+        # surface.
+        import repro.relational as relational
+        import repro.relational.columnar as columnar
+
+        assert not hasattr(columnar, "use_legacy_engine")
+        assert not hasattr(relational, "use_legacy_engine")
+        assert "use_legacy_engine" not in columnar.__all__
+        assert "use_legacy_engine" not in relational.__all__
 
 
 class TestJoinEquivalence:

@@ -1,5 +1,5 @@
-"""Engine routing: the cyclicity-driven upgrade to wcoj, its explain
-surface, and the pin/process-engine escape hatches."""
+"""Engine routing: the shape-driven upgrade to wcoj/yannakakis, its
+explain surface, and the pin/process-engine escape hatches."""
 
 import json
 
@@ -8,7 +8,7 @@ import pytest
 from repro import JoinQuery
 from repro.cli import main
 from repro.database import Database
-from repro.optimizer import EngineRouting, route_engine
+from repro.optimizer import EngineRouter, EngineRouting
 from repro.relational.columnar import current_engine, set_engine, using_engine
 from repro.workloads.generators import generate_spiked_cycle
 
@@ -18,9 +18,13 @@ def triangle():
     return generate_spiked_cycle(3, 21)
 
 
-class TestRouteEngine:
+def route_of(db):
+    return EngineRouter(db).route()
+
+
+class TestEngineRouter:
     def test_cyclic_default_routes_to_wcoj(self, triangle):
-        routing = route_engine(triangle)
+        routing = route_of(triangle)
         assert routing.effective == "wcoj"
         assert routing.requested == "vector"
         assert routing.routed and routing.cyclic and routing.connected
@@ -28,33 +32,63 @@ class TestRouteEngine:
         m = (21 - 1) // 2
         assert routing.cover.bound == pytest.approx((2 * m + 1) ** 1.5)
 
-    def test_acyclic_stays_on_the_default(self, chain3):
-        routing = route_engine(chain3)
+    def test_acyclic_routes_to_yannakakis(self, chain3):
+        routing = route_of(chain3)
+        assert routing.effective == "yannakakis"
+        assert routing.routed and not routing.cyclic and routing.connected
+        assert "semijoin reduction" in routing.reason
+
+    def test_small_schemes_stay_on_the_default(self, disconnected_db):
+        # No connected component reaches three relations, so nothing is
+        # worth a multiway kernel.
+        routing = route_of(disconnected_db)
         assert routing.effective == "vector"
-        assert not routing.routed and not routing.cyclic
-        assert "worst-case optimal" in routing.reason
+        assert not routing.routed
+        assert "three or more" in routing.reason
 
     def test_database_pin_wins(self, triangle):
         pinned = Database(triangle.relations(), engine="vector")
-        routing = route_engine(pinned)
+        routing = route_of(pinned)
         assert routing.effective == "vector"
         assert not routing.routed
         assert "pinned" in routing.reason
 
     def test_explicit_process_engine_wins(self, triangle):
         with using_engine("columnar"):
-            routing = route_engine(triangle)
+            routing = route_of(triangle)
         assert routing.effective == "columnar"
         assert not routing.routed
         assert "explicitly" in routing.reason
 
+    def test_precedence_is_pin_then_process_then_shape(self, triangle):
+        # The decision matrix (docs/api.md), pinned row first: a database
+        # pin beats an explicit process engine beats classification.
+        pinned = Database(triangle.relations(), engine="legacy")
+        with using_engine("columnar"):
+            routing = route_of(pinned)
+        assert routing.effective == "legacy"
+        assert "pinned" in routing.reason
+        with using_engine("columnar"):
+            unpinned = route_of(Database(triangle.relations()))
+        assert unpinned.effective == "columnar"
+        assert "explicitly" in unpinned.reason
+        assert route_of(Database(triangle.relations())).effective == "wcoj"
+
     def test_disconnected_scheme_has_no_cover(self, disconnected_db):
-        routing = route_engine(disconnected_db)
+        routing = route_of(disconnected_db)
         assert not routing.connected
         assert routing.cover is None
 
+    def test_classify_per_connected_subset(self, triangle, chain3):
+        from repro.schemegraph.scheme import DatabaseScheme
+
+        assert EngineRouter.classify(triangle.scheme) == "wcoj"
+        assert EngineRouter.classify(chain3.scheme) == "yannakakis"
+        small = DatabaseScheme(list(chain3.scheme.schemes)[:2])
+        assert EngineRouter.classify(small) == "vector"
+
     def test_describe_and_to_dict(self, triangle):
-        routing = route_engine(triangle)
+        routing = route_of(triangle)
         line = routing.describe()
         assert line.startswith("engine: wcoj")
         assert "cyclic" in line
@@ -62,10 +96,21 @@ class TestRouteEngine:
         assert image["effective"] == "wcoj"
         assert image["routed"] is True
         assert image["agm"]["bound"] == pytest.approx(routing.cover.bound)
+        assert image["components"] == [
+            {"relations": 3, "cyclic": True, "engine": "wcoj"}
+        ]
+        assert image["tree"] is None
+        assert image["expansion"] == list(routing.expansion)
         json.dumps(image)  # must be JSON-ready
 
-    def test_unrouted_describe_has_no_requested_clause(self, chain3):
-        line = route_engine(chain3).describe()
+    def test_acyclic_to_dict_carries_the_join_tree(self, chain3):
+        image = route_of(chain3).to_dict()
+        assert image["tree"] == [[["A", "B"], ["B", "C"]], [["B", "C"], ["C", "D"]]]
+        assert image["expansion"] is None
+        json.dumps(image)
+
+    def test_unrouted_describe_has_no_requested_clause(self, disconnected_db):
+        line = route_of(disconnected_db).describe()
         assert "requested" not in line
         assert line.startswith("engine: vector")
 
@@ -74,6 +119,11 @@ class TestEngineSwitch:
     def test_wcoj_is_a_named_engine(self):
         with using_engine("wcoj"):
             assert current_engine() == "wcoj"
+        assert current_engine() == "vector"
+
+    def test_yannakakis_is_a_named_engine(self):
+        with using_engine("yannakakis"):
+            assert current_engine() == "yannakakis"
         assert current_engine() == "vector"
 
     def test_set_engine_round_trip(self):
@@ -105,6 +155,10 @@ class TestQueryIntegration:
         assert "agm: tau <=" in text
         assert f"(binary plan tau: {plan.cost})" in text
 
+    def test_cyclic_explain_shows_the_expansion_order(self, triangle):
+        text = JoinQuery(triangle).optimize().explain()
+        assert "expansion order: " in text
+
     def test_plan_provenance_export_carries_routing(self, triangle):
         plan = JoinQuery(triangle).plan_greedy()
         image = plan.provenance.to_dict()
@@ -117,9 +171,9 @@ class TestQueryIntegration:
         lt, rt = expected._table(), executed._table()
         assert lt.order == rt.order and lt.rows == rt.rows
 
-    def test_acyclic_query_explain_reports_binary(self, chain3):
+    def test_acyclic_query_explain_reports_yannakakis(self, chain3):
         text = JoinQuery(chain3).optimize().explain()
-        assert "engine: vector" in text
+        assert "engine: yannakakis (requested vector" in text
         assert "acyclic" in text
 
 
@@ -164,7 +218,7 @@ class TestCLI:
         assert payload["routing"]["effective"] == "wcoj"
         assert payload["routing"]["cyclic"] is True
 
-    def test_acyclic_explain_stays_on_vector(self, capsys):
+    def test_acyclic_explain_routes_to_yannakakis(self, capsys):
         assert (
             main(
                 ["explain", "--shape", "chain", "--relations", "3",
@@ -174,7 +228,8 @@ class TestCLI:
         )
         out = capsys.readouterr().out
         assert "acyclic" in out
-        assert "wcoj" not in out
+        assert "yannakakis" in out
+        assert "join tree" in out
 
     def test_engine_flag_accepts_wcoj(self, capsys):
         try:
@@ -192,6 +247,6 @@ class TestCLI:
 
 
 def test_engine_routing_repr(triangle):
-    routing = route_engine(triangle)
+    routing = EngineRouter(triangle).route()
     assert "vector->wcoj" in repr(routing)
     assert isinstance(routing, EngineRouting)

@@ -1,0 +1,20 @@
+"""Isolation for the yannakakis telemetry tests: counters and spans
+start empty and disabled, and the flight-recorder ring is scrubbed,
+exactly as in tests/obs and tests/wcoj (the process-wide registry keeps
+series across tests otherwise)."""
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.recorder import get_recorder
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.reset()
+    get_recorder().reset()
+    yield
+    obs.disable()
+    obs.reset()
+    get_recorder().reset()

@@ -1,0 +1,75 @@
+"""The full semijoin reducer: both sweeps, global consistency, and the
+empty-state short circuit."""
+
+import repro.obs as obs
+from repro.obs.metrics import get_registry
+from repro.relational.columnar import (
+    ColumnarTable,
+    intern_value,
+    join_tables,
+    project_table,
+)
+from repro.yannakakis.reducer import bfs_order, full_reduce
+
+
+def _table(order, rows):
+    return ColumnarTable(
+        tuple(order),
+        frozenset(tuple(intern_value(v) for v in row) for row in rows),
+    )
+
+
+def _chain():
+    """A-B / B-C / C-D chain states with dangling tuples at every level:
+    the full join is the single row (1, 1, 1, 1)."""
+    tables = {
+        0: _table("AB", [(1, 1), (2, 9)]),  # (2, 9) dies at node 1
+        1: _table("BC", [(1, 1), (8, 8)]),  # (8, 8) dies both ways
+        2: _table("CD", [(1, 1), (7, 7)]),  # (7, 7) dies at node 1
+    }
+    adjacency = {0: {1}, 1: {0, 2}, 2: {1}}
+    return tables, adjacency
+
+
+class TestBfsOrder:
+    def test_lists_every_node_with_its_parent(self):
+        adjacency = {0: {1, 2}, 1: {0, 3}, 2: {0}, 3: {1}}
+        order = bfs_order(adjacency, 0)
+        assert order == [(0, None), (1, 0), (2, 0), (3, 1)]
+
+    def test_respects_the_chosen_root(self):
+        adjacency = {0: {1}, 1: {0, 2}, 2: {1}}
+        assert bfs_order(adjacency, 2) == [(2, None), (1, 2), (0, 1)]
+
+
+class TestFullReduce:
+    def test_reduction_is_globally_consistent(self):
+        tables, adjacency = _chain()
+        order = bfs_order(adjacency, 0)
+        assert full_reduce(tables, order) is True
+        # Every surviving tuple of every state extends to the full join:
+        # each state is exactly the join's projection onto its scheme.
+        full = join_tables(join_tables(tables[0], tables[1]), tables[2])
+        assert len(full) == 1
+        for state in tables.values():
+            assert state.rows == project_table(full, state.order).rows
+
+    def test_empty_join_short_circuits(self):
+        tables, adjacency = _chain()
+        # Break the B link: nothing survives node 0 against node 1.
+        tables[1] = _table("BC", [(5, 5)])
+        assert full_reduce(tables, bfs_order(adjacency, 0)) is False
+
+    def test_charge_sees_both_sweeps(self):
+        tables, adjacency = _chain()
+        charged = []
+        full_reduce(tables, bfs_order(adjacency, 0), charge=charged.append)
+        # Two semijoins bottom-up, two top-down, each charged input+1.
+        assert len(charged) == 4
+        assert all(units >= 2 for units in charged)
+
+    def test_semijoin_counter(self):
+        tables, adjacency = _chain()
+        with obs.observed():
+            full_reduce(tables, bfs_order(adjacency, 0))
+            assert get_registry().counter("yannakakis.semijoins").value() == 4

@@ -1,0 +1,113 @@
+"""The safe-subjoin detector: which tree edges may be collapsed before
+the reducer runs, and how contraction rewires the working tree."""
+
+import repro.obs as obs
+from repro.obs.metrics import get_registry
+from repro.relational.columnar import ColumnarTable, intern_value
+from repro.yannakakis import collapse_safe_edges, safe_subjoin_reason
+
+
+def _table(order, rows):
+    return ColumnarTable(
+        tuple(order),
+        frozenset(tuple(intern_value(v) for v in row) for row in rows),
+    )
+
+
+class TestSafeSubjoinReason:
+    def test_scheme_containment(self):
+        narrow = _table("AB", [(1, 1), (2, 2)])
+        wide = _table("ABC", [(1, 1, 5), (1, 1, 6), (3, 3, 7)])
+        assert safe_subjoin_reason(narrow, wide) == "scheme containment"
+        assert safe_subjoin_reason(wide, narrow) == "scheme containment"
+
+    def test_left_state_keyed(self):
+        # A is duplicate-free on the left, so every right row matches at
+        # most one left row: |join| <= |right|.
+        left = _table("AB", [(1, 10), (2, 20)])
+        right = _table("AC", [(1, 5), (1, 6), (2, 7)])
+        assert safe_subjoin_reason(left, right) == (
+            "shared attributes key the left state"
+        )
+
+    def test_right_state_keyed(self):
+        left = _table("AB", [(1, 5), (1, 6), (2, 7)])
+        right = _table("AC", [(1, 10), (2, 20)])
+        assert safe_subjoin_reason(left, right) == (
+            "shared attributes key the right state"
+        )
+
+    def test_duplicated_shared_values_are_unsafe(self):
+        # Both sides repeat A=1: the subjoin can square.
+        left = _table("AB", [(1, 5), (1, 6)])
+        right = _table("AC", [(1, 10), (1, 20)])
+        assert safe_subjoin_reason(left, right) is None
+
+    def test_disjoint_schemes_are_never_safe(self):
+        # That join is a Cartesian product, whatever the states look like.
+        left = _table("AB", [(1, 1)])
+        right = _table("CD", [(2, 2)])
+        assert safe_subjoin_reason(left, right) is None
+
+    def test_criterion_is_state_level(self):
+        # The same scheme pair flips between safe and unsafe as the
+        # *data* changes: a key that holds today licenses today's
+        # subjoin.
+        right = _table("AC", [(1, 5), (1, 6)])
+        keyed = _table("AB", [(1, 10), (2, 20)])
+        duped = _table("AB", [(1, 10), (1, 20)])
+        assert safe_subjoin_reason(keyed, right) is not None
+        assert safe_subjoin_reason(duped, right) is None
+
+
+class TestCollapseSafeEdges:
+    def _path(self):
+        # 0 -- 1 -- 2 with the 0-1 edge safe (A keys node 0) and the
+        # 1-2 edge unsafe (B repeats on both sides).
+        tables = {
+            0: _table("AB", [(1, 7), (2, 7)]),
+            1: _table("AC", [(1, 5), (1, 6), (2, 5)]),
+            2: _table("CD", [(5, 1), (5, 2), (6, 1)]),
+        }
+        adjacency = {0: {1}, 1: {0, 2}, 2: {1}}
+        return tables, adjacency
+
+    def test_contracts_the_safe_edge_and_rewires(self):
+        tables, adjacency = self._path()
+        collapsed = collapse_safe_edges(tables, adjacency)
+        assert collapsed == 1
+        assert set(tables) == {0, 2}
+        # Node 1's other neighbor was re-pointed at the surviving id.
+        assert adjacency == {0: {2}, 2: {0}}
+        # The merged state is the subjoin, bounded by the larger input.
+        assert tables[0].order == ("A", "B", "C")
+        assert len(tables[0]) == 3
+
+    def test_collapse_cascades_until_no_safe_edge_remains(self):
+        # After merging 0 and 1, node 2's scheme {A, C} is contained in
+        # the merged {A, B, C}: the second edge becomes safe only once
+        # the first contraction exposes the containment.
+        tables = {
+            0: _table("AB", [(1, 7), (2, 8)]),
+            1: _table("AC", [(1, 5), (2, 6)]),
+            2: _table("AC", [(1, 5), (2, 5)]),
+        }
+        adjacency = {0: {1}, 1: {0, 2}, 2: {1}}
+        collapsed = collapse_safe_edges(tables, adjacency)
+        assert collapsed == 2
+        assert set(tables) == {0}
+        assert adjacency == {0: set()}
+
+    def test_charge_sees_every_subjoin(self):
+        tables, adjacency = self._path()
+        charged = []
+        collapse_safe_edges(tables, adjacency, charge=charged.append)
+        assert len(charged) == 1
+        assert charged[0] == 3 + 1  # merged rows + 1
+
+    def test_counter_labels_the_reason(self):
+        tables, adjacency = self._path()
+        with obs.observed():
+            collapse_safe_edges(tables, adjacency)
+            counter = get_registry().counter("yannakakis.subjoins")
+            assert counter.value(reason="shared attributes key the left state") == 1
